@@ -1,0 +1,34 @@
+// FIG3a — paper Figure 3, chart 1: "Read throughput without contention".
+// Two reader machines per server, no writers, separate client/server
+// networks, 100 Mbit/s NICs. Paper: total read throughput grows linearly at
+// ~90 Mbit/s per server for n = 2..8.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace hts::harness;
+  std::printf("FIG3a — read throughput without contention (paper: ~90 "
+              "Mbit/s per server, linear in n)\n");
+
+  Table table("Figure 3 (top): read throughput, no contention",
+              {"servers", "total read Mbit/s", "per-server Mbit/s",
+               "paper total (~90n)", "read latency ms (mean)"});
+
+  for (std::size_t n = 2; n <= 8; ++n) {
+    ExperimentParams p;
+    p.n_servers = n;
+    p.reader_machines_per_server = 2;
+    p.readers_per_machine = 8;
+    p.writer_machines_per_server = 0;
+    ExperimentResult r = run_core_experiment(p);
+    table.add_row({std::to_string(n), Table::num(r.read_mbps),
+                   Table::num(r.read_mbps / static_cast<double>(n)),
+                   Table::num(90.0 * static_cast<double>(n)),
+                   Table::num(r.read_lat_ms_mean, 2)});
+  }
+  table.print();
+  table.print_csv();
+  return 0;
+}

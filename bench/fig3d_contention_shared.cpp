@@ -1,0 +1,37 @@
+// FIG3d — paper Figure 3, bottom chart: "Read & write throughput, contention
+// on a shared network": clients and ring traffic share one NIC per server.
+// Paper: write throughput ~45 Mbit/s constant; read throughput ~31 Mbit/s
+// per server, linear; each server drives ~76 Mbit/s of its NIC.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace hts::harness;
+  std::printf("FIG3d — mixed load on a SHARED network (paper: write ~45 "
+              "const, read ~31/server linear, ~76 Mbit/s per NIC)\n");
+
+  Table table("Figure 3 (bottom): contention, shared network",
+              {"servers", "total read Mbit/s", "total write Mbit/s",
+               "read per-server", "per-server NIC Mbit/s (write+read/n)",
+               "paper write (~45)", "paper read/server (~31)"});
+
+  for (std::size_t n = 2; n <= 8; ++n) {
+    ExperimentParams p;
+    p.n_servers = n;
+    p.shared_network = true;
+    p.reader_machines_per_server = 1;
+    p.readers_per_machine = 8 * n;  // scale with park waits (Little's law)
+    p.writer_machines_per_server = 1;
+    p.writers_per_machine = 8;
+    ExperimentResult r = run_core_experiment(p);
+    const double per_server_read = r.read_mbps / static_cast<double>(n);
+    table.add_row({std::to_string(n), Table::num(r.read_mbps),
+                   Table::num(r.write_mbps), Table::num(per_server_read),
+                   Table::num(r.write_mbps + per_server_read), "45", "31"});
+  }
+  table.print();
+  table.print_csv();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: a 3-server atomic register, two clients, reads and writes.
+//
+// The ThreadedCluster runs every server and client on its own thread over
+// reliable in-memory channels — the same state machines a TCP deployment
+// would run. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "harness/threaded_cluster.h"
+
+int main() {
+  using hts::Value;
+  using hts::harness::ThreadedCluster;
+  using hts::harness::ThreadedClusterConfig;
+
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 3;
+
+  ThreadedCluster cluster(cfg);
+  auto& alice = cluster.add_client(/*preferred_server=*/0);
+  auto& bob = cluster.add_client(/*preferred_server=*/1);
+  cluster.start();
+
+  // Alice stores a value; the write is acknowledged only after every server
+  // has it (write-all-available), so any subsequent read sees it.
+  alice.write(Value(std::string("the first value")));
+  std::printf("alice wrote:  \"the first value\"\n");
+
+  // Bob reads through a different server — locally, in one round trip.
+  Value seen = bob.read();
+  std::printf("bob read:     \"%.*s\"\n", static_cast<int>(seen.size()),
+              seen.bytes().data());
+
+  // Overwrite and read again; the register is linearizable, so reads never
+  // go back in time.
+  alice.write(Value(std::string("the second value")));
+  auto result = bob.read_result();
+  std::printf("bob read:     \"%.*s\"  (tag %s, %u attempt(s))\n",
+              static_cast<int>(result.value.size()),
+              result.value.bytes().data(), result.tag.to_string().c_str(),
+              result.attempts);
+
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "baselines/abd.h"
+
+#include <cassert>
+
+namespace hts::baselines {
+
+// ------------------------------------------------------------------ server
+
+AbdServer::AbdServer(ProcessId self, std::size_t n_servers) : self_(self) {
+  (void)n_servers;
+}
+
+void AbdServer::on_client_message(const net::Payload& msg, Context& ctx) {
+  switch (msg.kind()) {
+    case kAbdReadTs: {
+      const auto& m = static_cast<const AbdReadTs&>(msg);
+      ctx.send_client(m.client,
+                      net::make_payload<AbdReadTsAck>(m.req, m.phase, tag_));
+      break;
+    }
+    case kAbdStore: {
+      const auto& m = static_cast<const AbdStore&>(msg);
+      if (m.tag > tag_) {
+        tag_ = m.tag;
+        value_ = m.value;
+      }
+      ctx.send_client(m.client,
+                      net::make_payload<AbdStoreAck>(m.req, m.phase));
+      break;
+    }
+    case kAbdGet: {
+      const auto& m = static_cast<const AbdGet&>(msg);
+      ctx.send_client(
+          m.client, net::make_payload<AbdGetAck>(m.req, m.phase, tag_, value_));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ------------------------------------------------------------------ client
+
+AbdClient::AbdClient(ClientId id, Options opts) : id_(id), opts_(opts) {
+  assert(opts_.n_servers >= 1);
+}
+
+void AbdClient::broadcast(core::ClientContext& ctx,
+                          const net::PayloadPtr& msg) {
+  // Quorum protocols multicast to every replica and wait for a majority —
+  // exactly the communication pattern the paper's ring avoids.
+  for (ProcessId p = 0; p < opts_.n_servers; ++p) {
+    ctx.send_server(p, msg);
+  }
+  ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
+}
+
+RequestId AbdClient::begin_write(Value v, core::ClientContext& ctx) {
+  assert(idle());
+  req_ = next_req_++;
+  is_read_ = false;
+  write_value_ = std::move(v);
+  invoked_at_ = ctx.now();
+  attempts_ = 1;
+  phase_ = Phase::kWriteQueryTs;
+  acks_ = 0;
+  best_tag_ = kInitialTag;
+  broadcast(ctx, net::make_payload<AbdReadTs>(id_, req_, ++phase_seq_));
+  return req_;
+}
+
+RequestId AbdClient::begin_read(core::ClientContext& ctx) {
+  assert(idle());
+  req_ = next_req_++;
+  is_read_ = true;
+  invoked_at_ = ctx.now();
+  attempts_ = 1;
+  phase_ = Phase::kReadCollect;
+  acks_ = 0;
+  best_tag_ = kInitialTag;
+  best_value_ = Value{};
+  broadcast(ctx, net::make_payload<AbdGet>(id_, req_, ++phase_seq_));
+  return req_;
+}
+
+void AbdClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
+  switch (msg.kind()) {
+    case kAbdReadTsAck: {
+      const auto& m = static_cast<const AbdReadTsAck&>(msg);
+      if (phase_ != Phase::kWriteQueryTs || m.req != req_ ||
+          m.phase != phase_seq_) {
+        return;
+      }
+      best_tag_ = std::max(best_tag_, m.tag);
+      if (++acks_ < majority()) return;
+      // Phase 2: store under a dominating tag (writer id breaks ties).
+      phase_ = Phase::kWriteStore;
+      acks_ = 0;
+      const Tag tag{best_tag_.ts + 1, opts_.writer_id};
+      broadcast(ctx, net::make_payload<AbdStore>(id_, req_, ++phase_seq_, tag,
+                                                 write_value_));
+      return;
+    }
+    case kAbdStoreAck: {
+      const auto& m = static_cast<const AbdStoreAck&>(msg);
+      const bool expected =
+          (phase_ == Phase::kWriteStore || phase_ == Phase::kReadWriteBack);
+      if (!expected || m.req != req_ || m.phase != phase_seq_) return;
+      if (++acks_ < majority()) return;
+      finish(ctx);
+      return;
+    }
+    case kAbdGetAck: {
+      const auto& m = static_cast<const AbdGetAck&>(msg);
+      if (phase_ != Phase::kReadCollect || m.req != req_ ||
+          m.phase != phase_seq_) {
+        return;
+      }
+      if (m.tag > best_tag_ || acks_ == 0) {
+        best_tag_ = m.tag;
+        best_value_ = m.value;
+      }
+      if (++acks_ < majority()) return;
+      // Phase 2: write back the maximum so a later read cannot regress —
+      // the classical fix for read inversion, paid on every read.
+      phase_ = Phase::kReadWriteBack;
+      acks_ = 0;
+      broadcast(ctx, net::make_payload<AbdStore>(id_, req_, ++phase_seq_,
+                                                 best_tag_, best_value_));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void AbdClient::finish(core::ClientContext& ctx) {
+  core::OpResult r;
+  r.is_read = is_read_;
+  r.req = req_;
+  if (is_read_) {
+    r.value = best_value_;
+    r.tag = best_tag_;
+  }
+  r.invoked_at = invoked_at_;
+  r.completed_at = ctx.now();
+  r.attempts = attempts_;
+  phase_ = Phase::kIdle;
+  ++timer_epoch_;  // cancel the retry timer
+  if (on_complete) on_complete(r);
+}
+
+void AbdClient::on_timer(std::uint64_t token, core::ClientContext& ctx) {
+  if (phase_ == Phase::kIdle || token != timer_epoch_) return;
+  // Majority unreachable or replies lost: restart the operation with a
+  // fresh phase id (quorum phases are idempotent, so this is safe).
+  ++attempts_;
+  acks_ = 0;
+  best_tag_ = kInitialTag;
+  if (is_read_) {
+    phase_ = Phase::kReadCollect;
+    best_value_ = Value{};
+    broadcast(ctx, net::make_payload<AbdGet>(id_, req_, ++phase_seq_));
+  } else {
+    phase_ = Phase::kWriteQueryTs;
+    broadcast(ctx, net::make_payload<AbdReadTs>(id_, req_, ++phase_seq_));
+  }
+}
+
+}  // namespace hts::baselines

@@ -1,0 +1,202 @@
+#include "baselines/chain.h"
+
+#include <cassert>
+
+namespace hts::baselines {
+
+// ------------------------------------------------------------------ server
+
+ChainServer::ChainServer(ProcessId self, std::size_t n_servers)
+    : self_(self), view_(n_servers) {
+  assert(self < n_servers);
+}
+
+bool ChainServer::is_head() const { return head() == self_; }
+bool ChainServer::is_tail() const { return tail() == self_; }
+
+ProcessId ChainServer::head() const { return view_.alive_members().front(); }
+ProcessId ChainServer::tail() const { return view_.alive_members().back(); }
+
+std::optional<ProcessId> ChainServer::chain_successor() const {
+  const auto members = view_.alive_members();
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+    if (members[i] == self_) return members[i + 1];
+  }
+  return std::nullopt;  // tail
+}
+
+std::optional<ProcessId> ChainServer::chain_predecessor() const {
+  const auto members = view_.alive_members();
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (members[i] == self_) return members[i - 1];
+  }
+  return std::nullopt;  // head
+}
+
+void ChainServer::on_client_message(const net::Payload& msg, Context& ctx) {
+  switch (msg.kind()) {
+    case kChainWrite: {
+      const auto& m = static_cast<const ChainWrite&>(msg);
+      if (!is_head()) return;  // client will time out and re-aim
+      // Retry dedup: a re-sent write whose first copy was already sequenced
+      // must not enter the chain twice (double application would break
+      // atomicity); the in-flight copy will produce the ack.
+      auto it = sequenced_.find(m.client);
+      if (it != sequenced_.end() && it->second >= m.req) return;
+      const ChainUpdate update(next_seq_++, m.client, m.req, m.value);
+      apply_update(update, ctx);
+      break;
+    }
+    case kChainRead: {
+      const auto& m = static_cast<const ChainRead&>(msg);
+      if (!is_tail()) return;  // queries are tail-only
+      ctx.send_client(m.client, net::make_payload<ChainReadAck>(
+                                    m.req, value_, Tag{applied_seq_, 0}));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ChainServer::apply_update(const ChainUpdate& u, Context& ctx) {
+  if (u.seq <= applied_seq_) return;  // duplicate after a splice
+  applied_seq_ = u.seq;
+  value_ = u.value;
+  auto& best = sequenced_[u.client];
+  best = std::max(best, u.req);
+  if (auto succ = chain_successor()) {
+    auto msg = net::make_payload<ChainUpdate>(u.seq, u.client, u.req, u.value);
+    sent_unacked_[u.seq] = msg;
+    to_ack_[u.seq] = {u.client, u.req};  // remembered in case we become tail
+    ctx.send_peer(*succ, std::move(msg));
+  } else {
+    // Tail: the update is committed; reply and start the ack wave upstream.
+    ctx.send_client(u.client, net::make_payload<ChainWriteAck>(u.req));
+    if (auto pred = chain_predecessor()) {
+      ctx.send_peer(*pred, net::make_payload<ChainAckBack>(u.seq));
+    }
+  }
+}
+
+void ChainServer::on_peer_message(const net::Payload& msg, Context& ctx) {
+  switch (msg.kind()) {
+    case kChainUpdate:
+      apply_update(static_cast<const ChainUpdate&>(msg), ctx);
+      break;
+    case kChainAckBack: {
+      const auto& m = static_cast<const ChainAckBack&>(msg);
+      sent_unacked_.erase(m.seq);
+      to_ack_.erase(m.seq);
+      if (auto pred = chain_predecessor()) {
+        ctx.send_peer(*pred, net::make_payload<ChainAckBack>(m.seq));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ChainServer::on_peer_crash(ProcessId crashed, Context& ctx) {
+  if (!view_.mark_crashed(crashed)) return;
+  // If our old successor died, re-send everything unacknowledged to the new
+  // successor (or, having become tail, acknowledge and reply ourselves).
+  if (auto succ = chain_successor()) {
+    for (const auto& [seq, msg] : sent_unacked_) {
+      ctx.send_peer(*succ, msg);
+    }
+  } else {
+    // We are the new tail: everything we applied is now committed.
+    for (const auto& [seq, who] : to_ack_) {
+      ctx.send_client(who.first, net::make_payload<ChainWriteAck>(who.second));
+      if (auto pred = chain_predecessor()) {
+        ctx.send_peer(*pred, net::make_payload<ChainAckBack>(seq));
+      }
+    }
+    sent_unacked_.clear();
+    to_ack_.clear();
+  }
+}
+
+// ------------------------------------------------------------------ client
+
+ChainClient::ChainClient(ClientId id, Options opts)
+    : id_(id),
+      opts_(opts),
+      tail_guess_(static_cast<ProcessId>(opts.n_servers - 1)) {}
+
+RequestId ChainClient::begin_write(Value v, core::ClientContext& ctx) {
+  assert(idle());
+  outstanding_ = Outstanding{false, next_req_++, std::move(v), ctx.now(), 1};
+  transmit(ctx);
+  return outstanding_->req;
+}
+
+RequestId ChainClient::begin_read(core::ClientContext& ctx) {
+  assert(idle());
+  outstanding_ = Outstanding{true, next_req_++, Value{}, ctx.now(), 1};
+  transmit(ctx);
+  return outstanding_->req;
+}
+
+void ChainClient::transmit(core::ClientContext& ctx) {
+  const Outstanding& op = *outstanding_;
+  if (op.is_read) {
+    ctx.send_server(tail_guess_, net::make_payload<ChainRead>(id_, op.req));
+  } else {
+    ctx.send_server(head_guess_,
+                    net::make_payload<ChainWrite>(id_, op.req, op.value));
+  }
+  ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
+}
+
+void ChainClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
+  if (!outstanding_) return;
+  core::OpResult r;
+  switch (msg.kind()) {
+    case kChainWriteAck: {
+      const auto& m = static_cast<const ChainWriteAck&>(msg);
+      if (outstanding_->is_read || m.req != outstanding_->req) return;
+      r.is_read = false;
+      break;
+    }
+    case kChainReadAck: {
+      const auto& m = static_cast<const ChainReadAck&>(msg);
+      if (!outstanding_->is_read || m.req != outstanding_->req) return;
+      r.is_read = true;
+      r.value = m.value;
+      r.tag = m.tag;
+      break;
+    }
+    default:
+      return;
+  }
+  r.req = outstanding_->req;
+  r.invoked_at = outstanding_->invoked_at;
+  r.completed_at = ctx.now();
+  r.attempts = outstanding_->attempts;
+  outstanding_.reset();
+  ++timer_epoch_;
+  if (on_complete) on_complete(r);
+}
+
+void ChainClient::on_timer(std::uint64_t token, core::ClientContext& ctx) {
+  if (!outstanding_ || token != timer_epoch_) return;
+  // Wrong head/tail guess (role moved after a crash): advance and retry.
+  // Writes must NOT be blindly re-sent once the head may have sequenced the
+  // first copy — but chain dedup (seq ordering + same req) makes the retry
+  // idempotent at the head; duplicate ChainWrite for an already-sequenced
+  // req would double-apply, so the head is the single entry point and the
+  // client only re-aims when the previous target is dead (no reply at all).
+  ++outstanding_->attempts;
+  if (outstanding_->is_read) {
+    tail_guess_ = static_cast<ProcessId>((tail_guess_ + opts_.n_servers - 1) %
+                                         opts_.n_servers);
+  } else {
+    head_guess_ = static_cast<ProcessId>((head_guess_ + 1) % opts_.n_servers);
+  }
+  transmit(ctx);
+}
+
+}  // namespace hts::baselines

@@ -1,0 +1,17 @@
+// Shared effect-sink interface for baseline protocol servers, so one generic
+// fabric adapter hosts ABD, chain replication and TOB alike.
+#pragma once
+
+#include "common/types.h"
+#include "net/payload.h"
+
+namespace hts::baselines {
+
+class PeerContext {
+ public:
+  virtual void send_peer(ProcessId to, net::PayloadPtr msg) = 0;
+  virtual void send_client(ClientId client, net::PayloadPtr msg) = 0;
+  virtual ~PeerContext() = default;
+};
+
+}  // namespace hts::baselines

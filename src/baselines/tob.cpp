@@ -1,0 +1,238 @@
+#include "baselines/tob.h"
+
+#include <cassert>
+
+namespace hts::baselines {
+
+// ------------------------------------------------------------------ server
+
+TobServer::TobServer(ProcessId self, std::size_t n_servers)
+    : self_(self), n_(n_servers) {
+  assert(self < n_servers);
+  if (self_ == 0) token_held_ = true;  // parked until the first operation
+}
+
+void TobServer::on_client_message(const net::Payload& msg, Context& ctx) {
+  switch (msg.kind()) {
+    case kTobWrite: {
+      const auto& m = static_cast<const TobWrite&>(msg);
+      auto it = sequenced_.find(m.client);
+      if (it != sequenced_.end() && it->second >= m.req) {
+        // Retried write already ordered; the original will be (or was)
+        // acknowledged by its origin. Ack again, harmless.
+        ctx.send_client(m.client, net::make_payload<TobWriteAck>(m.req));
+        return;
+      }
+      enqueue_client_op(QueuedOp{m.client, m.req, false, m.value}, ctx);
+      break;
+    }
+    case kTobRead: {
+      const auto& m = static_cast<const TobRead&>(msg);
+      enqueue_client_op(QueuedOp{m.client, m.req, true, Value{}}, ctx);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TobServer::enqueue_client_op(QueuedOp op, Context& ctx) {
+  queue_.push_back(std::move(op));
+  if (token_held_) {
+    // We park the token; stamp straight away.
+    token_held_ = false;
+    stamp_queue_and_release(parked_next_seq_, 0, ctx);
+  } else if (queue_.size() == 1 && n_ > 1) {
+    // Recall a possibly-parked token. If the token is actually moving, the
+    // nudge loops once and dies at us.
+    ctx.send_peer(successor(), net::make_payload<TobNudge>(self_));
+  }
+}
+
+void TobServer::stamp_queue_and_release(std::uint64_t next_seq,
+                                        std::uint32_t idle, Context& ctx) {
+  // Totem-style flow control: a bounded number of operations enters the
+  // total order per token visit, so one busy server cannot monopolise the
+  // sequence space and queues stay bounded.
+  constexpr std::uint32_t kMaxStampsPerToken = 8;
+  std::uint32_t stamped = 0;
+  while (!queue_.empty() && stamped < kMaxStampsPerToken) {
+    QueuedOp op = std::move(queue_.front());
+    queue_.pop_front();
+    auto msg = net::make_payload<TobOp>(next_seq++, self_, op.client, op.req,
+                                        op.is_read, std::move(op.value));
+    // Deliver locally first (we have everything below next_seq by FIFO),
+    // then circulate.
+    apply(static_cast<const TobOp&>(*msg), ctx);
+    if (n_ > 1) ctx.send_peer(successor(), msg);
+    ++stamped;
+  }
+  if (n_ == 1) {
+    token_held_ = true;
+    parked_next_seq_ = next_seq;
+    return;
+  }
+  const std::uint32_t new_idle = stamped > 0 ? 0 : idle + 1;
+  if (new_idle >= n_) {
+    // Full idle rotation: park here until a nudge arrives.
+    token_held_ = true;
+    parked_next_seq_ = next_seq;
+    return;
+  }
+  ctx.send_peer(successor(), net::make_payload<TobToken>(next_seq, new_idle));
+}
+
+void TobServer::on_peer_message(net::PayloadPtr msg, Context& ctx) {
+  switch (msg->kind()) {
+    case kTobOp: {
+      const auto& op = static_cast<const TobOp&>(*msg);
+      if (op.origin == self_) {
+        // Completed the loop: the op is stable everywhere — reply now.
+        auto it = awaiting_return_.find(op.seq);
+        if (it != awaiting_return_.end()) {
+          const DeferredReply& r = it->second;
+          if (r.is_read) {
+            ctx.send_client(r.client, net::make_payload<TobReadAck>(
+                                          r.req, r.read_value, r.read_tag));
+          } else {
+            ctx.send_client(r.client, net::make_payload<TobWriteAck>(r.req));
+          }
+          awaiting_return_.erase(it);
+        }
+        return;  // absorb
+      }
+      if (op.seq == applied_seq_ + 1) {
+        apply(op, ctx);
+        deliver_in_order(ctx);
+      } else if (op.seq > applied_seq_) {
+        // FIFO links make this near-impossible, but buffer defensively.
+        reorder_buffer_[op.seq] = msg;
+      }
+      ctx.send_peer(successor(), std::move(msg));
+      break;
+    }
+    case kTobToken: {
+      const auto& t = static_cast<const TobToken&>(*msg);
+      stamp_queue_and_release(t.next_seq, t.idle_hops, ctx);
+      break;
+    }
+    case kTobNudge: {
+      const auto& nd = static_cast<const TobNudge&>(*msg);
+      if (token_held_) {
+        token_held_ = false;
+        stamp_queue_and_release(parked_next_seq_, 0, ctx);
+        return;  // nudge absorbed
+      }
+      if (nd.origin == self_) return;  // looped: token is in flight
+      ctx.send_peer(successor(), std::move(msg));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TobServer::deliver_in_order(Context& ctx) {
+  auto it = reorder_buffer_.find(applied_seq_ + 1);
+  while (it != reorder_buffer_.end()) {
+    apply(static_cast<const TobOp&>(*it->second), ctx);
+    reorder_buffer_.erase(it);
+    it = reorder_buffer_.find(applied_seq_ + 1);
+  }
+}
+
+void TobServer::apply(const TobOp& op, Context& ctx) {
+  assert(op.seq == applied_seq_ + 1);
+  applied_seq_ = op.seq;
+  if (!op.is_read) {
+    value_ = op.value;
+    auto& best = sequenced_[op.client];
+    best = std::max(best, op.req);
+  }
+  if (op.origin == self_) {
+    // Our client's operation reached its place in the total order. With one
+    // server it is already stable; otherwise the reply waits until the op
+    // returns from its circulation (see on_peer_message), with the read's
+    // value snapshotted at its sequence point.
+    DeferredReply r{op.client, op.req, op.is_read, value_,
+                    Tag{applied_seq_, 0}};
+    if (n_ == 1) {
+      if (r.is_read) {
+        ctx.send_client(r.client, net::make_payload<TobReadAck>(
+                                      r.req, r.read_value, r.read_tag));
+      } else {
+        ctx.send_client(r.client, net::make_payload<TobWriteAck>(r.req));
+      }
+    } else {
+      awaiting_return_[op.seq] = std::move(r);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ client
+
+TobClient::TobClient(ClientId id, Options opts)
+    : id_(id), opts_(opts), target_(opts.preferred_server) {}
+
+RequestId TobClient::begin_write(Value v, core::ClientContext& ctx) {
+  assert(idle());
+  outstanding_ = Outstanding{false, next_req_++, std::move(v), ctx.now(), 1};
+  transmit(ctx);
+  return outstanding_->req;
+}
+
+RequestId TobClient::begin_read(core::ClientContext& ctx) {
+  assert(idle());
+  outstanding_ = Outstanding{true, next_req_++, Value{}, ctx.now(), 1};
+  transmit(ctx);
+  return outstanding_->req;
+}
+
+void TobClient::transmit(core::ClientContext& ctx) {
+  const Outstanding& op = *outstanding_;
+  if (op.is_read) {
+    ctx.send_server(target_, net::make_payload<TobRead>(id_, op.req));
+  } else {
+    ctx.send_server(target_, net::make_payload<TobWrite>(id_, op.req, op.value));
+  }
+  ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
+}
+
+void TobClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
+  if (!outstanding_) return;
+  core::OpResult r;
+  switch (msg.kind()) {
+    case kTobWriteAck: {
+      const auto& m = static_cast<const TobWriteAck&>(msg);
+      if (outstanding_->is_read || m.req != outstanding_->req) return;
+      r.is_read = false;
+      break;
+    }
+    case kTobReadAck: {
+      const auto& m = static_cast<const TobReadAck&>(msg);
+      if (!outstanding_->is_read || m.req != outstanding_->req) return;
+      r.is_read = true;
+      r.value = m.value;
+      r.tag = m.tag;
+      break;
+    }
+    default:
+      return;
+  }
+  r.req = outstanding_->req;
+  r.invoked_at = outstanding_->invoked_at;
+  r.completed_at = ctx.now();
+  r.attempts = outstanding_->attempts;
+  outstanding_.reset();
+  ++timer_epoch_;
+  if (on_complete) on_complete(r);
+}
+
+void TobClient::on_timer(std::uint64_t token, core::ClientContext& ctx) {
+  if (!outstanding_ || token != timer_epoch_) return;
+  ++outstanding_->attempts;
+  target_ = static_cast<ProcessId>((target_ + 1) % opts_.n_servers);
+  transmit(ctx);
+}
+
+}  // namespace hts::baselines

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Off by default so simulations stay fast and
+// deterministic output stays clean; tests flip the level when debugging.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace hts::log {
+
+enum class Level : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+inline Level& level_ref() {
+  static Level level = Level::kError;
+  return level;
+}
+inline std::mutex& mutex_ref() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+inline void set_level(Level l) { detail::level_ref() = l; }
+inline Level level() { return detail::level_ref(); }
+
+inline void write(Level l, const std::string& tagline, const std::string& msg) {
+  if (static_cast<int>(l) > static_cast<int>(level())) return;
+  const std::scoped_lock lock(detail::mutex_ref());
+  std::fprintf(stderr, "[%s] %s\n", tagline.c_str(), msg.c_str());
+}
+
+inline void error(const std::string& msg) { write(Level::kError, "ERR", msg); }
+inline void info(const std::string& msg) { write(Level::kInfo, "INF", msg); }
+inline void debug(const std::string& msg) { write(Level::kDebug, "DBG", msg); }
+
+}  // namespace hts::log

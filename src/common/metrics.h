@@ -1,0 +1,96 @@
+// Measurement primitives: latency collection and throughput accounting.
+//
+// The experiment harness records operation completions into these and the
+// report layer turns them into the rows the paper's figures plot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hts {
+
+/// Collects individual latency samples and answers distribution queries.
+/// Samples are stored exactly (the histories involved are test/bench sized).
+class LatencyStats {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// q in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    rank = std::min(rank, sorted.size() - 1);
+    return sorted[rank];
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Counts completed operations and payload bytes over a measurement window.
+class ThroughputMeter {
+ public:
+  void record(std::size_t payload_bytes) {
+    ++ops_;
+    bytes_ += payload_bytes;
+  }
+
+  void set_window(double seconds) { window_seconds_ = seconds; }
+
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+  [[nodiscard]] double ops_per_second() const {
+    return window_seconds_ > 0 ? static_cast<double>(ops_) / window_seconds_
+                               : 0.0;
+  }
+
+  /// Payload throughput in Mbit/s — the unit of the paper's figures.
+  [[nodiscard]] double mbit_per_second() const {
+    return window_seconds_ > 0 ? static_cast<double>(bytes_) * 8.0 / 1e6 /
+                                     window_seconds_
+                               : 0.0;
+  }
+
+  void clear() {
+    ops_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  double window_seconds_ = 0.0;
+};
+
+}  // namespace hts

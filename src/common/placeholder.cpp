@@ -1,0 +1,5 @@
+// hts_common is header-only today; this TU anchors the static library so the
+// build graph stays uniform (every module is a linkable target).
+namespace hts::detail {
+int common_anchor() { return 0; }
+}  // namespace hts::detail

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Everything that needs randomness takes an explicit seed so that every
+// simulation run, property test and benchmark is reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace hts {
+
+/// SplitMix64: tiny, fast, well-distributed; the reference seeding generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return unit() < p; }
+
+  /// Exponentially distributed with the given mean (for Poisson arrivals).
+  double exponential(double mean) {
+    double u = unit();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) {
+    return xs[static_cast<std::size_t>(below(xs.size()))];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hts

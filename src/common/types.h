@@ -1,0 +1,63 @@
+// Fundamental identifier and ordering types shared by every module.
+//
+// The paper orders written values by a lexicographic (timestamp, process-id)
+// pair ("ties are broken using process ids"); `Tag` is that pair.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace hts {
+
+/// Index of a server process. Servers are numbered 0..n-1 around the ring.
+using ProcessId = std::uint32_t;
+
+/// Identifier of a client process. Clients are unbounded in number and
+/// disjoint from servers; they never participate in ring traffic.
+using ClientId = std::uint64_t;
+
+/// Per-client monotonically increasing request sequence number. A client has
+/// at most one outstanding operation, so request ids of one client are
+/// totally ordered and gapless.
+using RequestId = std::uint64_t;
+
+/// Sentinel used where "no process" is meant (e.g. an unset origin).
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Logical version of a written value: a Lamport-style timestamp with the
+/// writing server's id as tie breaker. Ordering is lexicographic, exactly the
+/// `>lex` relation of the paper's pseudo-code.
+struct Tag {
+  std::uint64_t ts = 0;       ///< logical timestamp (0 = initial value)
+  ProcessId id = kNoProcess;  ///< id of the server that assigned the tag
+
+  friend constexpr auto operator<=>(const Tag&, const Tag&) = default;
+
+  /// True for the tag of the register's initial value (never written).
+  [[nodiscard]] constexpr bool is_initial() const { return ts == 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    return "[" + std::to_string(ts) + "," +
+           (id == kNoProcess ? std::string("-") : std::to_string(id)) + "]";
+  }
+};
+
+/// Tag of the register before any write.
+inline constexpr Tag kInitialTag{0, kNoProcess};
+
+}  // namespace hts
+
+template <>
+struct std::hash<hts::Tag> {
+  std::size_t operator()(const hts::Tag& t) const noexcept {
+    // Splittable mix of the two fields; good enough for container use.
+    std::uint64_t x = t.ts * 0x9E3779B97F4A7C15ull + t.id;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,72 @@
+// Immutable, cheaply copyable byte blob used as the register value.
+//
+// Values circulate the ring inside PRE_WRITE messages and are cached in
+// every server's pending set, so copies must be O(1): the payload is shared.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hts {
+
+class Value {
+ public:
+  /// The empty value; also the register's initial content (the paper's ⊥).
+  Value() = default;
+
+  explicit Value(std::string bytes)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const std::string>(std::move(bytes))) {}
+
+  [[nodiscard]] std::string_view bytes() const {
+    return data_ ? std::string_view(*data_) : std::string_view{};
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.bytes() == b.bytes();
+  }
+
+  /// Builds a value of `size` bytes whose content is derived from `seed`;
+  /// distinct seeds yield distinct values (used by workloads and tests that
+  /// rely on unique writes).
+  static Value synthetic(std::uint64_t seed, std::size_t size) {
+    std::string s;
+    s.reserve(size < 8 ? 8 : size);
+    std::uint64_t x = seed;
+    // First 8 bytes encode the seed verbatim so uniqueness is guaranteed
+    // regardless of size (values shorter than 8 bytes are padded up).
+    for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>(seed >> (8 * i)));
+    while (s.size() < size) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      s.push_back(static_cast<char>(x));
+    }
+    return Value(std::move(s));
+  }
+
+  /// Recovers the seed of a synthetic value (tests use this to map a read
+  /// result back to the write that produced it).
+  [[nodiscard]] std::uint64_t synthetic_seed() const {
+    auto b = bytes();
+    if (b.size() < 8) return 0;
+    std::uint64_t seed = 0;
+    for (int i = 7; i >= 0; --i) {
+      seed = (seed << 8) | static_cast<std::uint8_t>(b[static_cast<size_t>(i)]);
+    }
+    return seed;
+  }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+};
+
+}  // namespace hts

@@ -1,0 +1,88 @@
+#include "core/client.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hts::core {
+
+StorageClient::StorageClient(ClientId id, ClientOptions opts)
+    : id_(id), opts_(opts), target_(opts.preferred_server) {
+  assert(opts_.n_servers > 0);
+  assert(opts_.preferred_server < opts_.n_servers);
+}
+
+RequestId StorageClient::begin_write(Value v, ClientContext& ctx) {
+  assert(idle() && "client has an outstanding operation");
+  Outstanding op;
+  op.is_read = false;
+  op.req = next_req_++;
+  op.value = std::move(v);
+  op.invoked_at = ctx.now();
+  outstanding_ = std::move(op);
+  transmit(ctx);
+  return outstanding_->req;
+}
+
+RequestId StorageClient::begin_read(ClientContext& ctx) {
+  assert(idle() && "client has an outstanding operation");
+  Outstanding op;
+  op.is_read = true;
+  op.req = next_req_++;
+  op.invoked_at = ctx.now();
+  outstanding_ = std::move(op);
+  transmit(ctx);
+  return outstanding_->req;
+}
+
+void StorageClient::transmit(ClientContext& ctx) {
+  const Outstanding& op = *outstanding_;
+  if (op.is_read) {
+    ctx.send_server(target_, net::make_payload<ClientRead>(id_, op.req));
+  } else {
+    ctx.send_server(target_,
+                    net::make_payload<ClientWrite>(id_, op.req, op.value));
+  }
+  ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
+}
+
+void StorageClient::on_reply(const net::Payload& msg, ClientContext& ctx) {
+  if (!outstanding_) return;  // late duplicate after completion
+  OpResult result;
+  switch (msg.kind()) {
+    case kClientWriteAck: {
+      const auto& m = static_cast<const ClientWriteAck&>(msg);
+      if (outstanding_->is_read || m.req != outstanding_->req) return;
+      result.is_read = false;
+      break;
+    }
+    case kClientReadAck: {
+      const auto& m = static_cast<const ClientReadAck&>(msg);
+      if (!outstanding_->is_read || m.req != outstanding_->req) return;
+      result.is_read = true;
+      result.value = m.value;
+      result.tag = m.tag;
+      break;
+    }
+    default:
+      return;  // not addressed to this protocol role
+  }
+  result.req = outstanding_->req;
+  result.invoked_at = outstanding_->invoked_at;
+  result.completed_at = ctx.now();
+  result.attempts = outstanding_->attempts;
+  outstanding_.reset();
+  ++timer_epoch_;  // invalidate the retry timer
+  if (on_complete) on_complete(result);
+}
+
+void StorageClient::on_timer(std::uint64_t token, ClientContext& ctx) {
+  if (!outstanding_ || token != timer_epoch_) return;  // stale timer
+  // §3: "when their request times out, they simply re-send it to another
+  // server". Same request id — servers deduplicate retried writes (D5).
+  target_ = static_cast<ProcessId>((target_ + 1) % opts_.n_servers);
+  ++outstanding_->attempts;
+  ++total_retries_;
+  transmit(ctx);
+}
+
+}  // namespace hts::core

@@ -1,0 +1,93 @@
+// StorageClient — the client side of the protocol (pseudo-code lines 1–10
+// plus the retry rule of §3: "when their request times out, they simply
+// re-send it to another server").
+//
+// Like the server, the client is a transport-agnostic state machine. A client
+// has at most one outstanding operation; completion is reported through
+// callbacks so both the blocking (threaded) and event-driven (simulated)
+// fabrics can host it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "core/messages.h"
+#include "net/payload.h"
+
+namespace hts::core {
+
+class ClientContext {
+ public:
+  virtual void send_server(ProcessId server, net::PayloadPtr msg) = 0;
+  /// Arms a one-shot timer; the fabric calls on_timer(token) after `delay`
+  /// seconds. Tokens distinguish stale timers from live ones.
+  virtual void arm_timer(double delay_seconds, std::uint64_t token) = 0;
+  virtual double now() const = 0;
+  virtual ~ClientContext() = default;
+};
+
+struct ClientOptions {
+  std::size_t n_servers = 1;
+  ProcessId preferred_server = 0;  ///< first server contacted
+  double retry_timeout = 0.25;     ///< seconds before re-sending elsewhere
+};
+
+/// Completion record handed to the callbacks.
+struct OpResult {
+  bool is_read = false;
+  RequestId req = 0;
+  Value value;          // read result (empty for writes)
+  Tag tag;              // tag of the read value (white-box, for checking)
+  double invoked_at = 0;
+  double completed_at = 0;
+  std::uint32_t attempts = 1;  // 1 = no retry was needed
+};
+
+class StorageClient {
+ public:
+  StorageClient(ClientId id, ClientOptions opts);
+
+  /// Starts a write. Precondition: no operation outstanding.
+  RequestId begin_write(Value v, ClientContext& ctx);
+
+  /// Starts a read. Precondition: no operation outstanding.
+  RequestId begin_read(ClientContext& ctx);
+
+  /// Feeds a server reply (ClientWriteAck / ClientReadAck).
+  void on_reply(const net::Payload& msg, ClientContext& ctx);
+
+  /// Timer callback from the fabric. Stale tokens are ignored.
+  void on_timer(std::uint64_t token, ClientContext& ctx);
+
+  /// A completion callback; invoked exactly once per begin_*.
+  std::function<void(const OpResult&)> on_complete;
+
+  [[nodiscard]] bool idle() const { return !outstanding_.has_value(); }
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] ProcessId current_target() const { return target_; }
+  [[nodiscard]] std::uint64_t retries() const { return total_retries_; }
+
+ private:
+  struct Outstanding {
+    bool is_read = false;
+    RequestId req = 0;
+    Value value;  // pending write payload (re-sent on retry)
+    double invoked_at = 0;
+    std::uint32_t attempts = 1;
+  };
+
+  void transmit(ClientContext& ctx);
+
+  ClientId id_;
+  ClientOptions opts_;
+  ProcessId target_;
+  RequestId next_req_ = 1;
+  std::uint64_t timer_epoch_ = 0;
+  std::uint64_t total_retries_ = 0;
+  std::optional<Outstanding> outstanding_;
+};
+
+}  // namespace hts::core

@@ -1,0 +1,135 @@
+// The paper's fairness mechanism (pseudo-code lines 53–75).
+//
+// A server under load must arbitrate between (a) initiating writes for its
+// own clients and (b) forwarding its predecessor's ring traffic. The paper
+// keeps a per-origin forwarded-message counter `nb_msg` and always serves the
+// origin with the smallest count; when the forward queue drains, all counters
+// reset. This guarantees every write eventually completes (no starvation of
+// either local clients or upstream servers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/payload.h"
+
+namespace hts::core {
+
+/// A ring message waiting to be forwarded, remembered with its origin (the
+/// server that created it — `tag.id`).
+struct ForwardItem {
+  ProcessId origin = kNoProcess;
+  net::PayloadPtr msg;
+};
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(std::size_t n_servers, ProcessId self)
+      : nb_msg_(n_servers, 0), self_(self) {}
+
+  /// Enqueues a predecessor message for forwarding.
+  void enqueue(ForwardItem item) { forward_queue_.push_back(std::move(item)); }
+
+  [[nodiscard]] bool forward_queue_empty() const {
+    return forward_queue_.empty();
+  }
+  [[nodiscard]] std::size_t forward_queue_size() const {
+    return forward_queue_.size();
+  }
+
+  /// Outcome of one scheduling decision.
+  struct Decision {
+    /// True: the server should initiate its own next queued client write.
+    bool initiate_local = false;
+    /// Otherwise: the message to forward (unset if nothing can be done).
+    std::optional<ForwardItem> forward;
+  };
+
+  /// One step of the queue-handler task. `has_local_write` says whether the
+  /// server's write_queue is non-empty. Mirrors lines 53–74:
+  ///  * empty forward queue → reset counters, initiate local if any;
+  ///  * otherwise pick the candidate origin (self included only if a local
+  ///    write is waiting) with minimal nb_msg; ties favour the smallest id
+  ///    (deterministic); chosen == self → initiate local, else forward the
+  ///    first queued message from that origin.
+  Decision next(bool has_local_write) {
+    Decision d;
+    if (forward_queue_.empty()) {
+      reset_counters();
+      d.initiate_local = has_local_write;
+      return d;
+    }
+
+    ProcessId best = kNoProcess;
+    std::uint64_t best_count = 0;
+    if (has_local_write) {
+      best = self_;
+      best_count = nb_msg_[self_];
+    }
+    for (const auto& item : forward_queue_) {
+      const ProcessId o = item.origin;
+      if (o == best) continue;
+      const std::uint64_t c = nb_msg_[o];
+      if (best == kNoProcess || c < best_count ||
+          (c == best_count && o < best)) {
+        best = o;
+        best_count = c;
+      }
+    }
+
+    if (best == self_ && has_local_write) {
+      d.initiate_local = true;
+      return d;
+    }
+    // Forward the first (FIFO within origin) message from `best`.
+    for (auto it = forward_queue_.begin(); it != forward_queue_.end(); ++it) {
+      if (it->origin == best) {
+        d.forward = std::move(*it);
+        forward_queue_.erase(it);
+        return d;
+      }
+    }
+    // Unreachable: `best` was drawn from the queue.
+    return d;
+  }
+
+  /// Ablation policy: strict forward-first FIFO (no counters). Local writes
+  /// only start when the forward queue is empty — starvation-prone.
+  Decision next_fifo(bool has_local_write) {
+    Decision d;
+    if (forward_queue_.empty()) {
+      d.initiate_local = has_local_write;
+      return d;
+    }
+    d.forward = std::move(forward_queue_.front());
+    forward_queue_.pop_front();
+    return d;
+  }
+
+  /// Paper line 26/72: count a message initiated or forwarded for `origin`.
+  void count_sent(ProcessId origin) {
+    if (origin < nb_msg_.size()) ++nb_msg_[origin];
+  }
+
+  [[nodiscard]] std::uint64_t count_of(ProcessId origin) const {
+    return origin < nb_msg_.size() ? nb_msg_[origin] : 0;
+  }
+
+  [[nodiscard]] const std::deque<ForwardItem>& queue() const {
+    return forward_queue_;
+  }
+
+ private:
+  void reset_counters() {
+    for (auto& c : nb_msg_) c = 0;  // paper line 55
+  }
+
+  std::deque<ForwardItem> forward_queue_;
+  std::vector<std::uint64_t> nb_msg_;
+  ProcessId self_;
+};
+
+}  // namespace hts::core

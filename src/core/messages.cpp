@@ -1,0 +1,164 @@
+#include "core/messages.h"
+
+#include <memory>
+
+namespace hts::core {
+
+namespace {
+
+void put_tag(Encoder& e, const Tag& t) {
+  e.u64(t.ts);
+  e.u32(t.id);
+}
+
+Tag get_tag(Decoder& d) {
+  Tag t;
+  t.ts = d.u64();
+  t.id = d.u32();
+  return t;
+}
+
+}  // namespace
+
+std::string ClientWrite::describe() const {
+  return "ClientWrite{c=" + std::to_string(client) +
+         ",r=" + std::to_string(req) + ",|v|=" + std::to_string(value.size()) +
+         "}";
+}
+
+std::string ClientWriteAck::describe() const {
+  return "ClientWriteAck{r=" + std::to_string(req) + "}";
+}
+
+std::string ClientRead::describe() const {
+  return "ClientRead{c=" + std::to_string(client) + ",r=" + std::to_string(req) +
+         "}";
+}
+
+std::string ClientReadAck::describe() const {
+  return "ClientReadAck{r=" + std::to_string(req) + ",tag=" + tag.to_string() +
+         ",|v|=" + std::to_string(value.size()) + "}";
+}
+
+std::string PreWrite::describe() const {
+  return "PreWrite{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
+         ",r=" + std::to_string(req) + ",|v|=" + std::to_string(value.size()) +
+         "}";
+}
+
+std::string WriteCommit::describe() const {
+  return "WriteCommit{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
+         ",r=" + std::to_string(req) + "}";
+}
+
+std::string SyncState::describe() const {
+  return "SyncState{tag=" + tag.to_string() + ",|v|=" +
+         std::to_string(value.size()) + "}";
+}
+
+std::string encode_message(const net::Payload& msg) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(msg.kind()));
+  e.u8(0);  // reserved / version
+  switch (msg.kind()) {
+    case kClientWrite: {
+      const auto& m = static_cast<const ClientWrite&>(msg);
+      e.u64(m.client);
+      e.u64(m.req);
+      e.value(m.value);
+      break;
+    }
+    case kClientWriteAck: {
+      const auto& m = static_cast<const ClientWriteAck&>(msg);
+      e.u64(m.req);
+      break;
+    }
+    case kClientRead: {
+      const auto& m = static_cast<const ClientRead&>(msg);
+      e.u64(m.client);
+      e.u64(m.req);
+      break;
+    }
+    case kClientReadAck: {
+      const auto& m = static_cast<const ClientReadAck&>(msg);
+      e.u64(m.req);
+      e.value(m.value);
+      put_tag(e, m.tag);
+      break;
+    }
+    case kPreWrite: {
+      const auto& m = static_cast<const PreWrite&>(msg);
+      put_tag(e, m.tag);
+      e.u64(m.client);
+      e.u64(m.req);
+      e.value(m.value);
+      break;
+    }
+    case kWriteCommit: {
+      const auto& m = static_cast<const WriteCommit&>(msg);
+      put_tag(e, m.tag);
+      e.u64(m.client);
+      e.u64(m.req);
+      break;
+    }
+    case kSyncState: {
+      const auto& m = static_cast<const SyncState&>(msg);
+      put_tag(e, m.tag);
+      e.value(m.value);
+      break;
+    }
+    default:
+      throw DecodeError("encode_message: unknown kind " +
+                        std::to_string(msg.kind()));
+  }
+  return std::move(e).result();
+}
+
+net::PayloadPtr decode_message(std::string_view bytes) {
+  Decoder d(bytes);
+  auto kind = static_cast<MsgKind>(d.u8());
+  (void)d.u8();  // reserved
+  switch (kind) {
+    case kClientWrite: {
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      Value v = d.value();
+      return net::make_payload<ClientWrite>(c, r, std::move(v));
+    }
+    case kClientWriteAck:
+      return net::make_payload<ClientWriteAck>(d.u64());
+    case kClientRead: {
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      return net::make_payload<ClientRead>(c, r);
+    }
+    case kClientReadAck: {
+      RequestId r = d.u64();
+      Value v = d.value();
+      Tag t = get_tag(d);
+      return net::make_payload<ClientReadAck>(r, std::move(v), t);
+    }
+    case kPreWrite: {
+      Tag t = get_tag(d);
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      Value v = d.value();
+      return net::make_payload<PreWrite>(t, std::move(v), c, r);
+    }
+    case kWriteCommit: {
+      Tag t = get_tag(d);
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      return net::make_payload<WriteCommit>(t, c, r);
+    }
+    case kSyncState: {
+      Tag t = get_tag(d);
+      Value v = d.value();
+      return net::make_payload<SyncState>(t, std::move(v));
+    }
+  }
+  throw DecodeError("decode_message: unknown kind " +
+                    std::to_string(static_cast<int>(kind)));
+}
+
+}  // namespace hts::core

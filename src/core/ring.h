@@ -1,0 +1,79 @@
+// Ring membership. Initial membership is static (servers 0..n-1); the view
+// only ever shrinks (crash-stop model, perfect failure detector).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hts::core {
+
+class RingView {
+ public:
+  RingView() = default;
+
+  explicit RingView(std::size_t n) : alive_(n, true), alive_count_(n) {}
+
+  [[nodiscard]] std::size_t initial_size() const { return alive_.size(); }
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  [[nodiscard]] bool is_alive(ProcessId p) const {
+    return p < alive_.size() && alive_[p];
+  }
+
+  /// Marks p crashed. Idempotent. Returns true if this call changed the view.
+  bool mark_crashed(ProcessId p) {
+    if (p >= alive_.size() || !alive_[p]) return false;
+    alive_[p] = false;
+    --alive_count_;
+    return true;
+  }
+
+  /// Closest alive server after `p` in ring order (skipping crashed ones).
+  /// If `p` is the only survivor, returns `p` itself.
+  [[nodiscard]] ProcessId successor(ProcessId p) const {
+    assert(alive_count_ > 0);
+    const auto n = alive_.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      ProcessId q = static_cast<ProcessId>((p + k) % n);
+      if (alive_[q]) return q;
+    }
+    return p;
+  }
+
+  /// Closest alive server before `p` in ring order. `p` need not be alive:
+  /// predecessor(dead origin) identifies the *surrogate* that absorbs and
+  /// adopts the dead origin's in-flight writes (DESIGN.md deviation #4).
+  [[nodiscard]] ProcessId predecessor(ProcessId p) const {
+    assert(alive_count_ > 0);
+    const auto n = alive_.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      ProcessId q = static_cast<ProcessId>((p + n - (k % n)) % n);
+      if (alive_[q]) return q;
+    }
+    return p;
+  }
+
+  /// The server responsible for absorbing ring messages originated by `o`:
+  /// `o` itself while alive, otherwise its closest alive predecessor.
+  [[nodiscard]] ProcessId absorber(ProcessId o) const {
+    return is_alive(o) ? o : predecessor(o);
+  }
+
+  [[nodiscard]] std::vector<ProcessId> alive_members() const {
+    std::vector<ProcessId> out;
+    out.reserve(alive_count_);
+    for (ProcessId p = 0; p < alive_.size(); ++p) {
+      if (alive_[p]) out.push_back(p);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace hts::core

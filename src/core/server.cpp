@@ -1,0 +1,419 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace hts::core {
+
+RingServer::RingServer(ProcessId self, std::size_t n_servers,
+                       ServerOptions opts)
+    : self_(self),
+      opts_(opts),
+      ring_(n_servers),
+      successor_(ring_.successor(self)),
+      tag_(kInitialTag),
+      sched_(n_servers, self),
+      commit_watermark_(n_servers, 0) {
+  assert(self < n_servers);
+}
+
+// ---------------------------------------------------------------- clients
+
+void RingServer::on_client_write(ClientId client, RequestId req, Value value,
+                                 ServerContext& ctx) {
+  if (opts_.dedup_retries) {
+    auto it = completed_req_.find(client);
+    if (it != completed_req_.end() && it->second >= req) {
+      // This request already completed somewhere (we learned via the commit
+      // circulating); re-applying would risk the duplicate-write atomicity
+      // violation (D5). Just ack.
+      ++stats_.dedup_acks;
+      ctx.send_client(client,
+                      net::make_payload<ClientWriteAck>(req));
+      return;
+    }
+  }
+  LocalWrite w{client, req, std::move(value)};
+  if (solo()) {
+    solo_write(w, ctx);
+    return;
+  }
+  write_queue_.push_back(std::move(w));  // line 19
+}
+
+void RingServer::on_client_read(ClientId client, RequestId req,
+                                ServerContext& ctx) {
+  if (pending_.empty()) {  // line 77
+    ++stats_.reads_immediate;
+    ctx.send_client(client,
+                    net::make_payload<ClientReadAck>(req, value_, tag_));
+    return;
+  }
+  const Tag threshold = *pending_.max_tag();  // line 80
+  if (opts_.read_fastpath && tag_ >= threshold) {
+    // Ablation: the locally applied value already dominates every pending
+    // pre-write, so it is safe to return it (the paper always parks).
+    ++stats_.reads_immediate;
+    ctx.send_client(client,
+                    net::make_payload<ClientReadAck>(req, value_, tag_));
+    return;
+  }
+  ++stats_.reads_parked;
+  parked_.push_back(ParkedRead{client, req, threshold});  // line 81
+}
+
+// ---------------------------------------------------------------- ring in
+
+void RingServer::on_ring_message(net::PayloadPtr msg, ServerContext& ctx) {
+  ++stats_.ring_messages_in;
+  switch (msg->kind()) {
+    case kPreWrite:
+      handle_pre_write(msg, static_cast<const PreWrite&>(*msg), ctx);
+      break;
+    case kWriteCommit:
+      handle_commit(msg, static_cast<const WriteCommit&>(*msg), ctx);
+      break;
+    case kSyncState:
+      handle_sync(static_cast<const SyncState&>(*msg));
+      break;
+    default:
+      log::error("server " + std::to_string(self_) +
+                 ": unexpected ring message " + msg->describe());
+      break;
+  }
+}
+
+void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
+                                  ServerContext& ctx) {
+  if (m.tag.id == self_) {
+    // My own pre-write completed the loop (lines 32–39).
+    auto it = outstanding_.find(m.tag);
+    if (it == outstanding_.end()) {
+      // Long completed; a crash-recovery duplicate. Absorb.
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    if (it->second.write_phase) {
+      // Duplicate of a pre-write whose commit is already circulating; the
+      // duplicate exists because of a crash re-send, so the commit may have
+      // been lost too — re-issue it.
+      push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
+                                                 it->second.req));
+      return;
+    }
+    it->second.write_phase = true;
+    pending_.erase(m.tag);        // line 37
+    apply(m.tag, it->second.value);  // lines 33–36
+    push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
+                                               it->second.req));  // line 38
+    return;
+  }
+
+  // Transit. The early-commit case must run before duplicate suppression:
+  // processing the overtaking commit set the watermark, but this pre-write
+  // is the first copy we see, not a duplicate.
+  if (early_commits_.contains(m.tag)) {
+    // Defensive (non-FIFO fabrics only): the commit overtook this pre-write.
+    // Apply now and forward the pre-write so downstream servers can do the
+    // same; it must NOT enter the pending set (the commit already passed).
+    early_commits_.erase(m.tag);
+    apply(m.tag, m.value);
+    note_completed(m.tag, m.client, m.req);
+    unpark_up_to(m.tag, ctx);
+    sched_.enqueue(ForwardItem{m.tag.id, msg});
+    return;
+  }
+
+  // Duplicate handling (D5):
+  if (already_committed(m.tag)) {
+    // The commit already passed here; everyone downstream on this path has
+    // or will see that commit before this duplicate. Nothing to do.
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (queued_tags_.contains(m.tag)) {
+    // Original copy is still waiting in our forward queue; it will carry the
+    // information onward. Drop the duplicate.
+    ++stats_.duplicates_dropped;
+    return;
+  }
+
+  const bool origin_dead = !ring_.is_alive(m.tag.id);
+  if (origin_dead && ring_.absorber(m.tag.id) == self_) {
+    // D4: the pre-write of a dead origin completed its loop at us — we are
+    // the surrogate. Behave exactly as the origin would at line 32: apply,
+    // clear pending, and launch the write phase on the origin's behalf.
+    if (adopted_.contains(m.tag)) {
+      // Duplicate while our adoption commit circulates; re-issue the commit
+      // in case it was lost with another crash.
+      push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req));
+      return;
+    }
+    ++stats_.adoptions;
+    pending_.erase(m.tag);
+    apply(m.tag, m.value);
+    adopted_[m.tag] = {m.client, m.req};
+    push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req));
+    return;
+  }
+
+  if (pending_.contains(m.tag)) {
+    // We already forwarded this pre-write once (it is pending here). A
+    // duplicate must still travel onward: crash recovery re-sends exist
+    // precisely to bridge gaps *downstream* of us. Forward without
+    // re-inserting into the pending set.
+    sched_.enqueue(ForwardItem{m.tag.id, msg});
+    return;
+  }
+
+  // Normal transit path (lines 30–31). The pending insertion happens at
+  // forward time (line 71) — see next_ring_send().
+  sched_.enqueue(ForwardItem{m.tag.id, msg});
+  queued_tags_.insert(m.tag);
+  (void)ctx;
+}
+
+void RingServer::handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
+                               ServerContext& ctx) {
+  if (m.tag.id == self_) {
+    // My own commit returned: the write is complete (lines 49–51).
+    auto it = outstanding_.find(m.tag);
+    if (it == outstanding_.end()) {
+      ++stats_.duplicates_dropped;  // duplicate of an acked write
+      return;
+    }
+    note_completed(m.tag, it->second.client, it->second.req);
+    ctx.send_client(it->second.client,
+                    net::make_payload<ClientWriteAck>(it->second.req));
+    outstanding_.erase(it);
+    unpark_up_to(m.tag, ctx);
+    return;
+  }
+
+  // Surrogate absorption: a commit we issued for a dead origin came back.
+  auto ad = adopted_.find(m.tag);
+  if (ad != adopted_.end() && !ring_.is_alive(m.tag.id) &&
+      ring_.absorber(m.tag.id) == self_) {
+    note_completed(m.tag, ad->second.first, ad->second.second);
+    adopted_.erase(ad);
+    unpark_up_to(m.tag, ctx);
+    return;
+  }
+
+  if (already_committed(m.tag)) {
+    // Recovery duplicate. Forward it (downstream may have missed it) unless
+    // we are where it must be absorbed.
+    if (!ring_.is_alive(m.tag.id) && ring_.absorber(m.tag.id) == self_) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    sched_.enqueue(ForwardItem{m.tag.id, msg});
+    return;
+  }
+
+  auto entry = pending_.erase(m.tag);  // line 47
+  if (entry) {
+    apply(m.tag, entry->value);  // lines 43–46, value cached at pre-write
+  } else {
+    // Commit overtook its pre-write (only possible on a non-FIFO fabric).
+    // Remember it; the pre-write handler completes the work.
+    early_commits_.insert(m.tag);
+  }
+  note_completed(m.tag, m.client, m.req);
+  unpark_up_to(m.tag, ctx);
+  sched_.enqueue(ForwardItem{m.tag.id, msg});  // line 48
+}
+
+void RingServer::handle_sync(const SyncState& m) { apply(m.tag, m.value); }
+
+// ---------------------------------------------------------------- egress
+
+bool RingServer::has_ring_traffic() const {
+  if (solo()) return false;
+  return !urgent_.empty() || !sched_.forward_queue_empty() ||
+         !write_queue_.empty();
+}
+
+std::optional<RingSend> RingServer::next_ring_send() {
+  if (solo()) return std::nullopt;
+  if (!urgent_.empty()) {
+    net::PayloadPtr msg = std::move(urgent_.front());
+    urgent_.pop_front();
+    if (msg->kind() == kWriteCommit) ++stats_.commits_sent;
+    return RingSend{successor_, std::move(msg)};
+  }
+
+  FairScheduler::Decision d;
+  if (opts_.fairness) {
+    d = sched_.next(!write_queue_.empty());
+  } else {
+    // Ablation: forward-first FIFO, no per-origin accounting.
+    d = sched_.next_fifo(!write_queue_.empty());
+  }
+  if (d.initiate_local) {
+    LocalWrite w = std::move(write_queue_.front());
+    write_queue_.pop_front();  // line 27
+    return initiate_write(std::move(w));
+  }
+  if (d.forward) {
+    ForwardItem item = std::move(*d.forward);
+    sched_.count_sent(item.origin);  // line 72
+    if (item.msg->kind() == kPreWrite) {
+      // Line 71: a pre-write enters our pending set when we forward it.
+      const auto& pw = static_cast<const PreWrite&>(*item.msg);
+      if (queued_tags_.erase(pw.tag) > 0) {
+        pending_.insert(PendingEntry{pw.tag, pw.value, pw.client, pw.req});
+      }
+    }
+    ++stats_.forwards;
+    return RingSend{successor_, std::move(item.msg)};
+  }
+  return std::nullopt;
+}
+
+RingSend RingServer::initiate_write(LocalWrite w) {
+  // Lines 22–26: tag = [max(highest pending ts, local ts) + 1, i].
+  std::uint64_t ts = tag_.ts;
+  if (auto hp = pending_.max_tag()) ts = std::max(ts, hp->ts);
+  const Tag tag{ts + 1, self_};
+
+  pending_.insert(PendingEntry{tag, w.value, w.client, w.req});
+  outstanding_[tag] = OutstandingWrite{w.client, w.req, w.value, false};
+  sched_.count_sent(self_);  // line 26
+  ++stats_.pre_writes_initiated;
+  return RingSend{successor_,
+                  net::make_payload<PreWrite>(tag, w.value, w.client, w.req)};
+}
+
+void RingServer::solo_write(const LocalWrite& w, ServerContext& ctx) {
+  std::uint64_t ts = tag_.ts;
+  if (auto hp = pending_.max_tag()) ts = std::max(ts, hp->ts);
+  const Tag tag{ts + 1, self_};
+  apply(tag, w.value);
+  note_completed(tag, w.client, w.req);
+  ctx.send_client(w.client, net::make_payload<ClientWriteAck>(w.req));
+  unpark_up_to(tag, ctx);
+}
+
+// ---------------------------------------------------------------- crashes
+
+void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
+  if (crashed == self_ || !ring_.mark_crashed(crashed)) return;
+
+  if (ring_.alive_count() == 1) {
+    resolve_everything_solo(ctx);
+    return;
+  }
+
+  const bool was_successor = (crashed == successor_);
+  successor_ = ring_.successor(self_);
+
+  if (was_successor) {
+    // Lines 86–91: splice the ring; bring the new successor up to date and
+    // re-send every pending pre-write (anything swallowed by the dead
+    // successor is covered; duplicates are suppressed downstream).
+    ++stats_.syncs_sent;
+    push_urgent(net::make_payload<SyncState>(tag_, value_));
+    for (const auto& e : pending_.snapshot()) {
+      push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req));
+    }
+  }
+
+  // Origin-side repair: any of my in-flight writes may have died inside the
+  // crashed server. Re-issue the current phase; duplicates are absorbed.
+  for (auto& [tag, ow] : outstanding_) {
+    if (ow.write_phase) {
+      push_urgent(net::make_payload<WriteCommit>(tag, ow.client, ow.req));
+    } else {
+      push_urgent(net::make_payload<PreWrite>(tag, ow.value, ow.client, ow.req));
+    }
+  }
+
+  // D4 — adoption: if we are the dead server's surrogate, restart the
+  // circulation of every pre-write it originated that is still pending here;
+  // when each loops back to us we commit it on the origin's behalf.
+  if (ring_.absorber(crashed) == self_) {
+    for (const auto& e : pending_.entries_from(crashed)) {
+      ++stats_.adoptions;
+      push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req));
+    }
+  }
+}
+
+void RingServer::resolve_everything_solo(ServerContext& ctx) {
+  // Only this server remains: every pending pre-write resolves by local
+  // application in tag order; every queued/outstanding write completes.
+  for (const auto& e : pending_.snapshot()) {
+    apply(e.tag, e.value);
+    note_completed(e.tag, e.client, e.req);
+  }
+  pending_.clear();
+
+  for (auto& [tag, ow] : outstanding_) {
+    apply(tag, ow.value);
+    note_completed(tag, ow.client, ow.req);
+    ctx.send_client(ow.client, net::make_payload<ClientWriteAck>(ow.req));
+  }
+  outstanding_.clear();
+  adopted_.clear();
+  urgent_.clear();
+  queued_tags_.clear();
+  early_commits_.clear();
+
+  // Parked reads: every threshold tag has now been applied or superseded,
+  // so the current tag dominates every parked threshold.
+  unpark_up_to(tag_, ctx);
+
+  // Queued client writes complete through the solo path.
+  std::deque<LocalWrite> queued = std::move(write_queue_);
+  write_queue_.clear();
+  for (auto& w : queued) solo_write(w, ctx);
+}
+
+// ---------------------------------------------------------------- helpers
+
+void RingServer::apply(const Tag& t, const Value& v) {
+  if (t > tag_) {
+    tag_ = t;
+    value_ = v;
+  }
+}
+
+void RingServer::note_completed(const Tag& t, ClientId client, RequestId req) {
+  if (t.id < commit_watermark_.size()) {
+    commit_watermark_[t.id] = std::max(commit_watermark_[t.id], t.ts);
+  }
+  if (opts_.dedup_retries) {
+    auto& best = completed_req_[client];
+    best = std::max(best, req);
+  }
+}
+
+bool RingServer::already_committed(const Tag& t) const {
+  return t.id < commit_watermark_.size() && t.ts <= commit_watermark_[t.id];
+}
+
+void RingServer::unpark_up_to(const Tag& t, ServerContext& ctx) {
+  std::vector<ParkedRead> keep;
+  keep.reserve(parked_.size());
+  for (ParkedRead& r : parked_) {
+    if (r.threshold <= t) {
+      // D2: reply with the *current* local value — at least as new as the
+      // threshold since the unblocking commit has been applied.
+      ctx.send_client(r.client,
+                      net::make_payload<ClientReadAck>(r.req, value_, tag_));
+    } else {
+      keep.push_back(std::move(r));
+    }
+  }
+  parked_.swap(keep);
+}
+
+void RingServer::push_urgent(net::PayloadPtr msg) {
+  urgent_.push_back(std::move(msg));
+}
+
+}  // namespace hts::core

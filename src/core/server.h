@@ -1,0 +1,209 @@
+// RingServer — the server side of the paper's atomic storage algorithm
+// (pseudo-code lines 11–93), as a deterministic, transport-agnostic state
+// machine.
+//
+// The state machine is hosted by a fabric (discrete-event simulator, threaded
+// in-memory transport, or the synchronous round model). Inputs arrive through
+// the on_* handlers; client-bound replies are pushed through ServerContext;
+// ring-bound traffic is *pulled* by the fabric via next_ring_send() so that
+// the fairness mechanism — not the network queue — decides what is sent
+// whenever the ring link is free. This mirrors the paper's model where a
+// server emits at most one ring message per round.
+//
+// Correctness-critical behaviours beyond the paper's pseudo-code are flagged
+// with DESIGN.md deviation numbers (D1..D5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "core/fairness.h"
+#include "core/messages.h"
+#include "core/pending_set.h"
+#include "core/ring.h"
+#include "net/payload.h"
+
+namespace hts::core {
+
+/// Effect sink implemented by the hosting fabric. Only client-bound traffic
+/// goes through here; ring traffic is pulled (see next_ring_send).
+class ServerContext {
+ public:
+  virtual void send_client(ClientId client, net::PayloadPtr msg) = 0;
+  virtual ~ServerContext() = default;
+};
+
+/// One ring transmission: a message for this server's current successor.
+struct RingSend {
+  ProcessId to = kNoProcess;
+  net::PayloadPtr msg;
+};
+
+struct ServerOptions {
+  /// D5: remember completed (client, request) pairs and ack retried writes
+  /// without re-applying them. Disabling this reproduces the paper's exact
+  /// pseudo-code (and its duplicate-application window).
+  bool dedup_retries = true;
+
+  /// Read fast path: serve a read immediately when the locally applied tag
+  /// already dominates every pending pre-write. OFF by default — the paper
+  /// parks whenever the pending set is non-empty. Ablation benches flip it.
+  bool read_fastpath = false;
+
+  /// Ablation: disable the nb_msg fairness mechanism and always drain the
+  /// forward queue before initiating local writes. Under upstream
+  /// saturation this starves this server's own clients — the failure mode
+  /// the paper's fairness rule exists to prevent (§3).
+  bool fairness = true;
+};
+
+/// Counters exposed for tests and ablation benches.
+struct ServerStats {
+  std::uint64_t pre_writes_initiated = 0;
+  std::uint64_t commits_sent = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t ring_messages_in = 0;
+  std::uint64_t reads_immediate = 0;
+  std::uint64_t reads_parked = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t adoptions = 0;
+  std::uint64_t syncs_sent = 0;
+  std::uint64_t dedup_acks = 0;
+};
+
+class RingServer {
+ public:
+  RingServer(ProcessId self, std::size_t n_servers, ServerOptions opts = {});
+
+  // ---------- inputs (driven by the fabric) ----------
+
+  /// ⟨write, v⟩ from a client (lines 18–20).
+  void on_client_write(ClientId client, RequestId req, Value value,
+                       ServerContext& ctx);
+
+  /// ⟨read⟩ from a client (lines 76–84).
+  void on_client_read(ClientId client, RequestId req, ServerContext& ctx);
+
+  /// A ring message from the predecessor (PreWrite / WriteCommit / SyncState).
+  void on_ring_message(net::PayloadPtr msg, ServerContext& ctx);
+
+  /// Perfect-failure-detector notification (lines 85–93 + adoption, D4).
+  void on_peer_crash(ProcessId crashed, ServerContext& ctx);
+
+  // ---------- ring egress (pulled by the fabric) ----------
+
+  /// True if the server has ring traffic ready (urgent or schedulable).
+  [[nodiscard]] bool has_ring_traffic() const;
+
+  /// Pops the next ring transmission, applying the fairness policy
+  /// (queue-handler task, lines 53–75). Returns nullopt when idle.
+  std::optional<RingSend> next_ring_send();
+
+  // ---------- introspection (tests, benches) ----------
+
+  [[nodiscard]] ProcessId id() const { return self_; }
+  [[nodiscard]] const Tag& current_tag() const { return tag_; }
+  [[nodiscard]] const Value& current_value() const { return value_; }
+  [[nodiscard]] const PendingSet& pending() const { return pending_; }
+  [[nodiscard]] const RingView& ring() const { return ring_; }
+  [[nodiscard]] std::size_t parked_read_count() const { return parked_.size(); }
+  [[nodiscard]] std::size_t write_queue_depth() const {
+    return write_queue_.size();
+  }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const FairScheduler& scheduler() const { return sched_; }
+
+ private:
+  struct LocalWrite {
+    ClientId client;
+    RequestId req;
+    Value value;
+  };
+  struct ParkedRead {
+    ClientId client;
+    RequestId req;
+    Tag threshold;  // reply once a commit with tag >= threshold is seen
+  };
+  struct OutstandingWrite {
+    ClientId client;
+    RequestId req;
+    Value value;
+    bool write_phase = false;  // own PreWrite completed the loop
+  };
+
+  void handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
+                        ServerContext& ctx);
+  void handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
+                     ServerContext& ctx);
+  void handle_sync(const SyncState& m);
+
+  /// Lines 21–28: assign a tag and start the pre-write phase. Returns the
+  /// transmission (caller is next_ring_send).
+  RingSend initiate_write(LocalWrite w);
+
+  /// Solo fast path: the ring is just this server; writes apply immediately.
+  void solo_write(const LocalWrite& w, ServerContext& ctx);
+
+  /// Applies (tag, value) to the local register if newer (lines 33–35/43–45).
+  void apply(const Tag& t, const Value& v);
+
+  /// Records completion of a write for duplicate suppression (watermark) and
+  /// client-retry deduplication.
+  void note_completed(const Tag& t, ClientId client, RequestId req);
+
+  /// Replies to every parked read whose threshold is <= t (line 81 trigger).
+  void unpark_up_to(const Tag& t, ServerContext& ctx);
+
+  /// True if a commit for this tag was already processed here.
+  [[nodiscard]] bool already_committed(const Tag& t) const;
+
+  /// When the view collapses to {self}, every pending write resolves locally.
+  void resolve_everything_solo(ServerContext& ctx);
+
+  void push_urgent(net::PayloadPtr msg);
+
+  [[nodiscard]] bool solo() const { return ring_.alive_count() == 1; }
+
+  ProcessId self_;
+  ServerOptions opts_;
+  RingView ring_;
+  ProcessId successor_;
+
+  Value value_;            // v   (line 12)
+  Tag tag_;                // [ts, id]
+  PendingSet pending_;     // pending_write_set
+  FairScheduler sched_;    // forward_queue + nb_msg
+  std::deque<LocalWrite> write_queue_;
+
+  // Paper-direct sends (write-phase starts, crash repair) jump the fairness
+  // queue; they correspond to the pseudo-code's immediate `send` statements.
+  std::deque<net::PayloadPtr> urgent_;
+
+  // Origin bookkeeping: my in-flight writes, keyed by tag (D3).
+  std::map<Tag, OutstandingWrite> outstanding_;
+
+  // Surrogate bookkeeping: writes I am completing for a dead origin (D4).
+  std::map<Tag, std::pair<ClientId, RequestId>> adopted_;
+
+  std::vector<ParkedRead> parked_;
+
+  // Duplicate suppression (D5): per-origin highest committed timestamp.
+  std::vector<std::uint64_t> commit_watermark_;
+  // Client-retry dedup (D5): highest completed request id per client.
+  std::unordered_map<ClientId, RequestId> completed_req_;
+  // Tags currently sitting in the forward queue (cheap duplicate test).
+  std::unordered_set<Tag> queued_tags_;
+  // Defensive: commits that arrived before their pre-write (non-FIFO links).
+  std::unordered_set<Tag> early_commits_;
+
+  ServerStats stats_;
+};
+
+}  // namespace hts::core

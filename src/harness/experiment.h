@@ -1,0 +1,60 @@
+// Experiment runner for the paper's Figure 3 / Figure 4 style measurements:
+// build a cluster (core ring or a baseline) on the simulator, attach client
+// machines per server, run warmup + measurement windows, aggregate Mbit/s
+// and latency. One function per protocol family, shared parameter struct —
+// the bench binaries are thin tables over these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/server.h"
+
+namespace hts::harness {
+
+struct ExperimentParams {
+  std::size_t n_servers = 3;
+
+  // Per the paper: dedicated client machines per server; each machine hosts
+  // several logical closed-loop clients ("the client application can emulate
+  // multiple clients").
+  std::size_t reader_machines_per_server = 2;
+  std::size_t readers_per_machine = 8;
+  std::size_t writer_machines_per_server = 0;
+  std::size_t writers_per_machine = 8;
+
+  /// Caps across the whole cluster (for isolated-latency runs, e.g. FIG4's
+  /// single unloaded client). SIZE_MAX = no cap.
+  std::size_t max_total_readers = static_cast<std::size_t>(-1);
+  std::size_t max_total_writers = static_cast<std::size_t>(-1);
+
+  std::size_t value_size = 8192;
+  bool shared_network = false;  ///< Fig. 3 bottom chart topology
+  double warmup_s = 0.5;
+  double measure_s = 2.0;
+  std::uint64_t seed = 42;
+  core::ServerOptions server_options;
+};
+
+struct ExperimentResult {
+  double read_mbps = 0;      ///< total payload read throughput
+  double write_mbps = 0;     ///< total payload write throughput
+  double reads_per_s = 0;
+  double writes_per_s = 0;
+  double read_lat_ms_mean = 0;
+  double read_lat_ms_p99 = 0;
+  double write_lat_ms_mean = 0;
+  double write_lat_ms_p99 = 0;
+  double min_writer_mbps = 0;  ///< fairness check: slowest writer client
+  double max_writer_mbps = 0;
+};
+
+/// The paper's algorithm on the simulator.
+ExperimentResult run_core_experiment(const ExperimentParams& p);
+
+/// Baselines (same topology, same drivers).
+ExperimentResult run_abd_experiment(const ExperimentParams& p);
+ExperimentResult run_chain_experiment(const ExperimentParams& p);
+ExperimentResult run_tob_experiment(const ExperimentParams& p);
+
+}  // namespace hts::harness

@@ -1,0 +1,58 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hts::harness {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(width[c], '-') + "  ";
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv() const {
+  std::printf("# csv: %s\n", title_.c_str());
+  auto csv_row = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) line += ",";
+      line += cells[c];
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  csv_row(columns_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+}  // namespace hts::harness

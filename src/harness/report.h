@@ -1,0 +1,32 @@
+// Table formatting for the benchmark binaries: every bench prints the rows
+// of its paper figure in aligned columns plus machine-readable CSV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hts::harness {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision.
+  static std::string num(double v, int precision = 1);
+
+  /// Aligned human-readable rendering to stdout.
+  void print() const;
+
+  /// CSV rendering (header + rows) to stdout, prefixed with "# csv".
+  void print_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hts::harness

@@ -1,0 +1,308 @@
+#include "harness/sim_cluster.h"
+
+#include <cassert>
+#include <utility>
+
+#include "core/messages.h"
+
+namespace hts::harness {
+
+// ---------------------------------------------------------------- nodes
+
+struct SimCluster::ServerNode final : core::ServerContext {
+  SimCluster* cluster = nullptr;
+  sim::Simulator* sim = nullptr;
+  core::RingServer server;
+  sim::NicId ring_nic = sim::kNoNic;
+  sim::NicId client_nic = sim::kNoNic;
+  bool up = true;
+  bool pump_scheduled = false;
+
+  ServerNode(SimCluster* cl, ProcessId self, std::size_t n,
+             core::ServerOptions opts)
+      : cluster(cl), sim(&cl->sim_), server(self, n, opts) {}
+
+  /// Single entry point for both NICs: routes by message family so the
+  /// shared-network topology (one NIC for everything) works unchanged.
+  void deliver_any(net::PayloadPtr msg) {
+    if (!up) return;
+    if (msg->kind() == RingBatch::kKind) {
+      const auto& batch = static_cast<const RingBatch&>(*msg);
+      for (const auto& part : batch.parts) deliver_any(part);
+      return;
+    }
+    switch (msg->kind()) {
+      case core::kPreWrite:
+      case core::kWriteCommit:
+      case core::kSyncState:
+        server.on_ring_message(std::move(msg), *this);
+        break;
+      case core::kClientWrite: {
+        const auto& m = static_cast<const core::ClientWrite&>(*msg);
+        server.on_client_write(m.client, m.req, m.value, *this);
+        break;
+      }
+      case core::kClientRead: {
+        const auto& m = static_cast<const core::ClientRead&>(*msg);
+        server.on_client_read(m.client, m.req, *this);
+        break;
+      }
+      default:
+        break;
+    }
+    pump();
+  }
+
+  void peer_crashed(ProcessId p) {
+    if (!up) return;
+    server.on_peer_crash(p, *this);
+    pump();
+  }
+
+  /// Feeds the NIC one message per free transmit slot, letting the fairness
+  /// scheduler pick each ring message at the moment the link frees — the
+  /// paper's "one ring message per round" pacing. On a shared network the
+  /// same slot pacing interleaves client replies with ring traffic
+  /// round-robin, the way per-connection TCP fairness shares a real NIC;
+  /// without it, a saturating read load would starve the ring entirely.
+  void pump() {
+    if (!up || pump_scheduled) return;
+    sim::Network& net = cluster->server_network();
+    const double free_at = net.tx_free_at(ring_nic);
+    if (free_at > sim->now()) {
+      schedule_pump(free_at);
+      return;
+    }
+    const bool sent = prefer_reply ? (send_one_reply() || send_one_ring())
+                                   : (send_one_ring() || send_one_reply());
+    prefer_reply = !prefer_reply;
+    if (sent) {
+      schedule_pump(net.tx_free_at(ring_nic));
+    }
+  }
+
+  bool send_one_ring() {
+    core::RingSend first;
+    if (held_ring_send) {
+      first = std::move(*held_ring_send);
+      held_ring_send.reset();
+    } else if (auto send = server.next_ring_send()) {
+      first = std::move(*send);
+    } else {
+      return false;
+    }
+    assert(first.to != server.id());
+    // Coalesce the metadata messages that follow (tag-only commits) into
+    // this transmission — the paper's piggybacking, and what a TCP stream
+    // does anyway. A second value-bearing message (or one for a different
+    // successor after a splice) waits for the next paced slot.
+    std::vector<net::PayloadPtr> parts;
+    const ProcessId to = first.to;
+    parts.push_back(std::move(first.msg));
+    while (parts.size() < 16) {
+      auto more = server.next_ring_send();
+      if (!more) break;
+      if (more->msg->kind() != core::kWriteCommit || more->to != to) {
+        held_ring_send = std::move(more);
+        break;
+      }
+      parts.push_back(std::move(more->msg));
+    }
+    sim::Network& net = cluster->server_network();
+    if (parts.size() == 1) {
+      net.send(ring_nic, cluster->servers_[to]->ring_nic,
+               std::move(parts.front()));
+    } else {
+      net.send(ring_nic, cluster->servers_[to]->ring_nic,
+               net::make_payload<RingBatch>(std::move(parts)));
+    }
+    return true;
+  }
+
+  bool send_one_reply() {
+    if (reply_queue.empty()) return false;
+    auto [client, msg] = std::move(reply_queue.front());
+    reply_queue.pop_front();
+    transmit_reply(client, std::move(msg));
+    return true;
+  }
+
+  void schedule_pump(double at) {
+    pump_scheduled = true;
+    sim->schedule_at(at, [this] {
+      pump_scheduled = false;
+      pump();
+    });
+  }
+
+  void transmit_reply(ClientId client, net::PayloadPtr msg);
+
+  std::deque<std::pair<ClientId, net::PayloadPtr>> reply_queue;
+  std::optional<core::RingSend> held_ring_send;
+  bool prefer_reply = false;
+
+  // core::ServerContext
+  void send_client(ClientId client, net::PayloadPtr msg) override;
+};
+
+struct SimCluster::ClientMachine {
+  SimCluster* cluster = nullptr;
+  sim::NicId nic = sim::kNoNic;
+
+  void deliver(net::PayloadPtr msg);  // defined after LogicalClient
+};
+
+struct SimCluster::LogicalClient final : core::ClientContext, ClientPort {
+  SimCluster* cluster = nullptr;
+  std::size_t machine = 0;
+  core::StorageClient client;
+
+  LogicalClient(SimCluster* cl, std::size_t m, ClientId id,
+                core::ClientOptions opts)
+      : cluster(cl), machine(m), client(id, opts) {}
+
+  void deliver(const net::Payload& msg) { client.on_reply(msg, *this); }
+
+  // harness::ClientPort
+  void begin_write(Value v) override { client.begin_write(std::move(v), *this); }
+  void begin_read() override { client.begin_read(*this); }
+  void set_on_complete(
+      std::function<void(const core::OpResult&)> cb) override {
+    client.on_complete = std::move(cb);
+  }
+
+  // core::ClientContext
+  void send_server(ProcessId server, net::PayloadPtr msg) override {
+    SimCluster& cl = *cluster;
+    cl.client_net_->send(cl.machines_[machine]->nic,
+                         cl.servers_[server]->client_nic, std::move(msg));
+  }
+
+  void arm_timer(double delay_seconds, std::uint64_t token) override {
+    cluster->sim_.schedule(delay_seconds, [this, token] {
+      client.on_timer(token, *this);
+    });
+  }
+
+  [[nodiscard]] double now() const override { return cluster->sim_.now(); }
+};
+
+void SimCluster::ClientMachine::deliver(net::PayloadPtr msg) {
+  if (msg->kind() != ClientEnvelope::kKind) return;
+  const auto& env = static_cast<const ClientEnvelope&>(*msg);
+  cluster->clients_[env.to]->deliver(*env.inner);
+}
+
+void SimCluster::ServerNode::transmit_reply(ClientId client,
+                                            net::PayloadPtr msg) {
+  SimCluster& cl = *cluster;
+  auto& lc = *cl.clients_[client];
+  cl.client_net_->send(client_nic, cl.machines_[lc.machine]->nic,
+                       net::make_payload<ClientEnvelope>(client,
+                                                         std::move(msg)));
+}
+
+void SimCluster::ServerNode::send_client(ClientId client,
+                                         net::PayloadPtr msg) {
+  if (cluster->cfg_.shared_network) {
+    // One NIC for everything: replies share the paced transmit slots with
+    // ring traffic (see pump()).
+    reply_queue.emplace_back(client, std::move(msg));
+    pump();
+    return;
+  }
+  transmit_reply(client, std::move(msg));
+}
+
+// ---------------------------------------------------------------- cluster
+
+SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  assert(cfg_.n_servers >= 1);
+  server_net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
+  if (cfg_.shared_network) {
+    client_net_ = server_net_.get();
+  } else {
+    client_net_owned_ = std::make_unique<sim::Network>(sim_, cfg_.net);
+    client_net_ = client_net_owned_.get();
+  }
+
+  for (ProcessId p = 0; p < cfg_.n_servers; ++p) {
+    auto node = std::make_unique<ServerNode>(this, p, cfg_.n_servers,
+                                             cfg_.server_options);
+    ServerNode* raw = node.get();
+    node->ring_nic = server_net_->add_nic(
+        "s" + std::to_string(p) + ".ring",
+        [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+    if (cfg_.shared_network) {
+      // One physical NIC: ring and client traffic share the serializers.
+      node->client_nic = node->ring_nic;
+    } else {
+      node->client_nic = client_net_->add_nic(
+          "s" + std::to_string(p) + ".client",
+          [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+    }
+    servers_.push_back(std::move(node));
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+std::size_t SimCluster::add_client_machine() {
+  auto m = std::make_unique<ClientMachine>();
+  m->cluster = this;
+  ClientMachine* raw = m.get();
+  m->nic = client_net_->add_nic(
+      "cm" + std::to_string(machines_.size()),
+      [raw](net::PayloadPtr msg) { raw->deliver(std::move(msg)); });
+  machines_.push_back(std::move(m));
+  return machines_.size() - 1;
+}
+
+core::StorageClient& SimCluster::add_client(std::size_t machine,
+                                            ProcessId server) {
+  assert(machine < machines_.size());
+  assert(server < servers_.size());
+  core::ClientOptions opts;
+  opts.n_servers = cfg_.n_servers;
+  opts.preferred_server = server;
+  opts.retry_timeout = cfg_.client_retry_timeout_s;
+  const ClientId id = static_cast<ClientId>(clients_.size());
+  clients_.push_back(
+      std::make_unique<LogicalClient>(this, machine, id, opts));
+  return clients_.back()->client;
+}
+
+void SimCluster::crash_server(ProcessId p) {
+  assert(p < servers_.size());
+  ServerNode& node = *servers_[p];
+  if (!node.up) return;
+  node.up = false;
+  server_net_->disable(node.ring_nic);
+  if (!cfg_.shared_network) client_net_->disable(node.client_nic);
+  sim_.schedule(cfg_.detection_delay_s, [this, p] {
+    for (auto& s : servers_) {
+      if (s->up) s->peer_crashed(p);
+    }
+  });
+}
+
+void SimCluster::schedule_crash(double at, ProcessId p) {
+  sim_.schedule_at(at, [this, p] { crash_server(p); });
+}
+
+bool SimCluster::server_up(ProcessId p) const { return servers_[p]->up; }
+
+core::RingServer& SimCluster::server(ProcessId p) {
+  return servers_[p]->server;
+}
+
+core::StorageClient& SimCluster::client(ClientId id) {
+  return clients_[id]->client;
+}
+
+ClientPort& SimCluster::port(ClientId id) { return *clients_[id]; }
+
+std::size_t SimCluster::client_count() const { return clients_.size(); }
+
+}  // namespace hts::harness

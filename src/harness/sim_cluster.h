@@ -1,0 +1,117 @@
+// SimCluster — hosts the core ring protocol on the discrete-event simulator.
+//
+// Topology mirrors the paper's testbed: every server has a NIC on the server
+// network (ring traffic) and a NIC on the client network; client *machines*
+// (each with its own NIC) host many logical clients, the paper's trick for
+// saturating servers without hundreds of physical nodes. With
+// `shared_network = true` the two networks collapse into one and each server
+// uses a single NIC for everything — the paper's bottom-most experiment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "harness/workload.h"
+#include "net/payload.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace hts::harness {
+
+/// Wrapper that routes a server→client reply to the right logical client on
+/// a shared client-machine NIC (a real deployment demuxes by TCP connection).
+struct ClientEnvelope final : net::Payload {
+  static constexpr std::uint16_t kKind = 0x7100;
+  ClientEnvelope(ClientId to_client, net::PayloadPtr m)
+      : Payload(kKind), to(to_client), inner(std::move(m)) {}
+  ClientId to;
+  net::PayloadPtr inner;
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + inner->wire_size();
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "Envelope(c=" + std::to_string(to) + "," + inner->describe() + ")";
+  }
+};
+
+/// A train of ring messages coalesced into one transmission — how a TCP
+/// stream naturally piggybacks the tag-only commit messages onto the next
+/// value-bearing pre-write (§4.2: "write messages are piggybacked on pending
+/// write messages without the need for explicit acknowledgements").
+struct RingBatch final : net::Payload {
+  static constexpr std::uint16_t kKind = 0x7101;
+  explicit RingBatch(std::vector<net::PayloadPtr> p)
+      : Payload(kKind), parts(std::move(p)) {}
+  std::vector<net::PayloadPtr> parts;
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t s = 2;
+    for (const auto& p : parts) s += p->wire_size();
+    return s;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "RingBatch(" + std::to_string(parts.size()) + ")";
+  }
+};
+
+struct SimClusterConfig {
+  std::size_t n_servers = 3;
+  sim::NetConfig net;            ///< link model for both networks
+  bool shared_network = false;   ///< one NIC per server for all traffic
+  double detection_delay_s = 2e-3;
+  double client_retry_timeout_s = 0.25;
+  core::ServerOptions server_options;
+};
+
+class SimCluster {
+ public:
+  SimCluster(sim::Simulator& sim, SimClusterConfig cfg);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Adds a client machine (own NIC on the client network). Returns its id.
+  std::size_t add_client_machine();
+
+  /// Adds a logical client on `machine`, initially contacting `server`.
+  core::StorageClient& add_client(std::size_t machine, ProcessId server);
+
+  /// Crashes a server now: NICs go down, in-flight deliveries to it are
+  /// dropped, survivors' failure detectors fire after detection_delay.
+  void crash_server(ProcessId p);
+  void schedule_crash(double at, ProcessId p);
+
+  [[nodiscard]] bool server_up(ProcessId p) const;
+  [[nodiscard]] core::RingServer& server(ProcessId p);
+  [[nodiscard]] core::StorageClient& client(ClientId id);
+  /// Issue/complete surface for workload drivers.
+  [[nodiscard]] ClientPort& port(ClientId id);
+  [[nodiscard]] std::size_t client_count() const;
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Network& server_network() { return *server_net_; }
+  [[nodiscard]] sim::Network& client_network() { return *client_net_; }
+  [[nodiscard]] const SimClusterConfig& config() const { return cfg_; }
+
+ private:
+  struct ServerNode;
+  struct ClientMachine;
+  struct LogicalClient;
+
+  void pump_server(ProcessId p);
+
+  sim::Simulator& sim_;
+  SimClusterConfig cfg_;
+  std::unique_ptr<sim::Network> server_net_;
+  std::unique_ptr<sim::Network> client_net_owned_;  // null when shared
+  sim::Network* client_net_ = nullptr;
+
+  std::vector<std::unique_ptr<ServerNode>> servers_;
+  std::vector<std::unique_ptr<ClientMachine>> machines_;
+  std::vector<std::unique_ptr<LogicalClient>> clients_;
+};
+
+}  // namespace hts::harness

@@ -1,0 +1,254 @@
+#include "harness/threaded_cluster.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "core/messages.h"
+
+namespace hts::harness {
+
+namespace {
+
+/// Internal control message that moves a begin_read/begin_write request onto
+/// the owning client's transport thread (state machines are single-threaded).
+struct ControlOp final : net::Payload {
+  static constexpr std::uint16_t kKind = 0x7200;
+  ControlOp(bool read, Value v)
+      : Payload(kKind), is_read(read), value(std::move(v)) {}
+  bool is_read;
+  Value value;
+  [[nodiscard]] std::size_t wire_size() const override { return 0; }
+  [[nodiscard]] std::string describe() const override { return "ControlOp"; }
+};
+
+constexpr double kOpTimeoutSeconds = 30.0;
+
+}  // namespace
+
+// ----------------------------------------------------------------- hosts
+
+struct ThreadedCluster::ServerHost final : core::ServerContext {
+  ThreadedCluster* cluster = nullptr;
+  core::RingServer server;
+
+  ServerHost(ThreadedCluster* cl, ProcessId self, std::size_t n,
+             core::ServerOptions opts)
+      : cluster(cl), server(self, n, opts) {}
+
+  void on_message(net::NodeAddress from, net::PayloadPtr msg) {
+    (void)from;
+    switch (msg->kind()) {
+      case core::kPreWrite:
+      case core::kWriteCommit:
+      case core::kSyncState:
+        server.on_ring_message(std::move(msg), *this);
+        break;
+      case core::kClientWrite: {
+        const auto& m = static_cast<const core::ClientWrite&>(*msg);
+        server.on_client_write(m.client, m.req, m.value, *this);
+        break;
+      }
+      case core::kClientRead: {
+        const auto& m = static_cast<const core::ClientRead&>(*msg);
+        server.on_client_read(m.client, m.req, *this);
+        break;
+      }
+      default:
+        break;
+    }
+    drain();
+  }
+
+  void on_crash(ProcessId p) {
+    server.on_peer_crash(p, *this);
+    drain();
+  }
+
+  /// Without NIC pacing the fairness scheduler still orders the backlog;
+  /// we simply flush it after every event.
+  void drain() {
+    while (auto send = server.next_ring_send()) {
+      cluster->transport_.send(net::NodeAddress::server(server.id()),
+                               net::NodeAddress::server(send->to),
+                               std::move(send->msg));
+    }
+  }
+
+  void send_client(ClientId client, net::PayloadPtr msg) override {
+    cluster->transport_.send(net::NodeAddress::server(server.id()),
+                             net::NodeAddress::client(client), std::move(msg));
+  }
+};
+
+struct ThreadedCluster::ClientHost final : core::ClientContext {
+  ThreadedCluster* cluster = nullptr;
+  core::StorageClient client;
+  std::mutex mu;
+  std::promise<core::OpResult> promise;
+  double op_invoked_at = 0;
+  std::uint64_t op_seed = 0;
+  bool op_is_read = false;
+
+  ClientHost(ThreadedCluster* cl, ClientId id, core::ClientOptions opts)
+      : cluster(cl), client(id, opts) {
+    client.on_complete = [this](const core::OpResult& r) { finish(r); };
+  }
+
+  void on_message(net::NodeAddress from, net::PayloadPtr msg) {
+    (void)from;
+    if (msg->kind() == ControlOp::kKind) {
+      const auto& op = static_cast<const ControlOp&>(*msg);
+      if (op.is_read) {
+        client.begin_read(*this);
+      } else {
+        client.begin_write(op.value, *this);
+      }
+      return;
+    }
+    client.on_reply(*msg, *this);
+  }
+
+  void on_timer(std::uint64_t token) { client.on_timer(token, *this); }
+
+  void finish(const core::OpResult& r) {
+    if (cluster->cfg_.record_history) {
+      const std::scoped_lock lock(cluster->history_mu_);
+      if (r.is_read) {
+        const std::uint64_t seen = r.value.empty()
+                                       ? lincheck::kInitialValueId
+                                       : r.value.synthetic_seed();
+        cluster->history_.record_read(client.id(), seen, r.invoked_at,
+                                      r.completed_at, r.tag);
+      } else {
+        cluster->history_.record_write(client.id(), op_seed, r.invoked_at,
+                                       r.completed_at);
+      }
+    }
+    promise.set_value(r);
+  }
+
+  // core::ClientContext
+  void send_server(ProcessId server, net::PayloadPtr msg) override {
+    cluster->transport_.send(net::NodeAddress::client(client.id()),
+                             net::NodeAddress::server(server), std::move(msg));
+  }
+  void arm_timer(double delay_seconds, std::uint64_t token) override {
+    cluster->transport_.arm_timer(net::NodeAddress::client(client.id()),
+                                  delay_seconds, token);
+  }
+  [[nodiscard]] double now() const override { return cluster->elapsed(); }
+};
+
+// --------------------------------------------------------------- cluster
+
+ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
+    : cfg_(cfg),
+      transport_(cfg.detection_delay_s),
+      epoch_(std::chrono::steady_clock::now()) {
+  for (ProcessId p = 0; p < cfg_.n_servers; ++p) {
+    auto host = std::make_unique<ServerHost>(this, p, cfg_.n_servers,
+                                             cfg_.server_options);
+    ServerHost* raw = host.get();
+    transport_.register_node(
+        net::NodeAddress::server(p),
+        [raw](net::NodeAddress from, net::PayloadPtr m) {
+          raw->on_message(from, std::move(m));
+        },
+        [raw](ProcessId crashed) { raw->on_crash(crashed); });
+    servers_.push_back(std::move(host));
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() { transport_.stop(); }
+
+double ThreadedCluster::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
+    ProcessId preferred_server) {
+  core::ClientOptions opts;
+  opts.n_servers = cfg_.n_servers;
+  opts.preferred_server = preferred_server;
+  opts.retry_timeout = cfg_.client_retry_timeout_s;
+  const ClientId id = static_cast<ClientId>(clients_.size());
+  auto host = std::make_unique<ClientHost>(this, id, opts);
+  ClientHost* raw = host.get();
+  transport_.register_node(
+      net::NodeAddress::client(id),
+      [raw](net::NodeAddress from, net::PayloadPtr m) {
+        raw->on_message(from, std::move(m));
+      },
+      nullptr,
+      [raw](std::uint64_t token) { raw->on_timer(token); });
+  clients_.push_back(std::move(host));
+  handles_.push_back(
+      std::unique_ptr<BlockingClient>(new BlockingClient(raw)));
+  return *handles_.back();
+}
+
+void ThreadedCluster::start() { transport_.start(); }
+
+void ThreadedCluster::crash_server(ProcessId p) {
+  transport_.crash(net::NodeAddress::server(p));
+}
+
+bool ThreadedCluster::server_up(ProcessId p) const {
+  return transport_.is_up(net::NodeAddress::server(p));
+}
+
+bool ThreadedCluster::wait_quiescent(double timeout_s) {
+  return transport_.wait_quiescent(timeout_s);
+}
+
+core::RingServer& ThreadedCluster::server(ProcessId p) {
+  return servers_[p]->server;
+}
+
+lincheck::History ThreadedCluster::history() const {
+  const std::scoped_lock lock(history_mu_);
+  return history_;
+}
+
+// ---------------------------------------------------------------- client
+
+core::OpResult ThreadedCluster::BlockingClient::run(bool is_read, Value v) {
+  auto* host = static_cast<ClientHost*>(host_);
+  std::future<core::OpResult> fut;
+  {
+    const std::scoped_lock lock(host->mu);
+    host->promise = std::promise<core::OpResult>();
+    fut = host->promise.get_future();
+    host->op_seed = v.synthetic_seed();
+    host->op_is_read = is_read;
+  }
+  // Hop onto the client's own thread to start the operation.
+  host->cluster->transport_.send(
+      net::NodeAddress::client(host->client.id()),
+      net::NodeAddress::client(host->client.id()),
+      net::make_payload<ControlOp>(is_read, std::move(v)));
+  if (fut.wait_for(std::chrono::duration<double>(kOpTimeoutSeconds)) !=
+      std::future_status::ready) {
+    throw std::runtime_error("client operation timed out (deadlock?)");
+  }
+  return fut.get();
+}
+
+void ThreadedCluster::BlockingClient::write(Value v) {
+  (void)run(false, std::move(v));
+}
+
+Value ThreadedCluster::BlockingClient::read() { return run(true, {}).value; }
+
+core::OpResult ThreadedCluster::BlockingClient::read_result() {
+  return run(true, {});
+}
+
+ClientId ThreadedCluster::BlockingClient::id() const {
+  return static_cast<const ClientHost*>(host_)->client.id();
+}
+
+}  // namespace hts::harness

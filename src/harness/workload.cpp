@@ -1,0 +1,87 @@
+#include "harness/workload.h"
+
+namespace hts::harness {
+
+ClosedLoopDriver::ClosedLoopDriver(sim::Simulator& sim, ClientPort& port,
+                                   ClientId client_id, WorkloadConfig cfg,
+                                   UniqueValueSource& values,
+                                   lincheck::History* history)
+    : sim_(sim),
+      port_(port),
+      client_id_(client_id),
+      cfg_(cfg),
+      values_(values),
+      history_(history),
+      rng_(cfg.seed) {
+  const double window = cfg_.measure_until - cfg_.measure_from;
+  reads_.set_window(window);
+  writes_.set_window(window);
+  port_.set_on_complete([this](const core::OpResult& r) { completed(r); });
+}
+
+void ClosedLoopDriver::start() {
+  sim_.schedule_at(cfg_.start_at, [this] { issue(); });
+}
+
+void ClosedLoopDriver::issue() {
+  if (sim_.now() >= cfg_.stop_at) return;
+  const bool is_write = rng_.unit() < cfg_.write_fraction;
+  InFlight op;
+  op.is_read = !is_write;
+  op.invoked_at = sim_.now();
+  if (is_write) {
+    op.value_seed = values_.next();
+    in_flight_ = op;
+    ++issued_;
+    port_.begin_write(Value::synthetic(op.value_seed, cfg_.value_size));
+  } else {
+    op.value_seed = 0;
+    in_flight_ = op;
+    ++issued_;
+    port_.begin_read();
+  }
+}
+
+void ClosedLoopDriver::completed(const core::OpResult& r) {
+  if (!in_flight_) return;
+  const InFlight op = *in_flight_;
+  in_flight_.reset();
+
+  const bool in_window =
+      op.invoked_at >= cfg_.measure_from && r.completed_at <= cfg_.measure_until;
+  if (r.is_read) {
+    if (in_window) {
+      reads_.record(r.value.size());
+      read_lat_.record(r.completed_at - op.invoked_at);
+    }
+    if (history_ != nullptr) {
+      const std::uint64_t seen =
+          r.value.empty() ? lincheck::kInitialValueId : r.value.synthetic_seed();
+      history_->record_read(client_id_, seen, op.invoked_at, r.completed_at,
+                            r.tag);
+    }
+  } else {
+    if (in_window) {
+      writes_.record(cfg_.value_size);
+      write_lat_.record(r.completed_at - op.invoked_at);
+    }
+    if (history_ != nullptr) {
+      history_->record_write(client_id_, op.value_seed, op.invoked_at,
+                             r.completed_at);
+    }
+  }
+  issue();
+}
+
+void ClosedLoopDriver::finalize() {
+  if (!in_flight_ || history_ == nullptr) return;
+  const InFlight& op = *in_flight_;
+  if (op.is_read) {
+    // A pending read constrains nothing; skip it.
+    return;
+  }
+  history_->record_write(client_id_, op.value_seed, op.invoked_at,
+                         lincheck::kPending);
+}
+
+}  // namespace hts::harness

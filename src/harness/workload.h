@@ -1,0 +1,102 @@
+// Closed-loop workload drivers and the protocol-agnostic client port.
+//
+// The paper's load generator: "the client application can emulate multiple
+// clients, i.e. it can send multiple read and write requests in parallel" —
+// here, each logical client runs one operation at a time (closed loop) and a
+// machine hosts many of them. Drivers work against any protocol (core ring,
+// ABD, chain, TOB) through the ClientPort interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "core/client.h"
+#include "lincheck/history.h"
+#include "sim/simulator.h"
+
+namespace hts::harness {
+
+/// Minimal issue/complete surface every protocol's client adapter exposes.
+class ClientPort {
+ public:
+  virtual void begin_write(Value v) = 0;
+  virtual void begin_read() = 0;
+  /// Invoked exactly once per begin_*; set before the first begin.
+  virtual void set_on_complete(
+      std::function<void(const core::OpResult&)> cb) = 0;
+  virtual ~ClientPort() = default;
+};
+
+/// Hands out globally unique write-value seeds (lincheck needs unique
+/// writes; seed 0 is reserved for the initial value).
+class UniqueValueSource {
+ public:
+  std::uint64_t next() { return next_++; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+struct WorkloadConfig {
+  double write_fraction = 0.0;  ///< 0 = pure reader, 1 = pure writer
+  std::size_t value_size = 8192;
+  double start_at = 0.0;        ///< first issue time (staggered per client)
+  double stop_at = 10.0;        ///< stop issuing new operations
+  double measure_from = 1.0;    ///< metrics window start (post-warmup)
+  double measure_until = 10.0;  ///< metrics window end
+  std::uint64_t seed = 1;       ///< rng for the read/write coin
+};
+
+/// Issues one operation at a time, forever (until stop_at); records metrics
+/// inside the measurement window and, optionally, every operation into a
+/// lincheck history (pending ops flushed by finalize()).
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(sim::Simulator& sim, ClientPort& port, ClientId client_id,
+                   WorkloadConfig cfg, UniqueValueSource& values,
+                   lincheck::History* history = nullptr);
+
+  /// Schedules the first operation.
+  void start();
+
+  /// Flushes a still-outstanding operation into the history as pending.
+  void finalize();
+
+  [[nodiscard]] const ThroughputMeter& read_meter() const { return reads_; }
+  [[nodiscard]] const ThroughputMeter& write_meter() const { return writes_; }
+  [[nodiscard]] const LatencyStats& read_latency() const { return read_lat_; }
+  [[nodiscard]] const LatencyStats& write_latency() const {
+    return write_lat_;
+  }
+  [[nodiscard]] std::uint64_t ops_issued() const { return issued_; }
+
+ private:
+  void issue();
+  void completed(const core::OpResult& r);
+
+  sim::Simulator& sim_;
+  ClientPort& port_;
+  ClientId client_id_;
+  WorkloadConfig cfg_;
+  UniqueValueSource& values_;
+  lincheck::History* history_;
+  Rng rng_;
+
+  struct InFlight {
+    bool is_read;
+    std::uint64_t value_seed;
+    double invoked_at;
+  };
+  std::optional<InFlight> in_flight_;
+
+  ThroughputMeter reads_, writes_;
+  LatencyStats read_lat_, write_lat_;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace hts::harness

@@ -1,0 +1,297 @@
+#include "lincheck/checker.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace hts::lincheck {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+std::string fmt(double t) {
+  if (t == kPosInf) return "pending";
+  return std::to_string(t);
+}
+
+}  // namespace
+
+std::string Op::describe() const {
+  std::string s = is_read ? "read->" : "write(";
+  s += std::to_string(value);
+  s += is_read ? "" : ")";
+  s += " [" + fmt(invoked_at) + "," + fmt(responded_at) + ") client " +
+       std::to_string(client);
+  return s;
+}
+
+// ------------------------------------------------------------- fast checker
+
+CheckResult check_register(const History& h) {
+  struct Cluster {
+    std::uint64_t value = 0;
+    bool has_write = false;
+    double write_inv = kNegInf;
+    double max_inv = kNegInf;   // Mi: latest invocation among member ops
+    double min_resp = kPosInf;  // mr: earliest response among member ops
+    std::size_t n_reads = 0;
+  };
+
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<Cluster> clusters;
+  auto cluster_of = [&](std::uint64_t value) -> Cluster& {
+    auto [it, fresh] = index.emplace(value, clusters.size());
+    if (fresh) {
+      clusters.push_back(Cluster{});
+      clusters.back().value = value;
+    }
+    return clusters[it->second];
+  };
+
+  // The initial value's cluster always exists and must come first.
+  cluster_of(kInitialValueId);
+
+  // Pass 1: writes.
+  for (const Op& op : h.ops()) {
+    if (op.is_read) continue;
+    if (op.value == kInitialValueId) {
+      return {false, "write of the reserved initial value id 0: " +
+                         op.describe()};
+    }
+    Cluster& c = cluster_of(op.value);
+    if (c.has_write) {
+      return {false,
+              "duplicate write value " + std::to_string(op.value) +
+                  " — the unique-value checker requires distinct writes"};
+    }
+    c.has_write = true;
+    c.write_inv = op.invoked_at;
+    c.max_inv = std::max(c.max_inv, op.invoked_at);
+    c.min_resp = std::min(c.min_resp, op.responded_at);
+  }
+
+  // Pass 2: reads (pending reads constrain nothing and are skipped; a write
+  // that never responded but whose value was read is treated as effective
+  // with response = +inf, which passes 1 naturally encode).
+  for (const Op& op : h.ops()) {
+    if (!op.is_read || op.pending()) continue;
+    Cluster& c = cluster_of(op.value);
+    if (op.value != kInitialValueId && !c.has_write) {
+      return {false, "read returned a value never written: " + op.describe()};
+    }
+    if (c.has_write && op.responded_at < c.write_inv) {
+      return {false, "read of value " + std::to_string(op.value) +
+                         " responded at " + fmt(op.responded_at) +
+                         " before its write was invoked at " +
+                         fmt(c.write_inv)};
+    }
+    c.max_inv = std::max(c.max_inv, op.invoked_at);
+    c.min_resp = std::min(c.min_resp, op.responded_at);
+    ++c.n_reads;
+  }
+
+  // Drop clusters with no member operations that matter: a pending write
+  // nobody read can be linearized at the very end; an empty cluster has no
+  // constraints. (Clusters made only of a pending write have min_resp=+inf,
+  // max_inv=its inv — keeping them is also sound; we keep them, it is free.)
+
+  // Condition (3): nothing may be forced before the initial cluster.
+  const Cluster& init = clusters[index.at(kInitialValueId)];
+  if (init.n_reads > 0) {
+    for (const Cluster& c : clusters) {
+      if (&c == &init) continue;
+      if (c.min_resp < init.max_inv) {
+        return {false,
+                "a read of the initial value invoked at " + fmt(init.max_inv) +
+                    " follows the completed operation block of value " +
+                    std::to_string(c.value) + " (min response " +
+                    fmt(c.min_resp) + ") — stale initial-value read"};
+      }
+    }
+  }
+
+  // Condition (4): no 2-cycle  mr(x) < Mi(y) && mr(y) < Mi(x), x != y.
+  // Process clusters in ascending mr. For cluster j, look for an earlier i
+  // (mr(i) <= mr(j)) with Mi(i) > mr(j) and mr(i) < Mi(j). If Mi(j) > mr(j)
+  // the second condition is automatic, so the running max of Mi suffices;
+  // otherwise a prefix-max over clusters with mr(i) < Mi(j) answers it.
+  struct Node {
+    double mr, mi;
+    std::uint64_t value;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(clusters.size());
+  for (const Cluster& c : clusters) {
+    if (c.n_reads == 0 && !c.has_write) continue;
+    nodes.push_back(Node{c.min_resp, c.max_inv, c.value});
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& a, const Node& b) { return a.mr < b.mr; });
+
+  std::vector<double> prefix_mr, prefix_max_mi;
+  std::vector<std::uint64_t> prefix_value_of_max;
+  prefix_mr.reserve(nodes.size());
+  prefix_max_mi.reserve(nodes.size());
+  prefix_value_of_max.reserve(nodes.size());
+
+  for (const Node& j : nodes) {
+    if (!prefix_mr.empty()) {
+      // Candidates i have mr(i) <= mr(j) (all processed) — find those also
+      // satisfying mr(i) < Mi(j): a prefix because prefix_mr is sorted.
+      const auto end = std::lower_bound(prefix_mr.begin(), prefix_mr.end(),
+                                        j.mi);  // mr(i) < Mi(j)
+      const std::size_t k = static_cast<std::size_t>(end - prefix_mr.begin());
+      if (k > 0) {
+        const double best_mi = prefix_max_mi[k - 1];
+        if (best_mi > j.mr) {
+          const std::uint64_t other = prefix_value_of_max[k - 1];
+          return {false,
+                  "operation blocks of values " + std::to_string(other) +
+                      " and " + std::to_string(j.value) +
+                      " must each precede the other (real-time cycle): "
+                      "each block has an op completing before an op of the "
+                      "other is invoked"};
+        }
+      }
+    }
+    prefix_mr.push_back(j.mr);
+    if (prefix_max_mi.empty() || j.mi > prefix_max_mi.back()) {
+      prefix_max_mi.push_back(j.mi);
+      prefix_value_of_max.push_back(j.value);
+    } else {
+      prefix_max_mi.push_back(prefix_max_mi.back());
+      prefix_value_of_max.push_back(prefix_value_of_max.back());
+    }
+  }
+
+  return {true, ""};
+}
+
+// ------------------------------------------------------------ tag checker
+
+CheckResult check_tag_order(const History& h) {
+  // Sort completed ops by response time and verify that read tags never go
+  // backwards across real-time precedence, and that a write's completion is
+  // never followed (in real time) by a read of a strictly older tag, unless
+  // the ops overlap.
+  std::vector<const Op*> reads;
+  for (const Op& op : h.ops()) {
+    if (op.is_read && !op.pending() && op.tag.id != kNoProcess) {
+      reads.push_back(&op);
+    }
+  }
+  std::sort(reads.begin(), reads.end(), [](const Op* a, const Op* b) {
+    return a->responded_at < b->responded_at;
+  });
+  // For every pair of reads r1 ≺rt r2: tag(r1) <= tag(r2). With reads sorted
+  // by response, track the max tag among reads that completed before t and
+  // compare with each read invoked after that completion.
+  Tag max_tag = kInitialTag;
+  double max_tag_resp = kNegInf;
+  const Op* max_op = nullptr;
+  std::vector<const Op*> by_inv = reads;
+  std::sort(by_inv.begin(), by_inv.end(), [](const Op* a, const Op* b) {
+    return a->invoked_at < b->invoked_at;
+  });
+  std::size_t cursor = 0;
+  for (const Op* r : by_inv) {
+    while (cursor < reads.size() &&
+           reads[cursor]->responded_at < r->invoked_at) {
+      if (reads[cursor]->tag > max_tag) {
+        max_tag = reads[cursor]->tag;
+        max_tag_resp = reads[cursor]->responded_at;
+        max_op = reads[cursor];
+      }
+      ++cursor;
+    }
+    if (r->tag < max_tag) {
+      return {false, "read inversion: " + r->describe() + " returned tag " +
+                         r->tag.to_string() + " after " +
+                         (max_op ? max_op->describe() : std::string("?")) +
+                         " (responded " + fmt(max_tag_resp) +
+                         ") returned newer tag " + max_tag.to_string()};
+    }
+  }
+  return {true, ""};
+}
+
+// ------------------------------------------------------------ brute force
+
+namespace {
+
+struct BruteState {
+  const std::vector<Op>* ops;
+  std::vector<bool> done;
+  std::uint64_t current = kInitialValueId;
+};
+
+bool brute_dfs(BruteState& st, std::size_t remaining) {
+  if (remaining == 0) return true;
+  // Earliest unfinished response bounds which ops may linearize next: an op
+  // cannot be postponed past another op's response if that other op invoked
+  // after it responded — equivalently, the next linearized op must invoke
+  // before every unfinished op's response... enumerating candidates that
+  // start before the minimum response among remaining ops is the classic
+  // Wing–Gong pruning.
+  double min_resp = kPosInf;
+  for (std::size_t i = 0; i < st.ops->size(); ++i) {
+    if (!st.done[i]) min_resp = std::min(min_resp, (*st.ops)[i].responded_at);
+  }
+  for (std::size_t i = 0; i < st.ops->size(); ++i) {
+    if (st.done[i]) continue;
+    const Op& op = (*st.ops)[i];
+    if (op.invoked_at > min_resp) continue;  // would violate real time
+    if (op.is_read && op.value != st.current) continue;
+    const std::uint64_t saved = st.current;
+    if (!op.is_read) st.current = op.value;
+    st.done[i] = true;
+    if (brute_dfs(st, remaining - 1)) return true;
+    st.done[i] = false;
+    st.current = saved;
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckResult check_register_brute(const History& h) {
+  // Pending ops: a pending read constrains nothing → drop. A pending write
+  // may or may not take effect → try both (drop it, or keep with resp=+inf).
+  std::vector<Op> base;
+  std::vector<std::size_t> pending_writes;
+  for (const Op& op : h.ops()) {
+    if (op.pending()) {
+      if (!op.is_read) pending_writes.push_back(base.size()), base.push_back(op);
+      continue;
+    }
+    base.push_back(op);
+  }
+  const std::size_t k = pending_writes.size();
+  if (k > 16) return {false, "brute checker: too many pending writes"};
+  for (std::uint64_t mask = 0; mask < (1ull << k); ++mask) {
+    std::vector<Op> ops;
+    ops.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const bool is_pending_write =
+          std::find(pending_writes.begin(), pending_writes.end(), i) !=
+          pending_writes.end();
+      if (is_pending_write) {
+        const std::size_t bit = static_cast<std::size_t>(
+            std::find(pending_writes.begin(), pending_writes.end(), i) -
+            pending_writes.begin());
+        if ((mask & (1ull << bit)) == 0) continue;  // drop this pending write
+      }
+      ops.push_back(base[i]);
+    }
+    BruteState st{&ops, std::vector<bool>(ops.size(), false),
+                  kInitialValueId};
+    if (brute_dfs(st, ops.size())) return {true, ""};
+  }
+  return {false, "no linearization exists (exhaustive search)"};
+}
+
+}  // namespace hts::lincheck

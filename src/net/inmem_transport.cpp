@@ -1,0 +1,233 @@
+#include "net/inmem_transport.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace hts::net {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+Clock::duration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+}  // namespace
+
+InMemTransport::InMemTransport(double detection_delay_s)
+    : detection_delay_(detection_delay_s) {}
+
+InMemTransport::~InMemTransport() { stop(); }
+
+void InMemTransport::register_node(NodeAddress addr, MessageHandler on_message,
+                                   CrashHandler on_crash,
+                                   TimerHandler on_timer) {
+  assert(!started_);
+  auto node = std::make_unique<Node>();
+  node->addr = addr;
+  node->on_message = std::move(on_message);
+  node->on_crash = std::move(on_crash);
+  node->on_timer = std::move(on_timer);
+  by_addr_[addr] = nodes_.size();
+  nodes_.push_back(std::move(node));
+}
+
+void InMemTransport::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& n : nodes_) {
+    n->thread = std::thread([this, node = n.get()] { run_node(*node); });
+  }
+  timer_thread_ = std::thread([this] { run_timer_thread(); });
+}
+
+void InMemTransport::stop() {
+  if (!started_ || stopping_) return;
+  stopping_ = true;
+  {
+    const std::scoped_lock lock(timer_mu_);
+    timer_cv_.notify_all();
+  }
+  for (auto& n : nodes_) {
+    const std::scoped_lock lock(n->mu);
+    n->cv.notify_all();
+  }
+  for (auto& n : nodes_) {
+    if (n->thread.joinable()) n->thread.join();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+InMemTransport::Node* InMemTransport::find(NodeAddress addr) {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
+}
+
+const InMemTransport::Node* InMemTransport::find(NodeAddress addr) const {
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
+}
+
+void InMemTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
+  Node* src = find(from);
+  Node* dst = find(to);
+  if (dst == nullptr) return;
+  {
+    const std::scoped_lock state_lock(state_mu_);
+    if (src != nullptr && !src->up) return;  // a crashed process sends nothing
+    if (!dst->up) return;                    // messages to the dead are lost
+  }
+  const std::scoped_lock lock(dst->mu);
+  dst->queue.push_back(
+      WorkItem{WorkItem::Kind::kMessage, from, std::move(msg)});
+  dst->cv.notify_one();
+}
+
+void InMemTransport::arm_timer(NodeAddress addr, double delay_s,
+                               std::uint64_t token) {
+  const std::scoped_lock lock(timer_mu_);
+  timers_.push_back(PendingTimer{Clock::now() + seconds_to_duration(delay_s),
+                                 addr, token, false, kNoProcess});
+  timer_cv_.notify_all();
+}
+
+void InMemTransport::crash(NodeAddress addr) {
+  Node* n = find(addr);
+  if (n == nullptr) return;
+  {
+    const std::scoped_lock state_lock(state_mu_);
+    if (!n->up) return;
+    n->up = false;
+  }
+  {
+    // Discard anything undelivered and wake the thread (it will idle).
+    const std::scoped_lock lock(n->mu);
+    n->queue.clear();
+    n->cv.notify_all();
+  }
+  // Perfect failure detector: notify all surviving nodes after the delay.
+  assert(addr.kind == NodeAddress::Kind::kServer &&
+         "only server crashes are detected by peers");
+  const std::scoped_lock lock(timer_mu_);
+  timers_.push_back(PendingTimer{
+      Clock::now() + seconds_to_duration(detection_delay_), NodeAddress{},
+      0, true, static_cast<ProcessId>(addr.id)});
+  timer_cv_.notify_all();
+}
+
+bool InMemTransport::is_up(NodeAddress addr) const {
+  const Node* n = find(addr);
+  if (n == nullptr) return false;
+  const std::scoped_lock state_lock(state_mu_);
+  return n->up;
+}
+
+void InMemTransport::run_node(Node& n) {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock lock(n.mu);
+      n.cv.wait(lock, [&] { return stopping_ || !n.queue.empty(); });
+      if (stopping_) return;
+      item = std::move(n.queue.front());
+      n.queue.pop_front();
+      n.busy = true;
+    }
+    {
+      bool up;
+      {
+        const std::scoped_lock state_lock(state_mu_);
+        up = n.up;
+      }
+      if (up) {
+        switch (item.kind) {
+          case WorkItem::Kind::kMessage:
+            n.on_message(item.from, std::move(item.msg));
+            break;
+          case WorkItem::Kind::kCrashNotice:
+            if (n.on_crash) n.on_crash(item.crashed);
+            break;
+          case WorkItem::Kind::kTimer:
+            if (n.on_timer) n.on_timer(item.token);
+            break;
+        }
+      }
+    }
+    {
+      const std::scoped_lock lock(n.mu);
+      n.busy = false;
+      n.cv.notify_all();  // wait_quiescent watchers
+    }
+  }
+}
+
+void InMemTransport::run_timer_thread() {
+  std::unique_lock lock(timer_mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (timers_.empty()) {
+      timer_cv_.wait(lock, [&] { return stopping_ || !timers_.empty(); });
+      continue;
+    }
+    auto next = std::min_element(
+        timers_.begin(), timers_.end(),
+        [](const PendingTimer& a, const PendingTimer& b) { return a.at < b.at; });
+    const auto when = next->at;
+    if (Clock::now() < when) {
+      timer_cv_.wait_until(lock, when);
+      continue;
+    }
+    PendingTimer t = *next;
+    timers_.erase(next);
+    lock.unlock();
+    if (t.is_crash_notice) {
+      for (auto& n : nodes_) {
+        bool deliver;
+        {
+          const std::scoped_lock state_lock(state_mu_);
+          deliver = n->up;
+        }
+        if (!deliver) continue;
+        const std::scoped_lock node_lock(n->mu);
+        WorkItem item{WorkItem::Kind::kCrashNotice, NodeAddress{}, nullptr,
+                      t.crashed, 0};
+        n->queue.push_back(std::move(item));
+        n->cv.notify_one();
+      }
+    } else if (Node* n = find(t.addr); n != nullptr) {
+      const std::scoped_lock node_lock(n->mu);
+      WorkItem item{WorkItem::Kind::kTimer, NodeAddress{}, nullptr, kNoProcess,
+                    t.token};
+      n->queue.push_back(std::move(item));
+      n->cv.notify_one();
+    }
+    lock.lock();
+  }
+}
+
+bool InMemTransport::wait_quiescent(double timeout_s) {
+  const auto deadline = Clock::now() + seconds_to_duration(timeout_s);
+  for (;;) {
+    bool quiet = true;
+    for (auto& n : nodes_) {
+      const std::scoped_lock lock(n->mu);
+      if (!n->queue.empty() || n->busy) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) {
+      const std::scoped_lock lock(timer_mu_);
+      // Pending crash notices count as work; plain timers do not.
+      const bool crash_pending =
+          std::any_of(timers_.begin(), timers_.end(),
+                      [](const PendingTimer& t) { return t.is_crash_notice; });
+      if (!crash_pending) return true;
+    }
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace hts::net

@@ -1,0 +1,125 @@
+// Threaded in-memory message transport.
+//
+// Each registered node gets its own delivery thread; a node's handler runs
+// serialized on that thread (the state machines are single-threaded by
+// design). Links are reliable FIFO channels, exactly the paper's model of
+// "bi-directional reliable communication channels" over TCP. Crashing a node
+// stops its deliveries atomically and, after a configurable detection delay,
+// notifies every surviving node — the perfect failure detector the paper
+// derives from TCP connection breaks on a LAN.
+//
+// This fabric exists for correctness: integration tests, failure injection
+// and linearizability checking under real (non-deterministic) concurrency.
+// Throughput experiments use the simulator, which models the cluster's
+// bandwidth instead of the host machine's scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "net/payload.h"
+
+namespace hts::net {
+
+class InMemTransport {
+ public:
+  /// Delivered message: payload plus sender address.
+  using MessageHandler = std::function<void(NodeAddress from, PayloadPtr)>;
+  /// Perfect-failure-detector notification (crashed server's id).
+  using CrashHandler = std::function<void(ProcessId)>;
+  /// One-shot timer callback (token disambiguates stale timers).
+  using TimerHandler = std::function<void(std::uint64_t token)>;
+
+  explicit InMemTransport(double detection_delay_s = 0.01);
+  ~InMemTransport();
+
+  InMemTransport(const InMemTransport&) = delete;
+  InMemTransport& operator=(const InMemTransport&) = delete;
+
+  /// Registers a node before start(). All three handlers run on the node's
+  /// delivery thread; crash/timer handlers may be null.
+  void register_node(NodeAddress addr, MessageHandler on_message,
+                     CrashHandler on_crash = nullptr,
+                     TimerHandler on_timer = nullptr);
+
+  void start();
+  void stop();
+
+  /// Reliable FIFO send. Messages to crashed or unknown nodes are dropped.
+  void send(NodeAddress from, NodeAddress to, PayloadPtr msg);
+
+  /// Arms a one-shot timer for `addr` (delivered on its thread).
+  void arm_timer(NodeAddress addr, double delay_s, std::uint64_t token);
+
+  /// Crashes a server node: its queue is discarded, no further deliveries,
+  /// and every surviving node's crash handler fires after detection_delay.
+  void crash(NodeAddress addr);
+
+  [[nodiscard]] bool is_up(NodeAddress addr) const;
+
+  /// Blocks until every queue is empty and every node is idle, or until the
+  /// timeout expires. Returns true on quiescence. (Timers still pending do
+  /// not count as work.)
+  bool wait_quiescent(double timeout_s);
+
+ private:
+  struct WorkItem {
+    enum class Kind : std::uint8_t { kMessage, kCrashNotice, kTimer } kind;
+    NodeAddress from;
+    PayloadPtr msg;
+    ProcessId crashed = kNoProcess;
+    std::uint64_t token = 0;
+  };
+
+  struct Node {
+    NodeAddress addr;
+    MessageHandler on_message;
+    CrashHandler on_crash;
+    TimerHandler on_timer;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<WorkItem> queue;
+    bool up = true;
+    bool busy = false;
+    std::thread thread;
+  };
+
+  void run_node(Node& n);
+  void run_timer_thread();
+  Node* find(NodeAddress addr);
+  const Node* find(NodeAddress addr) const;
+
+  double detection_delay_;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  // Node registry is fixed after start(); no lock needed for lookup.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<NodeAddress, std::size_t> by_addr_;
+
+  // Timer machinery.
+  struct PendingTimer {
+    std::chrono::steady_clock::time_point at;
+    NodeAddress addr;
+    std::uint64_t token;
+    bool is_crash_notice = false;
+    ProcessId crashed = kNoProcess;
+  };
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::vector<PendingTimer> timers_;
+  std::thread timer_thread_;
+
+  mutable std::mutex state_mu_;  // guards `up` transitions across nodes
+};
+
+}  // namespace hts::net

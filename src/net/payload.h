@@ -1,0 +1,67 @@
+// Transport-level message abstraction.
+//
+// Protocol state machines exchange immutable `Payload` objects. In-process
+// fabrics (simulator, threaded transport) move shared pointers instead of
+// bytes for speed, but every payload reports its exact wire size so the
+// simulator charges the bandwidth a real deployment would pay, and every
+// protocol provides a real codec (see e.g. core/messages.h) that is tested
+// for round-trips.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace hts::net {
+
+/// Base of all protocol messages. `kind` is a per-protocol discriminant so
+/// receivers can switch + static_cast without RTTI in hot paths.
+class Payload {
+ public:
+  explicit Payload(std::uint16_t kind) : kind_(kind) {}
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  virtual ~Payload() = default;
+
+  [[nodiscard]] std::uint16_t kind() const { return kind_; }
+
+  /// Exact number of bytes this message occupies on the wire (payload of the
+  /// transport frame, excluding TCP/IP/ethernet framing which the network
+  /// model adds per frame).
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Human-readable rendering for traces and test failure messages.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ private:
+  std::uint16_t kind_;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Convenience for building payloads.
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Address of a protocol participant. Servers and clients live in different
+/// id spaces; a `NodeAddress` disambiguates.
+struct NodeAddress {
+  enum class Kind : std::uint8_t { kServer, kClient };
+  Kind kind = Kind::kServer;
+  std::uint64_t id = 0;  // ProcessId for servers, ClientId for clients
+
+  static NodeAddress server(ProcessId p) {
+    return {Kind::kServer, static_cast<std::uint64_t>(p)};
+  }
+  static NodeAddress client(ClientId c) { return {Kind::kClient, c}; }
+
+  friend constexpr auto operator<=>(const NodeAddress&,
+                                    const NodeAddress&) = default;
+};
+
+}  // namespace hts::net

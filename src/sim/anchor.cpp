@@ -1,0 +1,4 @@
+// hts_sim is header-only today; this TU anchors the library target.
+namespace hts::sim::detail {
+int sim_anchor() { return 0; }
+}  // namespace hts::sim::detail

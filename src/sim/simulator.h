@@ -1,0 +1,73 @@
+// Deterministic discrete-event simulator.
+//
+// Time is a double in seconds. Events scheduled at equal times fire in
+// scheduling order (a monotonic sequence number breaks ties), so a run is a
+// pure function of its inputs and seed — the property every sim-based test
+// and benchmark in this repository leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hts::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (>= 0).
+  void schedule(double delay, Action fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  void schedule_at(double when, Action fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs a single event. Returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top is const; the handle is moved out via const_cast —
+    // contained Action is never observed again after pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs events until the queue empties or simulated time passes `deadline`.
+  void run_until(double deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Drains the queue completely (quiescence).
+  void run_to_quiescence() {
+    while (step()) {
+    }
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    Action fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace hts::sim

@@ -1,0 +1,148 @@
+// StorageClient unit tests: request/reply matching, timeout-driven retry
+// rotation, stale-reply and stale-timer handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/client.h"
+#include "core/messages.h"
+
+namespace hts::core {
+namespace {
+
+struct MockClientCtx final : ClientContext {
+  struct Sent {
+    ProcessId server;
+    net::PayloadPtr msg;
+  };
+  std::vector<Sent> sent;
+  std::vector<std::pair<double, std::uint64_t>> timers;
+  double time = 0;
+
+  void send_server(ProcessId server, net::PayloadPtr msg) override {
+    sent.push_back({server, std::move(msg)});
+  }
+  void arm_timer(double delay, std::uint64_t token) override {
+    timers.emplace_back(delay, token);
+  }
+  [[nodiscard]] double now() const override { return time; }
+};
+
+ClientOptions opts(std::size_t n = 3, ProcessId preferred = 0) {
+  ClientOptions o;
+  o.n_servers = n;
+  o.preferred_server = preferred;
+  o.retry_timeout = 0.1;
+  return o;
+}
+
+TEST(StorageClient, WriteSendsToPreferredServer) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts(3, 1));
+  const RequestId req = c.begin_write(Value::synthetic(1, 16), ctx);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].server, 1u);
+  ASSERT_EQ(ctx.sent[0].msg->kind(), kClientWrite);
+  const auto& m = static_cast<const ClientWrite&>(*ctx.sent[0].msg);
+  EXPECT_EQ(m.client, 7u);
+  EXPECT_EQ(m.req, req);
+  EXPECT_FALSE(c.idle());
+}
+
+TEST(StorageClient, CompletionDeliversResultOnce) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  int completions = 0;
+  c.on_complete = [&](const OpResult& r) {
+    ++completions;
+    EXPECT_FALSE(r.is_read);
+  };
+  const RequestId req = c.begin_write(Value::synthetic(1, 16), ctx);
+  ctx.time = 0.02;
+  ClientWriteAck ack(req);
+  c.on_reply(ack, ctx);
+  c.on_reply(ack, ctx);  // duplicate ack ignored
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(c.idle());
+}
+
+TEST(StorageClient, ReadResultCarriesValueAndTag) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  OpResult seen;
+  c.on_complete = [&](const OpResult& r) { seen = r; };
+  const RequestId req = c.begin_read(ctx);
+  ctx.time = 0.01;
+  ClientReadAck ack(req, Value::synthetic(9, 32), Tag{4, 2});
+  c.on_reply(ack, ctx);
+  EXPECT_TRUE(seen.is_read);
+  EXPECT_EQ(seen.value, Value::synthetic(9, 32));
+  EXPECT_EQ(seen.tag, (Tag{4, 2}));
+  EXPECT_EQ(seen.invoked_at, 0.0);
+  EXPECT_EQ(seen.completed_at, 0.01);
+}
+
+TEST(StorageClient, TimeoutRotatesServerWithSameRequestId) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts(3, 2));
+  const RequestId req = c.begin_write(Value::synthetic(1, 16), ctx);
+  ASSERT_EQ(ctx.timers.size(), 1u);
+  c.on_timer(ctx.timers[0].second, ctx);  // fires: retry
+  ASSERT_EQ(ctx.sent.size(), 2u);
+  EXPECT_EQ(ctx.sent[1].server, 0u);  // (2+1) % 3
+  const auto& retry = static_cast<const ClientWrite&>(*ctx.sent[1].msg);
+  EXPECT_EQ(retry.req, req) << "retries must reuse the request id (dedup)";
+  EXPECT_EQ(c.retries(), 1u);
+}
+
+TEST(StorageClient, StaleTimerIgnoredAfterCompletion) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  const RequestId req = c.begin_write(Value::synthetic(1, 16), ctx);
+  const auto token = ctx.timers[0].second;
+  ClientWriteAck ack(req);
+  c.on_reply(ack, ctx);
+  c.on_timer(token, ctx);  // stale: op already completed
+  EXPECT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(c.retries(), 0u);
+}
+
+TEST(StorageClient, MismatchedReplyIgnored) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  int completions = 0;
+  c.on_complete = [&](const OpResult&) { ++completions; };
+  const RequestId req = c.begin_read(ctx);
+  ClientReadAck wrong_req(req + 100, Value{}, kInitialTag);
+  c.on_reply(wrong_req, ctx);
+  ClientWriteAck wrong_kind(req);
+  c.on_reply(wrong_kind, ctx);
+  EXPECT_EQ(completions, 0);
+  EXPECT_FALSE(c.idle());
+}
+
+TEST(StorageClient, AttemptsCounted) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  OpResult seen;
+  c.on_complete = [&](const OpResult& r) { seen = r; };
+  const RequestId req = c.begin_write(Value::synthetic(1, 16), ctx);
+  c.on_timer(ctx.timers[0].second, ctx);
+  c.on_timer(ctx.timers[1].second, ctx);
+  ClientWriteAck ack(req);
+  c.on_reply(ack, ctx);
+  EXPECT_EQ(seen.attempts, 3u);
+}
+
+TEST(StorageClient, RequestIdsIncrease) {
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  const RequestId r1 = c.begin_write(Value::synthetic(1, 16), ctx);
+  ClientWriteAck ack1(r1);
+  c.on_reply(ack1, ctx);
+  const RequestId r2 = c.begin_read(ctx);
+  EXPECT_GT(r2, r1);
+}
+
+}  // namespace
+}  // namespace hts::core

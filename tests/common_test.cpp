@@ -1,0 +1,161 @@
+// Unit tests for the common module: tags, values, serialization, rng,
+// metrics.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace hts {
+namespace {
+
+TEST(Tag, LexicographicOrdering) {
+  EXPECT_LT((Tag{1, 0}), (Tag{2, 0}));
+  EXPECT_LT((Tag{1, 5}), (Tag{2, 0}));  // timestamp dominates
+  EXPECT_LT((Tag{3, 1}), (Tag{3, 2}));  // process id breaks ties
+  EXPECT_EQ((Tag{3, 1}), (Tag{3, 1}));
+  EXPECT_GT((Tag{4, 0}), (Tag{3, 9}));
+}
+
+TEST(Tag, InitialTagIsSmallest) {
+  EXPECT_TRUE(kInitialTag.is_initial());
+  EXPECT_LT(kInitialTag, (Tag{1, 0}));
+  EXPECT_FALSE((Tag{1, 0}).is_initial());
+}
+
+TEST(Tag, HashDistinguishesFields) {
+  std::hash<Tag> h;
+  EXPECT_NE(h(Tag{1, 2}), h(Tag{2, 1}));
+  EXPECT_EQ(h(Tag{7, 3}), h(Tag{7, 3}));
+}
+
+TEST(Tag, ToStringFormats) {
+  EXPECT_EQ((Tag{42, 3}).to_string(), "[42,3]");
+  EXPECT_EQ(kInitialTag.to_string(), "[0,-]");
+}
+
+TEST(Value, DefaultIsEmpty) {
+  Value v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v, Value());
+}
+
+TEST(Value, SyntheticRoundTripsSeed) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull, ~0ull}) {
+    for (std::size_t size : {8ul, 64ul, 1000ul, 8192ul}) {
+      Value v = Value::synthetic(seed, size);
+      EXPECT_GE(v.size(), std::min<std::size_t>(size, 8));
+      EXPECT_EQ(v.synthetic_seed(), seed) << "size=" << size;
+    }
+  }
+}
+
+TEST(Value, SyntheticDistinctSeedsDistinctValues) {
+  std::unordered_set<std::string> seen;
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    seen.insert(std::string(Value::synthetic(s, 64).bytes()));
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Value, CopyIsShallowAndEqual) {
+  Value a = Value::synthetic(7, 4096);
+  Value b = a;  // shared payload
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.bytes().data(), b.bytes().data());
+}
+
+TEST(Serialize, RoundTripsScalars) {
+  Encoder e;
+  e.u8(0xAB);
+  e.u32(0xDEADBEEF);
+  e.u64(0x0123456789ABCDEFull);
+  e.bytes("hello");
+  Decoder d(e.result());
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(d.bytes(), "hello");
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serialize, RoundTripsValues) {
+  Value v = Value::synthetic(99, 1000);
+  Encoder e;
+  e.value(v);
+  Decoder d(e.result());
+  EXPECT_EQ(d.value(), v);
+}
+
+TEST(Serialize, UnderrunThrows) {
+  Encoder e;
+  e.u32(7);
+  Decoder d(e.result());
+  (void)d.u32();
+  EXPECT_THROW((void)d.u8(), DecodeError);
+}
+
+TEST(Serialize, TruncatedBytesThrow) {
+  Encoder e;
+  e.u32(100);  // length prefix promising 100 bytes that are absent
+  Decoder d(e.result());
+  EXPECT_THROW((void)d.bytes(), DecodeError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  // Different seeds diverge (overwhelmingly likely on the first draw).
+  EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const auto x = r.between(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r(123);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(LatencyStats, Percentiles) {
+  LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.record(i * 0.001);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.mean(), 0.0505, 1e-9);
+  EXPECT_NEAR(s.min(), 0.001, 1e-12);
+  EXPECT_NEAR(s.max(), 0.100, 1e-12);
+  EXPECT_NEAR(s.percentile(0.5), 0.050, 0.002);
+  EXPECT_NEAR(s.percentile(0.99), 0.099, 0.002);
+}
+
+TEST(ThroughputMeter, MbitMath) {
+  ThroughputMeter m;
+  m.set_window(2.0);
+  for (int i = 0; i < 100; ++i) m.record(1'000'000);  // 100 MB over 2 s
+  EXPECT_EQ(m.ops(), 100u);
+  EXPECT_NEAR(m.ops_per_second(), 50.0, 1e-9);
+  EXPECT_NEAR(m.mbit_per_second(), 400.0, 1e-9);  // 8e8 bits / 2 s / 1e6
+}
+
+}  // namespace
+}  // namespace hts

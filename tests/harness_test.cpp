@@ -1,0 +1,199 @@
+// Harness-layer tests: simulator determinism end-to-end, workload
+// measurement windows, report formatting, and experiment-level regression
+// checks of the paper's two headline shapes at miniature scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/sim_cluster.h"
+#include "harness/workload.h"
+#include "lincheck/checker.h"
+
+namespace hts::harness {
+namespace {
+
+// ------------------------------------------------------------ determinism
+
+lincheck::History run_once(std::uint64_t seed) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 3;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+  for (ProcessId s = 0; s < 3; ++s) {
+    const auto m = cluster.add_client_machine();
+    cluster.add_client(m, s);
+    const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+    WorkloadConfig wl;
+    wl.write_fraction = 0.5;
+    wl.value_size = 512;
+    wl.stop_at = 0.2;
+    wl.measure_from = 0;
+    wl.measure_until = 0.2;
+    wl.seed = seed + s;
+    drivers.push_back(std::make_unique<ClosedLoopDriver>(
+        sim, cluster.port(id), id, wl, values, &history));
+  }
+  cluster.schedule_crash(0.1, 1);
+  for (auto& d : drivers) d->start();
+  sim.run_to_quiescence();
+  return history;
+}
+
+TEST(SimDeterminism, IdenticalSeedsIdenticalHistories) {
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.ops()[i].client, b.ops()[i].client);
+    EXPECT_EQ(a.ops()[i].value, b.ops()[i].value);
+    EXPECT_DOUBLE_EQ(a.ops()[i].invoked_at, b.ops()[i].invoked_at);
+    EXPECT_DOUBLE_EQ(a.ops()[i].responded_at, b.ops()[i].responded_at);
+  }
+}
+
+TEST(SimDeterminism, DifferentSeedsDiverge) {
+  const auto a = run_once(7);
+  const auto b = run_once(8);
+  bool any_difference = a.size() != b.size();
+  for (std::size_t i = 0; !any_difference && i < a.size(); ++i) {
+    any_difference = a.ops()[i].value != b.ops()[i].value ||
+                     a.ops()[i].invoked_at != b.ops()[i].invoked_at;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(Workload, MeasurementWindowExcludesWarmupAndTail) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 2;
+  SimCluster cluster(sim, cfg);
+  const auto m = cluster.add_client_machine();
+  cluster.add_client(m, 0);
+  UniqueValueSource values;
+  WorkloadConfig wl;
+  wl.write_fraction = 0.0;
+  wl.value_size = 1024;
+  wl.stop_at = 1.0;
+  wl.measure_from = 0.4;
+  wl.measure_until = 0.6;
+  ClosedLoopDriver driver(sim, cluster.port(0), 0, wl, values, nullptr);
+  driver.start();
+  sim.run_to_quiescence();
+  // Roughly (0.6-0.4)s / ~0.2ms per read ops in window; definitely fewer
+  // than the full run's count and more than zero.
+  EXPECT_GT(driver.read_meter().ops(), 100u);
+  EXPECT_LT(driver.read_meter().ops(), driver.ops_issued());
+  // ops/s must reflect the window, not the run length.
+  EXPECT_NEAR(driver.read_meter().ops_per_second(),
+              static_cast<double>(driver.read_meter().ops()) / 0.2, 1.0);
+}
+
+TEST(Workload, UniqueValueSourceNeverRepeats) {
+  UniqueValueSource v;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto next = v.next();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(Report, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(90.0), "90.0");
+  EXPECT_EQ(Table::num(7.0, 0), "7");
+}
+
+TEST(Report, RowsPadToColumnCount) {
+  Table t("x", {"a", "b", "c"});
+  t.add_row({"1"});  // short row must not crash printing
+  t.print_csv();
+  SUCCEED();
+}
+
+// ------------------------------------------------- miniature shape checks
+// Small-scale versions of FIG3a/FIG3b as regression tests: the two headline
+// claims of the paper must hold on every commit, not just in bench runs.
+
+TEST(ExperimentShapes, ReadThroughputScalesLinearly) {
+  auto run = [](std::size_t n) {
+    ExperimentParams p;
+    p.n_servers = n;
+    p.reader_machines_per_server = 1;
+    p.readers_per_machine = 6;
+    p.writer_machines_per_server = 0;
+    p.warmup_s = 0.2;
+    p.measure_s = 0.5;
+    return run_core_experiment(p).read_mbps;
+  };
+  const double at2 = run(2);
+  const double at6 = run(6);
+  EXPECT_GT(at2, 120.0);  // ~2 x ~88
+  // Tripling the servers must roughly triple read throughput.
+  EXPECT_NEAR(at6 / at2, 3.0, 0.35);
+}
+
+TEST(ExperimentShapes, WriteThroughputFlatInN) {
+  auto run = [](std::size_t n) {
+    ExperimentParams p;
+    p.n_servers = n;
+    p.reader_machines_per_server = 0;
+    p.writer_machines_per_server = 1;
+    p.writers_per_machine = 8;
+    p.warmup_s = 0.3;
+    p.measure_s = 0.6;
+    return run_core_experiment(p).write_mbps;
+  };
+  const double at2 = run(2);
+  const double at6 = run(6);
+  EXPECT_GT(at2, 60.0);
+  EXPECT_GT(at6, 60.0);
+  EXPECT_NEAR(at6 / at2, 1.0, 0.15);  // constant in n
+}
+
+TEST(ExperimentShapes, WritersShareFairly) {
+  ExperimentParams p;
+  p.n_servers = 4;
+  p.reader_machines_per_server = 0;
+  p.writer_machines_per_server = 1;
+  p.writers_per_machine = 4;
+  p.warmup_s = 0.3;
+  p.measure_s = 0.8;
+  const auto r = run_core_experiment(p);
+  ASSERT_GT(r.min_writer_mbps, 0.0);
+  // Fairness: no writer client gets more than ~2x another.
+  EXPECT_LT(r.max_writer_mbps / r.min_writer_mbps, 2.0);
+}
+
+TEST(ExperimentShapes, SharedNetworkCostsRoughlyHalf) {
+  ExperimentParams p;
+  p.n_servers = 4;
+  p.reader_machines_per_server = 1;
+  p.readers_per_machine = 16;
+  p.writer_machines_per_server = 1;
+  p.writers_per_machine = 4;
+  p.warmup_s = 0.3;
+  p.measure_s = 0.6;
+  const auto separate = run_core_experiment(p);
+  p.shared_network = true;
+  const auto shared = run_core_experiment(p);
+  // The paper's bottom chart: both rates drop to roughly half when ring and
+  // client traffic share one NIC.
+  EXPECT_LT(shared.write_mbps, 0.75 * separate.write_mbps);
+  EXPECT_LT(shared.read_mbps, 0.75 * separate.read_mbps);
+  EXPECT_GT(shared.write_mbps, 0.2 * separate.write_mbps);
+  EXPECT_GT(shared.read_mbps, 0.2 * separate.read_mbps);
+}
+
+}  // namespace
+}  // namespace hts::harness

@@ -1,0 +1,123 @@
+// Wire-codec tests: every protocol message round-trips, reported wire sizes
+// match encoded sizes, and malformed input is rejected.
+#include <gtest/gtest.h>
+
+#include "core/messages.h"
+
+namespace hts::core {
+namespace {
+
+template <typename T>
+const T& as(const net::PayloadPtr& p) {
+  return static_cast<const T&>(*p);
+}
+
+TEST(Messages, ClientWriteRoundTrip) {
+  ClientWrite m(1234, 56, Value::synthetic(9, 512));
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto decoded = decode_message(bytes);
+  ASSERT_EQ(decoded->kind(), kClientWrite);
+  const auto& d = as<ClientWrite>(decoded);
+  EXPECT_EQ(d.client, 1234u);
+  EXPECT_EQ(d.req, 56u);
+  EXPECT_EQ(d.value, m.value);
+}
+
+TEST(Messages, ClientWriteAckRoundTrip) {
+  ClientWriteAck m(77);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kClientWriteAck);
+  EXPECT_EQ(as<ClientWriteAck>(d).req, 77u);
+}
+
+TEST(Messages, ClientReadRoundTrip) {
+  ClientRead m(42, 7);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kClientRead);
+  EXPECT_EQ(as<ClientRead>(d).client, 42u);
+  EXPECT_EQ(as<ClientRead>(d).req, 7u);
+}
+
+TEST(Messages, ClientReadAckRoundTrip) {
+  ClientReadAck m(7, Value::synthetic(3, 100), Tag{9, 2});
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kClientReadAck);
+  EXPECT_EQ(as<ClientReadAck>(d).req, 7u);
+  EXPECT_EQ(as<ClientReadAck>(d).value, m.value);
+  EXPECT_EQ(as<ClientReadAck>(d).tag, (Tag{9, 2}));
+}
+
+TEST(Messages, PreWriteRoundTrip) {
+  PreWrite m(Tag{12, 3}, Value::synthetic(4, 2048), 900, 15);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kPreWrite);
+  const auto& pw = as<PreWrite>(d);
+  EXPECT_EQ(pw.tag, (Tag{12, 3}));
+  EXPECT_EQ(pw.value, m.value);
+  EXPECT_EQ(pw.client, 900u);
+  EXPECT_EQ(pw.req, 15u);
+}
+
+TEST(Messages, WriteCommitRoundTripAndIsSmall) {
+  WriteCommit m(Tag{12, 3}, 900, 15);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  // The commit must not carry the value: this is the metadata-only write
+  // phase that makes 80% link-bandwidth write throughput possible.
+  EXPECT_LT(m.wire_size(), 64u);
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kWriteCommit);
+  EXPECT_EQ(as<WriteCommit>(d).tag, (Tag{12, 3}));
+  EXPECT_EQ(as<WriteCommit>(d).client, 900u);
+  EXPECT_EQ(as<WriteCommit>(d).req, 15u);
+}
+
+TEST(Messages, SyncStateRoundTrip) {
+  SyncState m(Tag{5, 1}, Value::synthetic(8, 64));
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kSyncState);
+  EXPECT_EQ(as<SyncState>(d).tag, (Tag{5, 1}));
+  EXPECT_EQ(as<SyncState>(d).value, m.value);
+}
+
+TEST(Messages, EmptyValueRoundTrip) {
+  PreWrite m(Tag{1, 0}, Value{}, 1, 1);
+  auto d = decode_message(encode_message(m));
+  EXPECT_TRUE(as<PreWrite>(d).value.empty());
+}
+
+TEST(Messages, UnknownKindRejected) {
+  std::string bytes = "\x63\x00garbage";  // kind 0x63 does not exist
+  EXPECT_THROW((void)decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, TruncatedInputRejected) {
+  PreWrite m(Tag{12, 3}, Value::synthetic(4, 2048), 900, 15);
+  auto bytes = encode_message(m);
+  for (std::size_t cut : {1ul, 2ul, 10ul, bytes.size() - 1}) {
+    EXPECT_THROW((void)decode_message(std::string_view(bytes).substr(0, cut)),
+                 DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Messages, DescribeMentionsKeyFields) {
+  PreWrite m(Tag{12, 3}, Value::synthetic(4, 16), 900, 15);
+  const std::string s = m.describe();
+  EXPECT_NE(s.find("12"), std::string::npos);
+  EXPECT_NE(s.find("900"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hts::core

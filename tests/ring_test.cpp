@@ -1,0 +1,79 @@
+// RingView: successor/predecessor/absorber arithmetic under crashes.
+#include <gtest/gtest.h>
+
+#include "core/ring.h"
+
+namespace hts::core {
+namespace {
+
+TEST(RingView, FullRingNeighbours) {
+  RingView r(5);
+  EXPECT_EQ(r.alive_count(), 5u);
+  EXPECT_EQ(r.successor(0), 1u);
+  EXPECT_EQ(r.successor(4), 0u);  // wraps
+  EXPECT_EQ(r.predecessor(0), 4u);
+  EXPECT_EQ(r.predecessor(3), 2u);
+}
+
+TEST(RingView, SuccessorSkipsCrashed) {
+  RingView r(5);
+  EXPECT_TRUE(r.mark_crashed(1));
+  EXPECT_TRUE(r.mark_crashed(2));
+  EXPECT_EQ(r.successor(0), 3u);
+  EXPECT_EQ(r.predecessor(3), 0u);
+  EXPECT_EQ(r.alive_count(), 3u);
+}
+
+TEST(RingView, MarkCrashedIdempotent) {
+  RingView r(3);
+  EXPECT_TRUE(r.mark_crashed(1));
+  EXPECT_FALSE(r.mark_crashed(1));
+  EXPECT_EQ(r.alive_count(), 2u);
+}
+
+TEST(RingView, SoloRing) {
+  RingView r(4);
+  r.mark_crashed(0);
+  r.mark_crashed(2);
+  r.mark_crashed(3);
+  EXPECT_EQ(r.alive_count(), 1u);
+  EXPECT_EQ(r.successor(1), 1u);
+  EXPECT_EQ(r.predecessor(1), 1u);
+}
+
+TEST(RingView, AbsorberIsSelfWhileAlive) {
+  RingView r(4);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(r.absorber(p), p);
+}
+
+TEST(RingView, AbsorberOfDeadIsClosestAlivePredecessor) {
+  RingView r(5);
+  r.mark_crashed(2);
+  EXPECT_EQ(r.absorber(2), 1u);
+  r.mark_crashed(1);
+  EXPECT_EQ(r.absorber(2), 0u);  // predecessor chain walks past dead 1
+  EXPECT_EQ(r.absorber(1), 0u);
+  r.mark_crashed(0);
+  // Only 3 and 4 left; the closest alive predecessor of 2 wraps to 4.
+  EXPECT_EQ(r.absorber(2), 4u);
+}
+
+TEST(RingView, AliveMembersSorted) {
+  RingView r(6);
+  r.mark_crashed(0);
+  r.mark_crashed(3);
+  const auto m = r.alive_members();
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m, (std::vector<ProcessId>{1, 2, 4, 5}));
+}
+
+TEST(RingView, PredecessorOfDeadNodeWorks) {
+  RingView r(4);
+  r.mark_crashed(3);
+  // predecessor(3) must still answer (used for surrogate computation).
+  EXPECT_EQ(r.predecessor(3), 2u);
+  EXPECT_EQ(r.successor(2), 0u);
+}
+
+}  // namespace
+}  // namespace hts::core

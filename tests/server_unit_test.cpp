@@ -1,0 +1,327 @@
+// RingServer driven directly (no fabric): exact message flows of the paper's
+// pseudo-code, plus the recovery behaviours (crash re-send, orphan adoption,
+// retry dedup) that make the resilience claim hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/server.h"
+
+namespace hts::core {
+namespace {
+
+struct MockCtx final : ServerContext {
+  struct Reply {
+    ClientId client;
+    net::PayloadPtr msg;
+  };
+  std::vector<Reply> replies;
+
+  void send_client(ClientId client, net::PayloadPtr msg) override {
+    replies.push_back(Reply{client, std::move(msg)});
+  }
+
+  [[nodiscard]] int acks_for(ClientId c, RequestId r) const {
+    int n = 0;
+    for (const auto& rep : replies) {
+      if (rep.client == c && rep.msg->kind() == kClientWriteAck &&
+          static_cast<const ClientWriteAck&>(*rep.msg).req == r) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] const ClientReadAck* last_read_ack(ClientId c) const {
+    const ClientReadAck* found = nullptr;
+    for (const auto& rep : replies) {
+      if (rep.client == c && rep.msg->kind() == kClientReadAck) {
+        found = &static_cast<const ClientReadAck&>(*rep.msg);
+      }
+    }
+    return found;
+  }
+};
+
+/// Mini-ring: delivers every producible ring message until quiescence.
+/// Dead servers swallow anything sent to them (crash-stop).
+class MiniRing {
+ public:
+  explicit MiniRing(std::size_t n, ServerOptions opts = {}) {
+    for (ProcessId p = 0; p < n; ++p) {
+      servers_.push_back(std::make_unique<RingServer>(p, n, opts));
+      dead_.push_back(false);
+    }
+  }
+
+  RingServer& at(ProcessId p) { return *servers_[p]; }
+  MockCtx& ctx() { return ctx_; }
+
+  void crash(ProcessId p) {
+    dead_[p] = true;
+    for (ProcessId q = 0; q < servers_.size(); ++q) {
+      if (!dead_[q]) servers_[q]->on_peer_crash(p, ctx_);
+    }
+  }
+
+  /// One egress step from server p: send its next ring message (if any).
+  bool step(ProcessId p) {
+    if (dead_[p]) return false;
+    auto send = servers_[p]->next_ring_send();
+    if (!send) return false;
+    if (!dead_[send->to]) {
+      servers_[send->to]->on_ring_message(std::move(send->msg), ctx_);
+    }
+    return true;
+  }
+
+  /// Runs until no server can make progress.
+  void settle() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (ProcessId p = 0; p < servers_.size(); ++p) {
+        while (step(p)) progress = true;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<RingServer>> servers_;
+  std::vector<bool> dead_;
+  MockCtx ctx_;
+};
+
+TEST(RingServerUnit, WriteCompletesAroundTheRing) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(/*client=*/7, /*req=*/1, Value::synthetic(1, 64),
+                             ring.ctx());
+  ring.settle();
+  EXPECT_EQ(ring.ctx().acks_for(7, 1), 1);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(ring.at(p).current_tag(), (Tag{1, 0})) << "server " << p;
+    EXPECT_EQ(ring.at(p).current_value(), Value::synthetic(1, 64));
+    EXPECT_TRUE(ring.at(p).pending().empty());
+  }
+  // Exactly one pre-write was initiated; no server still queues traffic.
+  EXPECT_EQ(ring.at(0).stats().pre_writes_initiated, 1u);
+  EXPECT_FALSE(ring.at(0).has_ring_traffic());
+}
+
+TEST(RingServerUnit, ReadImmediateWithoutPending) {
+  MiniRing ring(3);
+  ring.at(1).on_client_read(9, 1, ring.ctx());
+  const auto* ack = ring.ctx().last_read_ack(9);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->value.empty());  // initial value
+  EXPECT_EQ(ack->tag, kInitialTag);
+  EXPECT_EQ(ring.at(1).stats().reads_immediate, 1u);
+}
+
+TEST(RingServerUnit, ReadParksDuringPreWriteAndUnparksOnCommit) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  // Step the pre-write to s1, and s1's forward to s2 (s1 now has it pending).
+  ASSERT_TRUE(ring.step(0));
+  ASSERT_TRUE(ring.step(1));
+  EXPECT_TRUE(ring.at(1).pending().contains(Tag{1, 0}));
+
+  ring.at(1).on_client_read(9, 1, ring.ctx());
+  EXPECT_EQ(ring.ctx().last_read_ack(9), nullptr);  // parked
+  EXPECT_EQ(ring.at(1).parked_read_count(), 1u);
+  EXPECT_EQ(ring.at(1).stats().reads_parked, 1u);
+
+  ring.settle();  // commit circulates
+  const auto* ack = ring.ctx().last_read_ack(9);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->value, Value::synthetic(1, 64));
+  EXPECT_EQ(ack->tag, (Tag{1, 0}));
+  EXPECT_EQ(ring.at(1).parked_read_count(), 0u);
+}
+
+TEST(RingServerUnit, ReadBeforeForwardingSeesOldValueImmediately) {
+  // A pre-write sitting in the forward queue is not yet pending (line 71
+  // semantics): the value cannot have been committed anywhere, so a local
+  // read may return the old value immediately.
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ASSERT_TRUE(ring.step(0));  // pre-write delivered to s1, not yet forwarded
+  EXPECT_FALSE(ring.at(1).pending().contains(Tag{1, 0}));
+  ring.at(1).on_client_read(9, 1, ring.ctx());
+  const auto* ack = ring.ctx().last_read_ack(9);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->value.empty());
+  ring.settle();
+}
+
+TEST(RingServerUnit, TagsSkipPastPendingTimestamps) {
+  MiniRing ring(2, ServerOptions{});
+  // Feed s1 a pre-write with a high timestamp from s0, then let s1 initiate:
+  // its tag must exceed the pending one (line 22–23).
+  ring.at(1).on_ring_message(
+      net::make_payload<PreWrite>(Tag{41, 0}, Value::synthetic(5, 16), 1, 1),
+      ring.ctx());
+  ASSERT_TRUE(ring.step(1));  // forward → now pending at s1
+  ring.at(1).on_client_write(8, 1, Value::synthetic(6, 16), ring.ctx());
+  auto send = ring.at(1).next_ring_send();
+  ASSERT_TRUE(send.has_value());
+  ASSERT_EQ(send->msg->kind(), kPreWrite);
+  const auto& pw = static_cast<const PreWrite&>(*send->msg);
+  EXPECT_EQ(pw.tag, (Tag{42, 1}));
+}
+
+TEST(RingServerUnit, SoloServerServesDirectly) {
+  MiniRing ring(1);
+  ring.at(0).on_client_write(3, 1, Value::synthetic(2, 32), ring.ctx());
+  EXPECT_EQ(ring.ctx().acks_for(3, 1), 1);
+  EXPECT_EQ(ring.at(0).current_tag(), (Tag{1, 0}));
+  ring.at(0).on_client_read(4, 1, ring.ctx());
+  const auto* ack = ring.ctx().last_read_ack(4);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->value, Value::synthetic(2, 32));
+  EXPECT_FALSE(ring.at(0).has_ring_traffic());
+}
+
+TEST(RingServerUnit, RetriedWriteIsDeduplicated) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ring.settle();
+  ASSERT_EQ(ring.ctx().acks_for(7, 1), 1);
+
+  // The client times out (say the first ack was slow) and retries the same
+  // request at another server: it must be acked WITHOUT a new ring write.
+  const auto initiated_before = ring.at(2).stats().pre_writes_initiated;
+  ring.at(2).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ring.settle();
+  EXPECT_EQ(ring.ctx().acks_for(7, 1), 2);  // acked again, harmless
+  EXPECT_EQ(ring.at(2).stats().pre_writes_initiated, initiated_before);
+  EXPECT_EQ(ring.at(2).stats().dedup_acks, 1u);
+}
+
+TEST(RingServerUnit, CrashOfSuccessorResendsPending) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ASSERT_TRUE(ring.step(0));  // pre-write at s1
+  ASSERT_TRUE(ring.step(1));  // s1 forwarded to s2; s1 has it pending
+  // s2 crashes holding the pre-write.
+  ring.crash(2);
+  ring.settle();
+  // s1 re-sent its pending pre-write to its new successor s0; the write
+  // completed on the 2-ring.
+  EXPECT_EQ(ring.ctx().acks_for(7, 1), 1);
+  EXPECT_EQ(ring.at(0).current_value(), Value::synthetic(1, 64));
+  EXPECT_EQ(ring.at(1).current_value(), Value::synthetic(1, 64));
+  EXPECT_TRUE(ring.at(0).pending().empty());
+  EXPECT_TRUE(ring.at(1).pending().empty());
+}
+
+TEST(RingServerUnit, OrphanedPreWriteAdoptionFullScenario) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ASSERT_TRUE(ring.step(0));  // pre-write delivered to s1
+  ASSERT_TRUE(ring.step(1));  // s1 forwards to s2; pending at s1
+  // s2 received the pre-write but has not forwarded; origin s0 crashes. The
+  // in-flight pre-write must still commit, else parked reads hang forever.
+  ring.crash(0);
+  // Park a read at s1 on the orphaned tag.
+  // (pending at s1 contains {1,0} — the read must wait, then complete.)
+  ring.at(1).on_client_read(9, 1, ring.ctx());
+  EXPECT_EQ(ring.at(1).parked_read_count(), 1u);
+  ring.settle();
+  EXPECT_EQ(ring.at(1).parked_read_count(), 0u);
+  const auto* ack = ring.ctx().last_read_ack(9);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->value, Value::synthetic(1, 64));
+  EXPECT_TRUE(ring.at(1).pending().empty());
+  EXPECT_TRUE(ring.at(2).pending().empty());
+  EXPECT_EQ(ring.at(1).current_value(), Value::synthetic(1, 64));
+  EXPECT_EQ(ring.at(2).current_value(), Value::synthetic(1, 64));
+  // The surrogate (s2, predecessor of dead s0) did the adoption.
+  EXPECT_GE(ring.at(2).stats().adoptions, 1u);
+}
+
+TEST(RingServerUnit, CollapseToSoloResolvesEverything) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ASSERT_TRUE(ring.step(0));  // s1 received pre-write
+  ASSERT_TRUE(ring.step(1));  // s1 forwarded → pending at s1
+  ring.at(1).on_client_read(9, 1, ring.ctx());  // parks at s1
+  EXPECT_EQ(ring.at(1).parked_read_count(), 1u);
+  // Everyone else dies; s1 is alone and must resolve locally.
+  ring.crash(2);
+  ring.crash(0);
+  EXPECT_EQ(ring.at(1).parked_read_count(), 0u);
+  const auto* ack = ring.ctx().last_read_ack(9);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->value, Value::synthetic(1, 64));
+  // Solo writes now complete immediately.
+  ring.at(1).on_client_write(8, 1, Value::synthetic(2, 64), ring.ctx());
+  EXPECT_EQ(ring.ctx().acks_for(8, 1), 1);
+}
+
+TEST(RingServerUnit, ReadFastpathOptionServesDominatedPending) {
+  ServerOptions opts;
+  opts.read_fastpath = true;
+  MiniRing ring(3, opts);
+  // Complete writes {1,0} and {2,0}, then inject a slow pre-write from s2
+  // that still carries timestamp 1 (s2 assigned it before learning of s0's
+  // writes): pending = {1,2} < applied {2,0}.
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ring.settle();
+  ring.at(0).on_client_write(7, 2, Value::synthetic(2, 64), ring.ctx());
+  ring.settle();
+  ASSERT_EQ(ring.at(1).current_tag(), (Tag{2, 0}));
+  ring.at(1).on_ring_message(
+      net::make_payload<PreWrite>(Tag{1, 2}, Value::synthetic(9, 16), 2, 1),
+      ring.ctx());
+  ASSERT_TRUE(ring.step(1));  // forwarded → pending at s1, tag {1,2} < {2,0}
+  ASSERT_TRUE(ring.at(1).pending().contains(Tag{1, 2}));
+  ring.at(1).on_client_read(9, 1, ring.ctx());
+  // Fast path: applied tag {2,0} >= max pending {1,2} → immediate answer.
+  const auto* ack = ring.ctx().last_read_ack(9);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->tag, (Tag{2, 0}));
+  ring.settle();
+}
+
+TEST(RingServerUnit, ConcurrentWritesOrderedByTag) {
+  MiniRing ring(3);
+  ring.at(0).on_client_write(7, 1, Value::synthetic(1, 64), ring.ctx());
+  ring.at(1).on_client_write(8, 1, Value::synthetic(2, 64), ring.ctx());
+  ring.at(2).on_client_write(9, 1, Value::synthetic(3, 64), ring.ctx());
+  ring.settle();
+  EXPECT_EQ(ring.ctx().acks_for(7, 1), 1);
+  EXPECT_EQ(ring.ctx().acks_for(8, 1), 1);
+  EXPECT_EQ(ring.ctx().acks_for(9, 1), 1);
+  // All servers converge on the same (maximal) tag and value.
+  const Tag t = ring.at(0).current_tag();
+  const Value v = ring.at(0).current_value();
+  for (ProcessId p = 1; p < 3; ++p) {
+    EXPECT_EQ(ring.at(p).current_tag(), t);
+    EXPECT_EQ(ring.at(p).current_value(), v);
+    EXPECT_TRUE(ring.at(p).pending().empty());
+  }
+}
+
+TEST(RingServerUnit, CommitOvertakingPreWriteIsHandled) {
+  // Non-FIFO defensive path: a commit arrives before its pre-write.
+  MiniRing ring(3);
+  const Tag t{5, 0};
+  ring.at(1).on_ring_message(net::make_payload<WriteCommit>(t, 7, 1),
+                             ring.ctx());
+  // No pending entry: the commit is remembered, not applied.
+  EXPECT_EQ(ring.at(1).current_tag(), kInitialTag);
+  ring.at(1).on_ring_message(
+      net::make_payload<PreWrite>(t, Value::synthetic(1, 64), 7, 1),
+      ring.ctx());
+  EXPECT_EQ(ring.at(1).current_tag(), t);
+  EXPECT_EQ(ring.at(1).current_value(), Value::synthetic(1, 64));
+  EXPECT_FALSE(ring.at(1).pending().contains(t));  // must not re-park readers
+  ring.at(1).on_client_read(9, 1, ring.ctx());
+  ASSERT_NE(ring.ctx().last_read_ack(9), nullptr);
+}
+
+}  // namespace
+}  // namespace hts::core

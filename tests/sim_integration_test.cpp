@@ -1,0 +1,221 @@
+// End-to-end integration on the deterministic simulator: full clusters,
+// concurrent clients, crash schedules — every recorded history must be
+// linearizable, every issued operation must complete (resilience).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/sim_cluster.h"
+#include "harness/workload.h"
+#include "lincheck/checker.h"
+
+namespace hts::harness {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  std::unique_ptr<SimCluster> cluster;
+  lincheck::History history;
+  UniqueValueSource values;
+  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+
+  explicit Fixture(SimClusterConfig cfg) {
+    cluster = std::make_unique<SimCluster>(sim, cfg);
+  }
+
+  /// One machine per driver; each driver runs one logical client.
+  void add_driver(ProcessId server, WorkloadConfig wl) {
+    const std::size_t m = cluster->add_client_machine();
+    auto& client = cluster->add_client(m, server);
+    (void)client;
+    const ClientId id = static_cast<ClientId>(cluster->client_count() - 1);
+    drivers.push_back(std::make_unique<ClosedLoopDriver>(
+        sim, cluster->port(id), id, wl, values, &history));
+  }
+
+  void run(double until) {
+    for (auto& d : drivers) d->start();
+    sim.run_until(until);
+    // Let in-flight operations finish (issue loop stops at stop_at).
+    sim.run_to_quiescence();
+    for (auto& d : drivers) d->finalize();
+  }
+};
+
+WorkloadConfig writer_wl(double stop, std::uint64_t seed) {
+  WorkloadConfig wl;
+  wl.write_fraction = 1.0;
+  wl.value_size = 2048;
+  wl.stop_at = stop;
+  wl.measure_from = 0;
+  wl.measure_until = stop;
+  wl.seed = seed;
+  return wl;
+}
+
+WorkloadConfig reader_wl(double stop, std::uint64_t seed) {
+  WorkloadConfig wl = writer_wl(stop, seed);
+  wl.write_fraction = 0.0;
+  return wl;
+}
+
+WorkloadConfig mixed_wl(double stop, double wf, std::uint64_t seed) {
+  WorkloadConfig wl = writer_wl(stop, seed);
+  wl.write_fraction = wf;
+  return wl;
+}
+
+TEST(SimIntegration, SingleWriterSingleReaderLinearizable) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 3;
+  Fixture f(cfg);
+  f.add_driver(0, writer_wl(0.5, 1));
+  f.add_driver(1, reader_wl(0.5, 2));
+  f.run(0.5);
+  EXPECT_GT(f.history.size(), 20u);
+  auto res = lincheck::check_register(f.history);
+  EXPECT_TRUE(res.linearizable) << res.explanation;
+  EXPECT_TRUE(lincheck::check_tag_order(f.history).linearizable);
+}
+
+TEST(SimIntegration, ManyClientsAllServersLinearizable) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 5;
+  Fixture f(cfg);
+  for (ProcessId s = 0; s < 5; ++s) {
+    f.add_driver(s, mixed_wl(0.4, 0.3, 100 + s));
+    f.add_driver(s, mixed_wl(0.4, 0.7, 200 + s));
+  }
+  f.run(0.4);
+  EXPECT_GT(f.history.size(), 100u);
+  auto res = lincheck::check_register(f.history);
+  EXPECT_TRUE(res.linearizable) << res.explanation;
+  EXPECT_TRUE(lincheck::check_tag_order(f.history).linearizable);
+}
+
+TEST(SimIntegration, AllIssuedOpsCompleteFailureFree) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 4;
+  Fixture f(cfg);
+  for (ProcessId s = 0; s < 4; ++s) f.add_driver(s, mixed_wl(0.3, 0.5, s + 1));
+  f.run(0.3);
+  std::uint64_t issued = 0;
+  for (auto& d : f.drivers) issued += d->ops_issued();
+  // Every issued op must appear completed in the history (none pending).
+  std::size_t completed = 0;
+  for (const auto& op : f.history.ops()) {
+    if (!op.pending()) ++completed;
+  }
+  EXPECT_EQ(completed, issued);
+}
+
+TEST(SimIntegration, ReadsNeverTouchTheRing) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 4;
+  Fixture f(cfg);
+  for (ProcessId s = 0; s < 4; ++s) f.add_driver(s, reader_wl(0.2, s + 1));
+  f.run(0.2);
+  EXPECT_GT(f.history.size(), 50u);
+  EXPECT_EQ(f.cluster->server_network().total_messages_sent(), 0u);
+}
+
+TEST(SimIntegration, CrashOneServerMidTrafficStaysLinearizable) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 4;
+  Fixture f(cfg);
+  for (ProcessId s = 0; s < 4; ++s) {
+    f.add_driver(s, mixed_wl(0.5, 0.4, 300 + s));
+  }
+  f.cluster->schedule_crash(0.1, 2);
+  f.run(0.5);
+  auto res = lincheck::check_register(f.history);
+  EXPECT_TRUE(res.linearizable) << res.explanation;
+  // Clients survive: every non-pending op completed, and progress continued
+  // well past the crash.
+  double last_completion = 0;
+  for (const auto& op : f.history.ops()) {
+    if (!op.pending()) last_completion = std::max(last_completion, op.responded_at);
+  }
+  EXPECT_GT(last_completion, 0.4);
+}
+
+TEST(SimIntegration, CascadeToSingleServerStaysLive) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  Fixture f(cfg);
+  for (ProcessId s = 0; s < 4; ++s) {
+    f.add_driver(s, mixed_wl(0.8, 0.5, 400 + s));
+  }
+  // Kill 3 of 4 servers; the paper's resilience claim: n-1 crashes tolerated.
+  f.cluster->schedule_crash(0.10, 1);
+  f.cluster->schedule_crash(0.25, 2);
+  f.cluster->schedule_crash(0.40, 3);
+  f.run(0.8);
+  auto res = lincheck::check_register(f.history);
+  EXPECT_TRUE(res.linearizable) << res.explanation;
+  // The survivor keeps serving: completions must exist after the last crash.
+  double last_completion = 0;
+  std::size_t completed_after = 0;
+  for (const auto& op : f.history.ops()) {
+    if (!op.pending()) {
+      last_completion = std::max(last_completion, op.responded_at);
+      if (op.responded_at > 0.45) ++completed_after;
+    }
+  }
+  EXPECT_GT(completed_after, 10u);
+  EXPECT_TRUE(lincheck::check_tag_order(f.history).linearizable);
+}
+
+TEST(SimIntegration, SharedNetworkModeWorks) {
+  SimClusterConfig cfg;
+  cfg.n_servers = 3;
+  cfg.shared_network = true;
+  Fixture f(cfg);
+  f.add_driver(0, writer_wl(0.3, 7));
+  f.add_driver(1, reader_wl(0.3, 8));
+  f.run(0.3);
+  EXPECT_GT(f.history.size(), 10u);
+  auto res = lincheck::check_register(f.history);
+  EXPECT_TRUE(res.linearizable) << res.explanation;
+}
+
+// Property sweep: random mixed workloads with random crash schedules; every
+// seed must produce a linearizable history and keep completing operations.
+class SimCrashProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimCrashProperty, LinearizableUnderRandomCrashes) {
+  Rng rng(GetParam());
+  SimClusterConfig cfg;
+  cfg.n_servers = 3 + rng.below(3);  // 3..5
+  cfg.client_retry_timeout_s = 0.05;
+  Fixture f(cfg);
+  const double horizon = 0.6;
+  for (ProcessId s = 0; s < cfg.n_servers; ++s) {
+    f.add_driver(s, mixed_wl(horizon, 0.2 + rng.unit() * 0.6,
+                             GetParam() * 97 + s));
+  }
+  // Crash up to n-1 random distinct servers at random times.
+  const std::size_t crashes = rng.below(cfg.n_servers);  // 0..n-1
+  std::vector<ProcessId> victims;
+  for (ProcessId p = 0; p < cfg.n_servers; ++p) victims.push_back(p);
+  for (std::size_t i = 0; i < crashes; ++i) {
+    const std::size_t pick = i + rng.below(victims.size() - i);
+    std::swap(victims[i], victims[pick]);
+    f.cluster->schedule_crash(0.05 + rng.unit() * 0.4, victims[i]);
+  }
+  f.run(horizon);
+  auto res = lincheck::check_register(f.history);
+  EXPECT_TRUE(res.linearizable)
+      << "seed=" << GetParam() << ": " << res.explanation;
+  auto tags = lincheck::check_tag_order(f.history);
+  EXPECT_TRUE(tags.linearizable) << "seed=" << GetParam() << ": "
+                                 << tags.explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimCrashProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace hts::harness

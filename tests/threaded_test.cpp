@@ -1,0 +1,158 @@
+// Integration tests on the threaded fabric: real threads, real concurrency,
+// blocking clients, crash injection — and linearizability of everything that
+// happened.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "harness/threaded_cluster.h"
+#include "lincheck/checker.h"
+
+namespace hts::harness {
+namespace {
+
+TEST(ThreadedCluster, SequentialReadWrite) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 3;
+  ThreadedCluster cluster(cfg);
+  auto& client = cluster.add_client(0);
+  cluster.start();
+
+  EXPECT_TRUE(client.read().empty());
+  client.write(Value::synthetic(1, 128));
+  EXPECT_EQ(client.read(), Value::synthetic(1, 128));
+  client.write(Value::synthetic(2, 128));
+  auto r = client.read_result();
+  EXPECT_EQ(r.value, Value::synthetic(2, 128));
+  EXPECT_EQ(r.tag, (Tag{2, 0}));
+
+  auto verdict = lincheck::check_register(cluster.history());
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+}
+
+TEST(ThreadedCluster, ReadYourOwnWritesAcrossServers) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 5;
+  ThreadedCluster cluster(cfg);
+  auto& writer = cluster.add_client(0);
+  std::vector<ThreadedCluster::BlockingClient*> readers;
+  for (ProcessId p = 0; p < 5; ++p) readers.push_back(&cluster.add_client(p));
+  cluster.start();
+
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    writer.write(Value::synthetic(v, 64));
+    // Every server must serve the just-written value (write-all-available).
+    for (auto* r : readers) {
+      EXPECT_EQ(r->read().synthetic_seed(), v);
+    }
+  }
+  auto verdict = lincheck::check_register(cluster.history());
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+}
+
+TEST(ThreadedCluster, ConcurrentClientsLinearizable) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 4;
+  ThreadedCluster cluster(cfg);
+  std::vector<ThreadedCluster::BlockingClient*> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(&cluster.add_client(static_cast<ProcessId>(i % 4)));
+  }
+  cluster.start();
+
+  std::atomic<std::uint64_t> seed{1};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      auto* c = clients[static_cast<std::size_t>(i)];
+      for (int op = 0; op < 30; ++op) {
+        if ((op + i) % 3 == 0) {
+          c->write(Value::synthetic(seed.fetch_add(1), 256));
+        } else {
+          (void)c->read();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto h = cluster.history();
+  EXPECT_EQ(h.size(), 8u * 30u);
+  auto verdict = lincheck::check_register(h);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  EXPECT_TRUE(lincheck::check_tag_order(h).linearizable);
+}
+
+TEST(ThreadedCluster, SurvivesCrashesUnderConcurrentLoad) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  ThreadedCluster cluster(cfg);
+  std::vector<ThreadedCluster::BlockingClient*> clients;
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(&cluster.add_client(static_cast<ProcessId>(i % 4)));
+  }
+  cluster.start();
+
+  std::atomic<std::uint64_t> seed{1};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      auto* c = clients[static_cast<std::size_t>(i)];
+      std::uint64_t op = 0;
+      while (!stop.load()) {
+        if ((op++ + static_cast<std::uint64_t>(i)) % 2 == 0) {
+          c->write(Value::synthetic(seed.fetch_add(1), 128));
+        } else {
+          (void)c->read();
+        }
+      }
+    });
+  }
+
+  // Crash two of four servers while the load runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cluster.crash_server(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cluster.crash_server(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(cluster.server_up(0));
+  EXPECT_FALSE(cluster.server_up(2));
+  EXPECT_TRUE(cluster.server_up(1));
+  EXPECT_TRUE(cluster.server_up(3));
+
+  auto verdict = lincheck::check_register(cluster.history());
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  EXPECT_GT(cluster.history().size(), 50u);
+}
+
+TEST(ThreadedCluster, WriteAfterAllButOneCrashed) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 3;
+  cfg.client_retry_timeout_s = 0.05;
+  ThreadedCluster cluster(cfg);
+  auto& client = cluster.add_client(0);
+  cluster.start();
+
+  client.write(Value::synthetic(1, 64));
+  cluster.crash_server(0);
+  cluster.crash_server(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Server 1 is the sole survivor; the client times out on its preferred
+  // server and rotates to it.
+  client.write(Value::synthetic(2, 64));
+  EXPECT_EQ(client.read().synthetic_seed(), 2u);
+
+  auto verdict = lincheck::check_register(cluster.history());
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+}
+
+}  // namespace
+}  // namespace hts::harness

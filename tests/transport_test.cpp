@@ -1,0 +1,182 @@
+// InMemTransport unit tests: delivery, FIFO order, serialization of a
+// node's handlers, crash semantics, timers, quiescence detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/messages.h"
+#include "net/inmem_transport.h"
+
+namespace hts::net {
+namespace {
+
+PayloadPtr ping(RequestId r) { return make_payload<core::ClientWriteAck>(r); }
+
+RequestId req_of(const Payload& p) {
+  return static_cast<const core::ClientWriteAck&>(p).req;
+}
+
+TEST(InMemTransport, DeliversInFifoOrder) {
+  InMemTransport t(0.001);
+  std::mutex mu;
+  std::vector<RequestId> got;
+  t.register_node(NodeAddress::server(0),
+                  [&](NodeAddress, PayloadPtr m) {
+                    const std::scoped_lock lock(mu);
+                    got.push_back(req_of(*m));
+                  });
+  t.register_node(NodeAddress::server(1), [](NodeAddress, PayloadPtr) {});
+  t.start();
+  for (RequestId r = 1; r <= 100; ++r) {
+    t.send(NodeAddress::server(1), NodeAddress::server(0), ping(r));
+  }
+  ASSERT_TRUE(t.wait_quiescent(5.0));
+  const std::scoped_lock lock(mu);
+  ASSERT_EQ(got.size(), 100u);
+  for (RequestId r = 1; r <= 100; ++r) EXPECT_EQ(got[r - 1], r);
+  t.stop();
+}
+
+TEST(InMemTransport, HandlerRunsSerialized) {
+  InMemTransport t(0.001);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_seen{0};
+  std::atomic<int> handled{0};
+  t.register_node(NodeAddress::server(0),
+                  [&](NodeAddress, PayloadPtr) {
+                    const int c = ++concurrent;
+                    int prev = max_seen.load();
+                    while (c > prev && !max_seen.compare_exchange_weak(prev, c)) {
+                    }
+                    std::this_thread::sleep_for(std::chrono::microseconds(100));
+                    --concurrent;
+                    ++handled;
+                  });
+  for (ProcessId p = 1; p <= 4; ++p) {
+    t.register_node(NodeAddress::server(p), [](NodeAddress, PayloadPtr) {});
+  }
+  t.start();
+  for (int i = 0; i < 50; ++i) {
+    for (ProcessId p = 1; p <= 4; ++p) {
+      t.send(NodeAddress::server(p), NodeAddress::server(0), ping(1));
+    }
+  }
+  ASSERT_TRUE(t.wait_quiescent(10.0));
+  EXPECT_EQ(handled.load(), 200);
+  EXPECT_EQ(max_seen.load(), 1) << "a node's handler must never run "
+                                   "concurrently with itself";
+  t.stop();
+}
+
+TEST(InMemTransport, CrashStopsDeliveryAndNotifiesSurvivors) {
+  InMemTransport t(0.005);
+  std::atomic<int> delivered_to_crashed{0};
+  std::atomic<int> crash_notices{0};
+  std::atomic<ProcessId> crashed_id{kNoProcess};
+  t.register_node(NodeAddress::server(0),
+                  [&](NodeAddress, PayloadPtr) { ++delivered_to_crashed; });
+  t.register_node(
+      NodeAddress::server(1), [](NodeAddress, PayloadPtr) {},
+      [&](ProcessId p) {
+        ++crash_notices;
+        crashed_id = p;
+      });
+  t.register_node(
+      NodeAddress::server(2), [](NodeAddress, PayloadPtr) {},
+      [&](ProcessId) { ++crash_notices; });
+  t.start();
+
+  t.crash(NodeAddress::server(0));
+  EXPECT_FALSE(t.is_up(NodeAddress::server(0)));
+  t.send(NodeAddress::server(1), NodeAddress::server(0), ping(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(delivered_to_crashed.load(), 0);
+  EXPECT_EQ(crash_notices.load(), 2);  // both survivors notified
+  EXPECT_EQ(crashed_id.load(), 0u);
+  t.stop();
+}
+
+TEST(InMemTransport, CrashedNodeCannotSend) {
+  InMemTransport t(0.001);
+  std::atomic<int> got{0};
+  t.register_node(NodeAddress::server(0), [](NodeAddress, PayloadPtr) {});
+  t.register_node(NodeAddress::server(1),
+                  [&](NodeAddress, PayloadPtr) { ++got; });
+  t.start();
+  t.crash(NodeAddress::server(0));
+  t.send(NodeAddress::server(0), NodeAddress::server(1), ping(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(got.load(), 0);
+  t.stop();
+}
+
+TEST(InMemTransport, TimersFireWithToken) {
+  InMemTransport t(0.001);
+  std::atomic<std::uint64_t> fired{0};
+  t.register_node(
+      NodeAddress::client(5), [](NodeAddress, PayloadPtr) {}, nullptr,
+      [&](std::uint64_t token) { fired = token; });
+  t.start();
+  t.arm_timer(NodeAddress::client(5), 0.01, 42);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(fired.load(), 42u);
+  t.stop();
+}
+
+TEST(InMemTransport, TimersOrderedByDeadline) {
+  InMemTransport t(0.001);
+  std::mutex mu;
+  std::vector<std::uint64_t> order;
+  t.register_node(
+      NodeAddress::client(1), [](NodeAddress, PayloadPtr) {}, nullptr,
+      [&](std::uint64_t token) {
+        const std::scoped_lock lock(mu);
+        order.push_back(token);
+      });
+  t.start();
+  t.arm_timer(NodeAddress::client(1), 0.05, 3);
+  t.arm_timer(NodeAddress::client(1), 0.01, 1);
+  t.arm_timer(NodeAddress::client(1), 0.03, 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  const std::scoped_lock lock(mu);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+  t.stop();
+}
+
+TEST(InMemTransport, SendToUnknownNodeIsDropped) {
+  InMemTransport t(0.001);
+  t.register_node(NodeAddress::server(0), [](NodeAddress, PayloadPtr) {});
+  t.start();
+  t.send(NodeAddress::server(0), NodeAddress::server(99), ping(1));  // no-op
+  EXPECT_TRUE(t.wait_quiescent(1.0));
+  t.stop();
+}
+
+TEST(InMemTransport, QuiescenceSeesQueuedWork) {
+  InMemTransport t(0.001);
+  std::atomic<bool> release{false};
+  std::atomic<int> handled{0};
+  t.register_node(NodeAddress::server(0),
+                  [&](NodeAddress, PayloadPtr) {
+                    while (!release.load()) {
+                      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                    }
+                    ++handled;
+                  });
+  t.register_node(NodeAddress::server(1), [](NodeAddress, PayloadPtr) {});
+  t.start();
+  t.send(NodeAddress::server(1), NodeAddress::server(0), ping(1));
+  EXPECT_FALSE(t.wait_quiescent(0.05)) << "busy node is not quiescent";
+  release = true;
+  EXPECT_TRUE(t.wait_quiescent(5.0));
+  EXPECT_EQ(handled.load(), 1);
+  t.stop();
+}
+
+}  // namespace
+}  // namespace hts::net
