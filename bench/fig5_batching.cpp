@@ -1,0 +1,58 @@
+// FIG5 — ring batching sweep (beyond the paper): saturated write throughput
+// as a function of ServerOptions::max_batch, against the unbatched baseline
+// (max_batch = 1, the paper's one-message-per-round protocol).
+//
+// The paper reaches ~80 Mbit/s on 100 Mbit/s links partly by piggybacking
+// the tag-only commit messages on the TCP stream (§4.2). max_batch
+// generalises that: the fairness scheduler fills a whole train of ring
+// messages per transmission, amortising the fixed per-message cost
+// (syscall/CPU + frame headers) across the batch. The win is largest where
+// that fixed cost rivals serialization — small values — and fades once the
+// wire itself is the bottleneck (8 KiB values), where batching mainly adds
+// pipeline latency. Expect throughput to improve monotonically from
+// max_batch = 1 up to a sweet spot, then flatten.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace hts::harness;
+  std::printf("FIG5 — write throughput vs ring batch size "
+              "(baseline: max_batch = 1, unbatched)\n");
+
+  const std::size_t value_sizes[] = {512, 1024, 4096, 8192};
+  const std::size_t batch_sizes[] = {1, 2, 4, 8, 16, 32};
+
+  for (const std::size_t value_size : value_sizes) {
+    Table table("Figure 5: write throughput, value size " +
+                    std::to_string(value_size) + " B",
+                {"max_batch", "total write Mbit/s", "vs unbatched",
+                 "writes/s", "write latency ms (mean)"});
+    double baseline = 0;
+    for (const std::size_t max_batch : batch_sizes) {
+      ExperimentParams p;
+      p.n_servers = 3;
+      p.reader_machines_per_server = 0;
+      p.writer_machines_per_server = 2;
+      p.writers_per_machine = 8;
+      p.value_size = value_size;
+      p.server_options.max_batch = max_batch;
+      ExperimentResult r = run_core_experiment(p);
+      if (max_batch == 1) baseline = r.write_mbps;
+      table.add_row({std::to_string(max_batch), Table::num(r.write_mbps),
+                     Table::num(baseline > 0 ? r.write_mbps / baseline : 1.0, 2) +
+                         "x",
+                     Table::num(r.writes_per_s, 0),
+                     Table::num(r.write_lat_ms_mean, 2)});
+    }
+    table.print();
+    table.print_csv();
+    std::printf("\n");
+  }
+  std::printf("Reading the sweep: the gain over max_batch = 1 grows as the\n"
+              "fixed per-message cost dominates (small values) and fades as\n"
+              "serialization does (8 KiB), mirroring the paper's observation\n"
+              "that piggybacking is what closes the gap to link bandwidth.\n");
+  return 0;
+}

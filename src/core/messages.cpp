@@ -1,6 +1,7 @@
 #include "core/messages.h"
 
 #include <memory>
+#include <stdexcept>
 
 namespace hts::core {
 
@@ -16,6 +17,11 @@ Tag get_tag(Decoder& d) {
   t.ts = d.u64();
   t.id = d.u32();
   return t;
+}
+
+/// Kinds allowed inside a RingBatch: ring traffic only (messages.h).
+bool is_ring_kind(std::uint16_t k) {
+  return k == kPreWrite || k == kWriteCommit || k == kSyncState;
 }
 
 }  // namespace
@@ -54,6 +60,16 @@ std::string WriteCommit::describe() const {
 std::string SyncState::describe() const {
   return "SyncState{tag=" + tag.to_string() + ",|v|=" +
          std::to_string(value.size()) + "}";
+}
+
+std::string RingBatch::describe() const {
+  std::string s = "RingBatch{" + std::to_string(parts.size()) + ":";
+  for (std::size_t i = 0; i < parts.size() && i < 4; ++i) {
+    if (i > 0) s += ",";
+    s += parts[i]->describe();
+  }
+  if (parts.size() > 4) s += ",...";
+  return s + "}";
 }
 
 std::string encode_message(const net::Payload& msg) {
@@ -107,15 +123,39 @@ std::string encode_message(const net::Payload& msg) {
       e.value(m.value);
       break;
     }
+    case kRingBatch: {
+      // Building a bad batch is a caller bug, not an input error: keep it
+      // distinguishable from wire garbage (DecodeError) for callers that
+      // catch-and-drop malformed frames.
+      const auto& m = static_cast<const RingBatch&>(msg);
+      if (m.parts.empty()) {
+        throw std::logic_error("encode_message: empty RingBatch");
+      }
+      e.u32(static_cast<std::uint32_t>(m.parts.size()));
+      for (const auto& part : m.parts) {
+        if (!is_ring_kind(part->kind())) {
+          throw std::logic_error(
+              "encode_message: non-ring message in RingBatch: " +
+              part->describe());
+        }
+        e.bytes(encode_message(*part));
+      }
+      break;
+    }
     default:
-      throw DecodeError("encode_message: unknown kind " +
-                        std::to_string(msg.kind()));
+      // Caller bug (e.g. a harness-internal payload), not an input error.
+      throw std::logic_error("encode_message: unknown kind " +
+                             std::to_string(msg.kind()));
   }
   return std::move(e).result();
 }
 
-net::PayloadPtr decode_message(std::string_view bytes) {
-  Decoder d(bytes);
+namespace {
+
+/// Decodes one message from `d`. `allow_batch` is false for batch parts so
+/// batches cannot nest (and a malicious length field cannot cause unbounded
+/// recursion).
+net::PayloadPtr decode_inner(Decoder& d, bool allow_batch) {
   auto kind = static_cast<MsgKind>(d.u8());
   (void)d.u8();  // reserved
   switch (kind) {
@@ -156,9 +196,43 @@ net::PayloadPtr decode_message(std::string_view bytes) {
       Value v = d.value();
       return net::make_payload<SyncState>(t, std::move(v));
     }
+    case kRingBatch: {
+      if (!allow_batch) throw DecodeError("decode_message: nested RingBatch");
+      const std::uint32_t count = d.u32();
+      if (count == 0) throw DecodeError("decode_message: empty RingBatch");
+      std::vector<net::PayloadPtr> parts;
+      parts.reserve(count < 1024 ? count : 1024);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Decoder pd(d.bytes());
+        auto part = decode_inner(pd, false);
+        if (!pd.exhausted()) {
+          throw DecodeError("decode_message: trailing bytes in batch part");
+        }
+        if (!is_ring_kind(part->kind())) {
+          // Trust boundary: only ring traffic is ever batched; anything else
+          // is a malformed frame, not a message for the server to shrug at.
+          throw DecodeError("decode_message: non-ring message in RingBatch: " +
+                            part->describe());
+        }
+        parts.push_back(std::move(part));
+      }
+      return net::make_payload<RingBatch>(std::move(parts));
+    }
   }
   throw DecodeError("decode_message: unknown kind " +
                     std::to_string(static_cast<int>(kind)));
+}
+
+}  // namespace
+
+net::PayloadPtr decode_message(std::string_view bytes) {
+  Decoder d(bytes);
+  auto msg = decode_inner(d, true);
+  if (!d.exhausted()) {
+    throw DecodeError("decode_message: " + std::to_string(d.remaining()) +
+                      " trailing bytes after " + msg->describe());
+  }
+  return msg;
 }
 
 }  // namespace hts::core

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/serialize.h"
 #include "common/types.h"
@@ -30,6 +31,7 @@ enum MsgKind : std::uint16_t {
   kPreWrite = 5,
   kWriteCommit = 6,
   kSyncState = 7,
+  kRingBatch = 8,
 };
 
 // Fixed field widths on the wire.
@@ -140,6 +142,30 @@ struct SyncState final : net::Payload {
 
   [[nodiscard]] std::size_t wire_size() const override {
     return kKindWire + kTagWire + kLenWire + value.size();
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// A train of ring messages delivered as one transmission — the paper's §4.2
+/// piggybacking ("write messages are piggybacked on pending write messages")
+/// generalised: the fairness scheduler fills a batch up to
+/// ServerOptions::max_batch, so per-message overheads (syscall/CPU, frame
+/// headers) are paid once per batch. Only ring traffic (PreWrite /
+/// WriteCommit / SyncState) is ever batched; batches never nest and are
+/// never empty — the codec rejects both on encode and decode.
+///
+/// Wire framing: u32 part count, then each part as a length-prefixed (u32)
+/// encoded message — a receiver can split the train without decoding parts.
+struct RingBatch final : net::Payload {
+  explicit RingBatch(std::vector<net::PayloadPtr> p)
+      : Payload(kRingBatch), parts(std::move(p)) {}
+
+  std::vector<net::PayloadPtr> parts;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t s = kKindWire + kLenWire;
+    for (const auto& p : parts) s += kLenWire + p->wire_size();
+    return s;
   }
   [[nodiscard]] std::string describe() const override;
 };

@@ -68,6 +68,14 @@ void RingServer::on_client_read(ClientId client, RequestId req,
 // ---------------------------------------------------------------- ring in
 
 void RingServer::on_ring_message(net::PayloadPtr msg, ServerContext& ctx) {
+  if (msg->kind() == kRingBatch) {
+    // Atomic batch delivery, enforced once for every fabric: all parts are
+    // applied before control returns (so before any resulting sends are
+    // pulled). Batches never nest, so this recurses at most one level.
+    const auto& batch = static_cast<const RingBatch&>(*msg);
+    for (const auto& part : batch.parts) on_ring_message(part, ctx);
+    return;
+  }
   ++stats_.ring_messages_in;
   switch (msg->kind()) {
     case kPreWrite:
@@ -243,6 +251,7 @@ std::optional<RingSend> RingServer::next_ring_send() {
     net::PayloadPtr msg = std::move(urgent_.front());
     urgent_.pop_front();
     if (msg->kind() == kWriteCommit) ++stats_.commits_sent;
+    ++stats_.ring_messages_out;
     return RingSend{successor_, std::move(msg)};
   }
 
@@ -256,6 +265,7 @@ std::optional<RingSend> RingServer::next_ring_send() {
   if (d.initiate_local) {
     LocalWrite w = std::move(write_queue_.front());
     write_queue_.pop_front();  // line 27
+    ++stats_.ring_messages_out;
     return initiate_write(std::move(w));
   }
   if (d.forward) {
@@ -269,9 +279,35 @@ std::optional<RingSend> RingServer::next_ring_send() {
       }
     }
     ++stats_.forwards;
+    ++stats_.ring_messages_out;
     return RingSend{successor_, std::move(item.msg)};
   }
   return std::nullopt;
+}
+
+net::PayloadPtr RingBatchSend::into_wire() && {
+  assert(!msgs.empty());
+  return msgs.size() == 1 ? std::move(msgs.front())
+                          : net::make_payload<RingBatch>(std::move(msgs));
+}
+
+std::optional<RingBatchSend> RingServer::next_ring_batch() {
+  auto first = next_ring_send();
+  if (!first) return std::nullopt;
+  RingBatchSend batch;
+  batch.to = first->to;
+  batch.msgs.push_back(std::move(first->msg));
+  const std::size_t cap = opts_.max_batch < 1 ? 1 : opts_.max_batch;
+  while (batch.msgs.size() < cap) {
+    auto more = next_ring_send();
+    if (!more) break;
+    // The successor only changes inside on_peer_crash, never between pulls,
+    // so every message in one batch targets the same link.
+    assert(more->to == batch.to);
+    batch.msgs.push_back(std::move(more->msg));
+  }
+  if (batch.msgs.size() > 1) ++stats_.batches_out;
+  return batch;
 }
 
 RingSend RingServer::initiate_write(LocalWrite w) {

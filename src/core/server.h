@@ -46,6 +46,20 @@ struct RingSend {
   net::PayloadPtr msg;
 };
 
+/// One batched ring transmission: up to ServerOptions::max_batch messages for
+/// this server's current successor, chosen one at a time by the fairness
+/// policy — the paper's nb_msg rule holds *within* a batch exactly as it
+/// does across batches.
+struct RingBatchSend {
+  ProcessId to = kNoProcess;
+  std::vector<net::PayloadPtr> msgs;
+
+  /// Wire form shared by every fabric: a lone message travels unwrapped —
+  /// the max_batch = 1 bit-for-bit guarantee — and a train becomes one
+  /// RingBatch frame. Consumes msgs.
+  [[nodiscard]] net::PayloadPtr into_wire() &&;
+};
+
 struct ServerOptions {
   /// D5: remember completed (client, request) pairs and ack retried writes
   /// without re-applying them. Disabling this reproduces the paper's exact
@@ -62,6 +76,15 @@ struct ServerOptions {
   /// saturation this starves this server's own clients — the failure mode
   /// the paper's fairness rule exists to prevent (§3).
   bool fairness = true;
+
+  /// Maximum number of ring messages a fabric may coalesce into one
+  /// RingBatch transmission (next_ring_batch). Amortises per-message costs
+  /// (CPU/syscall, frame headers) across the batch — the generalisation of
+  /// the paper's §4.2 commit piggybacking. 1 = unbatched: every pull emits
+  /// exactly one protocol message, bit-for-bit the paper's behaviour (see
+  /// DESIGN.md §Batching). The default matches the 16-message coalescing
+  /// window the TCP-stream model used previously.
+  std::size_t max_batch = 16;
 };
 
 /// Counters exposed for tests and ablation benches.
@@ -76,6 +99,8 @@ struct ServerStats {
   std::uint64_t adoptions = 0;
   std::uint64_t syncs_sent = 0;
   std::uint64_t dedup_acks = 0;
+  std::uint64_t ring_messages_out = 0;  ///< protocol messages pulled
+  std::uint64_t batches_out = 0;        ///< multi-message batches formed
 };
 
 class RingServer {
@@ -91,7 +116,9 @@ class RingServer {
   /// ⟨read⟩ from a client (lines 76–84).
   void on_client_read(ClientId client, RequestId req, ServerContext& ctx);
 
-  /// A ring message from the predecessor (PreWrite / WriteCommit / SyncState).
+  /// A ring message from the predecessor (PreWrite / WriteCommit /
+  /// SyncState), or a RingBatch of them — unpacked here, atomically, so
+  /// every fabric gets batch delivery right by construction.
   void on_ring_message(net::PayloadPtr msg, ServerContext& ctx);
 
   /// Perfect-failure-detector notification (lines 85–93 + adoption, D4).
@@ -105,6 +132,12 @@ class RingServer {
   /// Pops the next ring transmission, applying the fairness policy
   /// (queue-handler task, lines 53–75). Returns nullopt when idle.
   std::optional<RingSend> next_ring_send();
+
+  /// Pops up to ServerOptions::max_batch ring transmissions at once, each
+  /// picked by the same fairness decision next_ring_send() makes, all bound
+  /// for the current successor. With max_batch = 1 this is exactly one
+  /// next_ring_send() — the unbatched protocol. Returns nullopt when idle.
+  std::optional<RingBatchSend> next_ring_batch();
 
   // ---------- introspection (tests, benches) ----------
 

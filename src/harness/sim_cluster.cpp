@@ -26,12 +26,8 @@ struct SimCluster::ServerNode final : core::ServerContext {
   /// shared-network topology (one NIC for everything) works unchanged.
   void deliver_any(net::PayloadPtr msg) {
     if (!up) return;
-    if (msg->kind() == RingBatch::kKind) {
-      const auto& batch = static_cast<const RingBatch&>(*msg);
-      for (const auto& part : batch.parts) deliver_any(part);
-      return;
-    }
     switch (msg->kind()) {
+      case core::kRingBatch:  // unpacked atomically by the server itself
       case core::kPreWrite:
       case core::kWriteCommit:
       case core::kSyncState:
@@ -82,40 +78,17 @@ struct SimCluster::ServerNode final : core::ServerContext {
   }
 
   bool send_one_ring() {
-    core::RingSend first;
-    if (held_ring_send) {
-      first = std::move(*held_ring_send);
-      held_ring_send.reset();
-    } else if (auto send = server.next_ring_send()) {
-      first = std::move(*send);
-    } else {
-      return false;
-    }
-    assert(first.to != server.id());
-    // Coalesce the metadata messages that follow (tag-only commits) into
-    // this transmission — the paper's piggybacking, and what a TCP stream
-    // does anyway. A second value-bearing message (or one for a different
-    // successor after a splice) waits for the next paced slot.
-    std::vector<net::PayloadPtr> parts;
-    const ProcessId to = first.to;
-    parts.push_back(std::move(first.msg));
-    while (parts.size() < 16) {
-      auto more = server.next_ring_send();
-      if (!more) break;
-      if (more->msg->kind() != core::kWriteCommit || more->to != to) {
-        held_ring_send = std::move(more);
-        break;
-      }
-      parts.push_back(std::move(more->msg));
-    }
+    // The fairness scheduler fills the batch (up to max_batch) at the moment
+    // the link frees — the §4.2 TCP-stream piggybacking, now owned by the
+    // protocol core. A single-message batch goes on the wire unwrapped, so
+    // max_batch = 1 reproduces the unbatched protocol bit-for-bit.
+    auto batch = server.next_ring_batch();
+    if (!batch) return false;
+    assert(batch->to != server.id());
     sim::Network& net = cluster->server_network();
-    if (parts.size() == 1) {
-      net.send(ring_nic, cluster->servers_[to]->ring_nic,
-               std::move(parts.front()));
-    } else {
-      net.send(ring_nic, cluster->servers_[to]->ring_nic,
-               net::make_payload<RingBatch>(std::move(parts)));
-    }
+    const ProcessId to = batch->to;
+    net.send(ring_nic, cluster->servers_[to]->ring_nic,
+             std::move(*batch).into_wire());
     return true;
   }
 
@@ -138,7 +111,6 @@ struct SimCluster::ServerNode final : core::ServerContext {
   void transmit_reply(ClientId client, net::PayloadPtr msg);
 
   std::deque<std::pair<ClientId, net::PayloadPtr>> reply_queue;
-  std::optional<core::RingSend> held_ring_send;
   bool prefer_reply = false;
 
   // core::ServerContext

@@ -38,25 +38,6 @@ struct ClientEnvelope final : net::Payload {
   }
 };
 
-/// A train of ring messages coalesced into one transmission — how a TCP
-/// stream naturally piggybacks the tag-only commit messages onto the next
-/// value-bearing pre-write (§4.2: "write messages are piggybacked on pending
-/// write messages without the need for explicit acknowledgements").
-struct RingBatch final : net::Payload {
-  static constexpr std::uint16_t kKind = 0x7101;
-  explicit RingBatch(std::vector<net::PayloadPtr> p)
-      : Payload(kKind), parts(std::move(p)) {}
-  std::vector<net::PayloadPtr> parts;
-  [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t s = 2;
-    for (const auto& p : parts) s += p->wire_size();
-    return s;
-  }
-  [[nodiscard]] std::string describe() const override {
-    return "RingBatch(" + std::to_string(parts.size()) + ")";
-  }
-};
-
 struct SimClusterConfig {
   std::size_t n_servers = 3;
   sim::NetConfig net;            ///< link model for both networks

@@ -39,6 +39,7 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
   void on_message(net::NodeAddress from, net::PayloadPtr msg) {
     (void)from;
     switch (msg->kind()) {
+      case core::kRingBatch:  // unpacked atomically by the server itself
       case core::kPreWrite:
       case core::kWriteCommit:
       case core::kSyncState:
@@ -66,12 +67,16 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
   }
 
   /// Without NIC pacing the fairness scheduler still orders the backlog;
-  /// we simply flush it after every event.
+  /// we simply flush it after every event. Each flush step moves one batch
+  /// (up to max_batch messages) as a single FIFO transmission, so the
+  /// threaded fabric pays — and its transport charges — per-batch costs
+  /// exactly like the simulator.
   void drain() {
-    while (auto send = server.next_ring_send()) {
+    while (auto batch = server.next_ring_batch()) {
+      const ProcessId to = batch->to;
       cluster->transport_.send(net::NodeAddress::server(server.id()),
-                               net::NodeAddress::server(send->to),
-                               std::move(send->msg));
+                               net::NodeAddress::server(to),
+                               std::move(*batch).into_wire());
     }
   }
 

@@ -78,6 +78,8 @@ void InMemTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
     if (src != nullptr && !src->up) return;  // a crashed process sends nothing
     if (!dst->up) return;                    // messages to the dead are lost
   }
+  transmissions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg->wire_size(), std::memory_order_relaxed);
   const std::scoped_lock lock(dst->mu);
   dst->queue.push_back(
       WorkItem{WorkItem::Kind::kMessage, from, std::move(msg)});

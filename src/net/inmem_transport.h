@@ -14,6 +14,7 @@
 // bandwidth instead of the host machine's scheduler.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -70,6 +71,16 @@ class InMemTransport {
   /// not count as work.)
   bool wait_quiescent(double timeout_s);
 
+  /// Accounting over everything accepted for delivery: one transmission per
+  /// send() call (a RingBatch counts once) charged at its exact wire size —
+  /// the same per-batch cost model the simulator's network uses.
+  [[nodiscard]] std::uint64_t total_transmissions() const {
+    return transmissions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct WorkItem {
     enum class Kind : std::uint8_t { kMessage, kCrashNotice, kTimer } kind;
@@ -120,6 +131,9 @@ class InMemTransport {
   std::thread timer_thread_;
 
   mutable std::mutex state_mu_;  // guards `up` transitions across nodes
+
+  std::atomic<std::uint64_t> transmissions_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 }  // namespace hts::net

@@ -2,7 +2,10 @@
 // metrics.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -107,6 +110,79 @@ TEST(Serialize, TruncatedBytesThrow) {
   EXPECT_THROW((void)d.bytes(), DecodeError);
 }
 
+TEST(Serialize, PropertyRandomScalarSequencesRoundTrip) {
+  // Property test: any interleaving of scalar/bytes writes decodes to the
+  // same sequence, and the decoder is exhausted exactly at the end.
+  Rng rng(321);
+  for (int iter = 0; iter < 200; ++iter) {
+    struct Item {
+      int kind;  // 0=u8 1=u32 2=u64 3=bytes
+      std::uint64_t scalar;
+      std::string blob;
+    };
+    std::vector<Item> items;
+    Encoder e;
+    const int n = static_cast<int>(rng.below(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      Item it;
+      it.kind = static_cast<int>(rng.below(4));
+      switch (it.kind) {
+        case 0:
+          it.scalar = rng.below(256);
+          e.u8(static_cast<std::uint8_t>(it.scalar));
+          break;
+        case 1:
+          it.scalar = rng.next() & 0xFFFFFFFFull;
+          e.u32(static_cast<std::uint32_t>(it.scalar));
+          break;
+        case 2:
+          it.scalar = rng.next();
+          e.u64(it.scalar);
+          break;
+        default:
+          it.blob = std::string(Value::synthetic(rng.next(),
+                                                 rng.below(64)).bytes());
+          e.bytes(it.blob);
+          break;
+      }
+      items.push_back(std::move(it));
+    }
+    Decoder d(e.result());
+    for (const Item& it : items) {
+      switch (it.kind) {
+        case 0: EXPECT_EQ(d.u8(), it.scalar); break;
+        case 1: EXPECT_EQ(d.u32(), it.scalar); break;
+        case 2: EXPECT_EQ(d.u64(), it.scalar); break;
+        default: EXPECT_EQ(d.bytes(), it.blob); break;
+      }
+    }
+    EXPECT_TRUE(d.exhausted());
+    EXPECT_EQ(d.remaining(), 0u);
+  }
+}
+
+TEST(Serialize, PropertyEveryTruncationThrows) {
+  // Any strict prefix of a scalar stream must throw, never misread.
+  Encoder e;
+  e.u8(1);
+  e.u32(2);
+  e.u64(3);
+  e.bytes("abcdef");
+  const std::string full = e.result();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Decoder d(std::string_view(full).substr(0, cut));
+    EXPECT_THROW(
+        {
+          (void)d.u8();
+          (void)d.u32();
+          (void)d.u64();
+          (void)d.bytes();
+        },
+        DecodeError)
+        << "cut=" << cut;
+  }
+}
+
 TEST(Rng, Deterministic) {
   Rng a(42), b(42), c(43);
   for (int i = 0; i < 100; ++i) {
@@ -127,6 +203,42 @@ TEST(Rng, BoundsRespected) {
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
   }
+}
+
+TEST(Rng, BelowIsUniformAcrossBuckets) {
+  // Chi-square-style sanity for a small bound: with 70k draws over 7
+  // buckets, each expects 10000; allow ±4% (>10 sigma, deterministic seed).
+  Rng r(2024);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) counts[r.below(7)]++;
+  for (int b = 0; b < 7; ++b) {
+    EXPECT_GT(counts[b], 9600) << "bucket " << b;
+    EXPECT_LT(counts[b], 10400) << "bucket " << b;
+  }
+}
+
+TEST(Rng, BelowHasNoModuloBiasForHugeBounds) {
+  // Worst case for `next() % bound`: bound = 3·2^62, where 2^64 mod bound =
+  // 2^62 and the naive mapping gives the low quarter of the range double
+  // weight, dragging the sample mean ~17% below bound/2 (~29 standard
+  // errors at this sample size). Rejection sampling must keep the mean on
+  // (bound-1)/2 within a few standard errors.
+  const std::uint64_t bound = 3ull << 62;
+  const int n = 10000;
+  Rng r(99);
+  long double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t x = r.below(bound);
+    EXPECT_LT(x, bound);
+    sum += static_cast<long double>(x);
+  }
+  const long double mean = sum / n;
+  const long double expected = static_cast<long double>(bound) / 2.0L;
+  const long double sigma =
+      static_cast<long double>(bound) / 3.4641L;  // range/sqrt(12)
+  const long double se = sigma / 100.0L;          // sqrt(n) = 100
+  EXPECT_NEAR(static_cast<double>(mean / expected),
+              1.0, static_cast<double>(5.0L * se / expected));
 }
 
 TEST(Rng, ExponentialHasRoughlyRightMean) {

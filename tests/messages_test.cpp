@@ -97,6 +97,138 @@ TEST(Messages, EmptyValueRoundTrip) {
   EXPECT_TRUE(as<PreWrite>(d).value.empty());
 }
 
+TEST(Messages, RingBatchRoundTrip) {
+  std::vector<net::PayloadPtr> parts;
+  parts.push_back(net::make_payload<PreWrite>(Tag{12, 3},
+                                              Value::synthetic(4, 2048), 900,
+                                              15));
+  parts.push_back(net::make_payload<WriteCommit>(Tag{11, 2}, 901, 16));
+  parts.push_back(net::make_payload<SyncState>(Tag{5, 1},
+                                               Value::synthetic(8, 64)));
+  RingBatch m(std::move(parts));
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kRingBatch);
+  const auto& rb = as<RingBatch>(d);
+  ASSERT_EQ(rb.parts.size(), 3u);
+  ASSERT_EQ(rb.parts[0]->kind(), kPreWrite);
+  EXPECT_EQ(as<PreWrite>(rb.parts[0]).tag, (Tag{12, 3}));
+  EXPECT_EQ(as<PreWrite>(rb.parts[0]).value, Value::synthetic(4, 2048));
+  ASSERT_EQ(rb.parts[1]->kind(), kWriteCommit);
+  EXPECT_EQ(as<WriteCommit>(rb.parts[1]).tag, (Tag{11, 2}));
+  ASSERT_EQ(rb.parts[2]->kind(), kSyncState);
+  EXPECT_EQ(as<SyncState>(rb.parts[2]).value, Value::synthetic(8, 64));
+}
+
+TEST(Messages, EmptyRingBatchRejected) {
+  // Building an empty batch is a caller bug (logic_error); a zero-count
+  // frame off the wire is input garbage (DecodeError).
+  EXPECT_THROW((void)encode_message(RingBatch({})), std::logic_error);
+  Encoder e;
+  e.u8(kRingBatch);
+  e.u8(0);
+  e.u32(0);
+  EXPECT_THROW((void)decode_message(std::move(e).result()), DecodeError);
+}
+
+TEST(Messages, NonRingPartInBatchRejected) {
+  // Only ring traffic is ever batched: a client message smuggled into a
+  // batch frame must fail at the codec trust boundary, on both sides.
+  std::vector<net::PayloadPtr> parts;
+  parts.push_back(net::make_payload<ClientWrite>(1, 2, Value::synthetic(3, 8)));
+  EXPECT_THROW((void)encode_message(RingBatch(std::move(parts))),
+               std::logic_error);
+
+  Encoder e;
+  e.u8(kRingBatch);
+  e.u8(0);
+  e.u32(1);
+  e.bytes(encode_message(ClientWrite(1, 2, Value::synthetic(3, 8))));
+  EXPECT_THROW((void)decode_message(std::move(e).result()), DecodeError);
+}
+
+TEST(Messages, RingBatchEveryTruncationRejected) {
+  std::vector<net::PayloadPtr> parts;
+  parts.push_back(net::make_payload<WriteCommit>(Tag{1, 0}, 7, 1));
+  parts.push_back(net::make_payload<PreWrite>(Tag{2, 1},
+                                              Value::synthetic(3, 100), 8, 2));
+  RingBatch m(std::move(parts));
+  auto bytes = encode_message(m);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)decode_message(std::string_view(bytes).substr(0, cut)),
+                 DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Messages, NestedRingBatchRejected) {
+  std::vector<net::PayloadPtr> inner;
+  inner.push_back(net::make_payload<WriteCommit>(Tag{1, 0}, 7, 1));
+  std::vector<net::PayloadPtr> outer;
+  outer.push_back(net::make_payload<RingBatch>(std::move(inner)));
+  RingBatch m(std::move(outer));
+  EXPECT_THROW((void)encode_message(m), std::logic_error);
+
+  // A hand-built nested frame must be rejected at decode time too.
+  Encoder e;
+  e.u8(kRingBatch);
+  e.u8(0);
+  e.u32(1);
+  std::vector<net::PayloadPtr> part;
+  part.push_back(net::make_payload<WriteCommit>(Tag{1, 0}, 7, 1));
+  e.bytes(encode_message(RingBatch(std::move(part))));
+  EXPECT_THROW((void)decode_message(std::move(e).result()), DecodeError);
+}
+
+TEST(Messages, TrailingBytesRejected) {
+  // decode_message must consume the whole buffer: framing bugs (a batch part
+  // length that lies) surface as DecodeError, not silent truncation.
+  WriteCommit m(Tag{12, 3}, 900, 15);
+  auto bytes = encode_message(m) + std::string("x");
+  EXPECT_THROW((void)decode_message(bytes), DecodeError);
+
+  // Same inside a batch part.
+  Encoder e;
+  e.u8(kRingBatch);
+  e.u8(0);
+  e.u32(1);
+  e.bytes(encode_message(m) + std::string("x"));
+  EXPECT_THROW((void)decode_message(std::move(e).result()), DecodeError);
+}
+
+TEST(Messages, PropertyAllMessageTypesRoundTripAtManySizes) {
+  // Round-trip property across the whole kind space and a size sweep,
+  // re-encoding the decoded message to prove byte-for-byte stability.
+  for (std::size_t size : {0ul, 1ul, 7ul, 8ul, 255ul, 1448ul, 1449ul, 8192ul}) {
+    std::vector<net::PayloadPtr> msgs;
+    msgs.push_back(net::make_payload<ClientWrite>(1, 2,
+                                                  Value::synthetic(9, size)));
+    msgs.push_back(net::make_payload<ClientWriteAck>(3));
+    msgs.push_back(net::make_payload<ClientRead>(4, 5));
+    msgs.push_back(net::make_payload<ClientReadAck>(6,
+                                                    Value::synthetic(10, size),
+                                                    Tag{7, 1}));
+    msgs.push_back(net::make_payload<PreWrite>(Tag{8, 2},
+                                               Value::synthetic(11, size), 12,
+                                               13));
+    msgs.push_back(net::make_payload<WriteCommit>(Tag{9, 0}, 14, 15));
+    msgs.push_back(net::make_payload<SyncState>(Tag{10, 1},
+                                                Value::synthetic(12, size)));
+    msgs.push_back(net::make_payload<RingBatch>(std::vector<net::PayloadPtr>{
+        net::make_payload<PreWrite>(Tag{8, 2}, Value::synthetic(11, size), 12,
+                                    13),
+        net::make_payload<WriteCommit>(Tag{9, 0}, 14, 15)}));
+    for (const auto& msg : msgs) {
+      const auto bytes = encode_message(*msg);
+      EXPECT_EQ(bytes.size(), msg->wire_size()) << msg->describe();
+      const auto decoded = decode_message(bytes);
+      ASSERT_EQ(decoded->kind(), msg->kind()) << msg->describe();
+      EXPECT_EQ(encode_message(*decoded), bytes) << msg->describe();
+    }
+  }
+}
+
 TEST(Messages, UnknownKindRejected) {
   std::string bytes = "\x63\x00garbage";  // kind 0x63 does not exist
   EXPECT_THROW((void)decode_message(bytes), DecodeError);

@@ -41,6 +41,38 @@ TEST(InMemTransport, DeliversInFifoOrder) {
   t.stop();
 }
 
+TEST(InMemTransport, ChargesExactPerBatchByteCounts) {
+  // One send() = one transmission at the payload's exact wire size: a
+  // RingBatch frame is charged once (framing included), not per part —
+  // the same per-batch cost model the simulator's network uses.
+  InMemTransport t(0.001);
+  t.register_node(NodeAddress::server(0), [](NodeAddress, PayloadPtr) {});
+  t.register_node(NodeAddress::server(1), [](NodeAddress, PayloadPtr) {});
+  t.start();
+
+  auto single = make_payload<core::WriteCommit>(Tag{1, 0}, 7, 1);
+  std::vector<PayloadPtr> parts;
+  parts.push_back(make_payload<core::PreWrite>(Tag{2, 0},
+                                               Value::synthetic(1, 512), 7, 2));
+  parts.push_back(make_payload<core::WriteCommit>(Tag{1, 0}, 7, 1));
+  auto batch = make_payload<core::RingBatch>(std::move(parts));
+  const std::uint64_t expected_bytes = single->wire_size() + batch->wire_size();
+
+  t.send(NodeAddress::server(0), NodeAddress::server(1), single);
+  t.send(NodeAddress::server(0), NodeAddress::server(1), batch);
+  ASSERT_TRUE(t.wait_quiescent(5.0));
+
+  EXPECT_EQ(t.total_transmissions(), 2u);
+  EXPECT_EQ(t.total_bytes_sent(), expected_bytes);
+
+  // Dropped sends (dead destination) are not charged.
+  t.crash(NodeAddress::server(1));
+  ASSERT_TRUE(t.wait_quiescent(5.0));
+  t.send(NodeAddress::server(0), NodeAddress::server(1), ping(9));
+  EXPECT_EQ(t.total_transmissions(), 2u);
+  t.stop();
+}
+
 TEST(InMemTransport, HandlerRunsSerialized) {
   InMemTransport t(0.001);
   std::atomic<int> concurrent{0};
