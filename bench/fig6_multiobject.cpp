@@ -1,0 +1,174 @@
+// FIG6 — object namespace × pipelined sessions (beyond the paper): the
+// composition workload the paper's introduction motivates ("distributed
+// storage systems combine multiple of these read/write objects ... as
+// building blocks for a single large storage system"), measured.
+//
+// Setup: 3 servers, one client machine per server, one session per machine,
+// 1 KiB values. Two questions:
+//
+//  1. Sweep object count × max_inflight: how far does one session get by
+//     pipelining over the namespace, against the single-object sequential
+//     seed (1 object, 1 op in flight — the pre-redesign kv_store pattern,
+//     which had to round-trip one op at a time)? Batch-fill = ring protocol
+//     messages per ring transmission shows commits of many objects
+//     amortising into shared trains (PR 1's batching multiplied).
+//
+//  2. Equal concurrency, mixed load: N sequential single-object clients
+//     (the seed's only way to add concurrency) vs the same N ops in flight
+//     from pipelined multi-object sessions on the same machines. On one
+//     register every read parks behind every pending write; spread over the
+//     namespace a read waits only for ITS register, so the namespace wins
+//     on both throughput and latency at equal server count.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/report.h"
+#include "harness/sim_cluster.h"
+#include "harness/workload.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hts;
+using namespace hts::harness;
+
+struct RunResult {
+  double write_mbps = 0;
+  double read_mbps = 0;
+  double ops_per_s = 0;
+  double mean_lat_ms = 0;
+  double batch_fill = 1.0;  // ring protocol messages per transmission
+};
+
+/// `sessions_per_machine` sessions on each of 3 machines; each session keeps
+/// `pipeline` ops in flight across `n_objects` registers.
+RunResult run(std::size_t sessions_per_machine, std::size_t pipeline,
+              std::size_t n_objects, double write_fraction) {
+  const double warmup = 0.2, measure = 0.5;
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 3;
+  cfg.client_max_inflight = pipeline;
+  cfg.client_retry_timeout_s = 5.0;  // failure-free: no spurious retries
+  SimCluster cluster(sim, cfg);
+
+  UniqueValueSource values;
+  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+  std::uint64_t seed = 1;
+  for (ProcessId s = 0; s < 3; ++s) {
+    const auto machine = cluster.add_client_machine();
+    for (std::size_t k = 0; k < sessions_per_machine; ++k) {
+      cluster.add_client(machine, s);
+      const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+      WorkloadConfig wl;
+      wl.write_fraction = write_fraction;
+      wl.value_size = 1024;
+      wl.stop_at = warmup + measure;
+      wl.measure_from = warmup;
+      wl.measure_until = warmup + measure;
+      wl.seed = ++seed;
+      wl.n_objects = n_objects;
+      wl.pipeline = pipeline;
+      wl.start_at = 1e-5 * static_cast<double>(id % 97);
+      drivers.push_back(std::make_unique<ClosedLoopDriver>(
+          sim, cluster.port(id), id, wl, values, nullptr));
+    }
+  }
+  for (auto& d : drivers) d->start();
+  sim.run_until(warmup + measure);
+  sim.run_to_quiescence();
+
+  RunResult r;
+  std::uint64_t write_bytes = 0, read_bytes = 0, ops = 0;
+  double lat_sum = 0;
+  std::uint64_t lat_n = 0;
+  for (const auto& d : drivers) {
+    write_bytes += d->write_meter().bytes();
+    read_bytes += d->read_meter().bytes();
+    ops += d->write_meter().ops() + d->read_meter().ops();
+    lat_sum += d->write_latency().mean() *
+                   static_cast<double>(d->write_latency().count()) +
+               d->read_latency().mean() *
+                   static_cast<double>(d->read_latency().count());
+    lat_n += d->write_latency().count() + d->read_latency().count();
+  }
+  r.write_mbps = static_cast<double>(write_bytes) * 8.0 / 1e6 / measure;
+  r.read_mbps = static_cast<double>(read_bytes) * 8.0 / 1e6 / measure;
+  r.ops_per_s = static_cast<double>(ops) / measure;
+  r.mean_lat_ms = lat_n ? lat_sum / static_cast<double>(lat_n) * 1e3 : 0;
+
+  std::uint64_t ring_msgs = 0;
+  for (ProcessId p = 0; p < 3; ++p) {
+    ring_msgs += cluster.server(p).stats().ring_messages_out;
+  }
+  const std::uint64_t tx = cluster.server_network().total_messages_sent();
+  r.batch_fill = tx ? static_cast<double>(ring_msgs) / static_cast<double>(tx)
+                    : 1.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG6 — multi-object pipelining (3 servers, 1 KiB values)\n\n");
+
+  // ---- 1. one session per machine: objects × max_inflight, write-heavy ----
+  const RunResult seed_run = run(/*sessions=*/1, /*pipeline=*/1,
+                                 /*objects=*/1, /*write_fraction=*/1.0);
+  Table sweep("Sweep: one session per machine, write-only — "
+              "throughput vs the sequential single-object seed",
+              {"objects", "max_inflight", "write Mbit/s", "vs seed",
+               "mean lat ms", "batch fill"});
+  for (const std::size_t objects : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    for (const std::size_t inflight : {1ul, 4ul, 16ul}) {
+      if (inflight > objects && objects > 1) continue;  // capped by objects
+      const RunResult r = run(1, inflight, objects, 1.0);
+      sweep.add_row({std::to_string(objects), std::to_string(inflight),
+                     Table::num(r.write_mbps),
+                     Table::num(r.write_mbps / seed_run.write_mbps, 2) + "x",
+                     Table::num(r.mean_lat_ms, 2),
+                     Table::num(r.batch_fill, 2)});
+    }
+  }
+  sweep.print();
+  sweep.print_csv();
+
+  // ---- 2. equal concurrency: N sequential clients vs pipelined sessions ----
+  std::printf("\n");
+  Table duel("Equal in-flight ops, 50% writes: N sequential single-object "
+             "clients vs 1 pipelined session per machine (N/3 wide, N "
+             "objects)",
+             {"in-flight", "config", "total Mbit/s", "ops/s", "mean lat ms",
+              "batch fill"});
+  for (const std::size_t concurrency : {6ul, 12ul, 24ul}) {
+    const std::size_t per_machine = concurrency / 3;
+    const RunResult seq =
+        run(/*sessions=*/per_machine, /*pipeline=*/1, /*objects=*/1, 0.5);
+    const RunResult pip = run(/*sessions=*/1, /*pipeline=*/per_machine,
+                              /*objects=*/concurrency, 0.5);
+    duel.add_row({std::to_string(concurrency),
+                  std::to_string(concurrency) + " sequential, 1 object",
+                  Table::num(seq.write_mbps + seq.read_mbps),
+                  Table::num(seq.ops_per_s, 0), Table::num(seq.mean_lat_ms, 2),
+                  Table::num(seq.batch_fill, 2)});
+    duel.add_row({std::to_string(concurrency),
+                  "3 sessions x " + std::to_string(per_machine) + ", " +
+                      std::to_string(concurrency) + " objects",
+                  Table::num(pip.write_mbps + pip.read_mbps),
+                  Table::num(pip.ops_per_s, 0), Table::num(pip.mean_lat_ms, 2),
+                  Table::num(pip.batch_fill, 2)});
+  }
+  duel.print();
+  duel.print_csv();
+
+  std::printf(
+      "\nReading the tables: a single pipelined session recovers the\n"
+      "concurrency the seed needed N separate clients for — and at equal\n"
+      "in-flight ops the namespace wins the mixed-load duel because reads\n"
+      "only park behind pending writes of THEIR register, while on a single\n"
+      "register every read waits for every write. Batch fill > 1 shows\n"
+      "commits of distinct objects sharing ring trains.\n");
+  return 0;
+}

@@ -1,93 +1,82 @@
-// kv_store: a sharded key-value store built from atomic registers — the
-// composition the paper's introduction motivates: "distributed storage
-// systems combine multiple of these read/write objects, each storing its
-// share of data, as building blocks for a single large storage system."
+// kv_store: a key-value store built from atomic registers — the composition
+// the paper's introduction motivates: "distributed storage systems combine
+// multiple of these read/write objects, each storing its share of data, as
+// building blocks for a single large storage system."
 //
-// Each shard is one register cluster; keys hash onto shards; every GET/PUT
-// is a register read/write, so the store inherits atomicity per key.
+// Every key is its own register in the cluster's object namespace, so a
+// GET/PUT is a single register read/write and the store inherits per-key
+// atomicity directly — no read-modify-write of a serialized map, no lost
+// updates between concurrent PUTs of different keys. PUTs of distinct keys
+// are pipelined through one client session and their ring commits share
+// batch trains (DESIGN.md §Multi-object).
 #include <cstdio>
-#include <map>
-#include <memory>
+#include <future>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "common/serialize.h"
 #include "harness/threaded_cluster.h"
 
 namespace {
 
+using hts::ObjectId;
 using hts::Value;
 using hts::harness::ThreadedCluster;
 using hts::harness::ThreadedClusterConfig;
 
-/// Minimal sharded KV facade over register clusters.
+/// KV facade: one register per key, all keys on one register cluster.
 class KvStore {
  public:
-  KvStore(std::size_t shards, std::size_t servers_per_shard) {
-    for (std::size_t s = 0; s < shards; ++s) {
-      ThreadedClusterConfig cfg;
-      cfg.n_servers = servers_per_shard;
-      cfg.record_history = false;
-      shards_.push_back(std::make_unique<ThreadedCluster>(cfg));
-      clients_.push_back(&shards_.back()->add_client(0));
-      shards_.back()->start();
-    }
+  explicit KvStore(std::size_t servers) {
+    ThreadedClusterConfig cfg;
+    cfg.n_servers = servers;
+    cfg.record_history = false;
+    cfg.client_max_inflight = 16;
+    cluster_ = std::make_unique<ThreadedCluster>(cfg);
+    client_ = &cluster_->add_client(0);
+    cluster_->start();
   }
 
-  /// Read-modify-write of the shard's serialized map. (Sequential callers
-  /// only — a production store would use one register per key or a CAS
-  /// object; this demo shows register *composition*.)
   void put(const std::string& key, const std::string& value) {
-    auto* client = clients_[shard_of(key)];
-    auto map = decode_map(client->read());
-    map[key] = value;
-    client->write(encode_map(map));
+    client_->write(object_of(key), Value(value));
+  }
+
+  /// Pipelined bulk insert: distinct keys are distinct registers, so their
+  /// writes overlap in one session and commit in shared ring trains.
+  void put_all(const std::vector<std::pair<std::string, std::string>>& kvs) {
+    std::vector<std::future<hts::core::OpResult>> acks;
+    acks.reserve(kvs.size());
+    for (const auto& [k, v] : kvs) {
+      acks.push_back(client_->async_write(object_of(k), Value(v)));
+    }
+    for (auto& a : acks) a.get();
   }
 
   std::string get(const std::string& key) {
-    auto map = decode_map(clients_[shard_of(key)]->read());
-    auto it = map.find(key);
-    return it == map.end() ? "" : it->second;
+    return std::string(client_->read(object_of(key)).bytes());
   }
 
  private:
-  using Map = std::map<std::string, std::string>;
-
-  static Value encode_map(const Map& map) {
-    hts::Encoder e;
-    e.u32(static_cast<std::uint32_t>(map.size()));
-    for (const auto& [k, v] : map) {
-      e.bytes(k);
-      e.bytes(v);
-    }
-    return Value(std::move(e).result());
+  /// Keys map to dense object ids on first use. (A production store would
+  /// hash; dense ids keep the demo deterministic.)
+  ObjectId object_of(const std::string& key) {
+    auto [it, fresh] = objects_.emplace(key, next_object_);
+    if (fresh) ++next_object_;
+    return it->second;
   }
 
-  static Map decode_map(const Value& v) {
-    Map map;
-    if (v.empty()) return map;  // initial register value
-    hts::Decoder d(v.bytes());
-    const std::uint32_t n = d.u32();
-    for (std::uint32_t i = 0; i < n; ++i) {
-      std::string key(d.bytes());
-      map[key] = std::string(d.bytes());
-    }
-    return map;
-  }
-
-  [[nodiscard]] std::size_t shard_of(const std::string& key) const {
-    return std::hash<std::string>{}(key) % shards_.size();
-  }
-
-  std::vector<std::unique_ptr<ThreadedCluster>> shards_;
-  std::vector<ThreadedCluster::BlockingClient*> clients_;
+  std::unique_ptr<ThreadedCluster> cluster_;
+  ThreadedCluster::BlockingClient* client_ = nullptr;
+  std::unordered_map<std::string, ObjectId> objects_;
+  ObjectId next_object_ = 1;  // 0 is the default register; keys start at 1
 };
 
 }  // namespace
 
 int main() {
-  std::printf("building a 4-shard store, 3 servers per shard...\n");
-  KvStore store(/*shards=*/4, /*servers_per_shard=*/3);
+  std::printf("building a 3-server store, one register per key...\n");
+  KvStore store(/*servers=*/3);
 
   const std::vector<std::pair<std::string, std::string>> data = {
       {"alpha", "the first letter"},
@@ -95,9 +84,9 @@ int main() {
       {"answer", "42"},
       {"ring", "high throughput atomic storage"},
   };
+  store.put_all(data);
   for (const auto& [k, v] : data) {
-    store.put(k, v);
-    std::printf("  put %-8s -> \"%s\"\n", k.c_str(), v.c_str());
+    std::printf("  put %-8s -> \"%s\"  (pipelined)\n", k.c_str(), v.c_str());
   }
   bool ok = true;
   for (const auto& [k, expect] : data) {
@@ -107,6 +96,11 @@ int main() {
     std::printf("  get %-8s -> \"%s\"%s\n", k.c_str(), got.c_str(),
                 match ? "" : "  (MISMATCH)");
   }
+  // Overwrite one key and prove its neighbours are untouched registers.
+  store.put("answer", "43");
+  ok = ok && store.get("answer") == "43" && store.get("alpha") == data[0].second;
+  std::printf("  put answer   -> \"43\" (overwrite); alpha unchanged: %s\n",
+              store.get("alpha").c_str());
   std::printf(ok ? "ok\n" : "FAILED\n");
   return ok ? 0 : 1;
 }

@@ -19,10 +19,21 @@ using ProcessId = std::uint32_t;
 /// disjoint from servers; they never participate in ring traffic.
 using ClientId = std::uint64_t;
 
-/// Per-client monotonically increasing request sequence number. A client has
-/// at most one outstanding operation, so request ids of one client are
-/// totally ordered and gapless.
+/// Per-client request sequence number. Reads and writes draw from disjoint
+/// per-client sequences (reads carry core::kReadRequestBit), so write ids
+/// are gapless in issue order — the property server-side retry dedup
+/// (DESIGN.md D6) relies on; with pipelining, completions may reorder
+/// within the session's in-flight window.
 using RequestId = std::uint64_t;
+
+/// Identifier of one atomic register in the keyed object namespace. The
+/// cluster serves many independent registers over one ring; object 0 is the
+/// default register, whose traffic is wire-compatible with the original
+/// single-register protocol (no object field on the wire).
+using ObjectId = std::uint64_t;
+
+/// The default register: the seed protocol's single object.
+inline constexpr ObjectId kDefaultObject = 0;
 
 /// Sentinel used where "no process" is meant (e.g. an unset origin).
 inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();

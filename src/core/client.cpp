@@ -1,88 +1,171 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace hts::core {
 
-StorageClient::StorageClient(ClientId id, ClientOptions opts)
-    : id_(id), opts_(opts), target_(opts.preferred_server) {
+namespace {
+
+/// Distinct jitter streams for equally-seeded sessions.
+std::uint64_t mix_seed(std::uint64_t seed, ClientId id) {
+  return seed ^ (0x9E3779B97F4A7C15ull * (id + 1));
+}
+
+}  // namespace
+
+ClientSession::ClientSession(ClientId id, ClientOptions opts)
+    : id_(id),
+      opts_(opts),
+      jitter_(mix_seed(opts.seed, id)),
+      next_target_(opts.preferred_server) {
   assert(opts_.n_servers > 0);
   assert(opts_.preferred_server < opts_.n_servers);
+  assert(opts_.max_inflight > 0);
+  assert(opts_.retry_multiplier >= 1.0);
 }
 
-RequestId StorageClient::begin_write(Value v, ClientContext& ctx) {
-  assert(idle() && "client has an outstanding operation");
-  Outstanding op;
+RequestId ClientSession::begin_write(ObjectId object, Value v,
+                                     ClientContext& ctx) {
+  Op op;
+  op.object = object;
   op.is_read = false;
-  op.req = next_req_++;
+  op.req = next_write_req_++;  // gapless among writes: exact server dedup
   op.value = std::move(v);
   op.invoked_at = ctx.now();
-  outstanding_ = std::move(op);
-  transmit(ctx);
-  return outstanding_->req;
+  const RequestId req = op.req;
+  backlog_.push_back(std::move(op));
+  dispatch(ctx);
+  return req;
 }
 
-RequestId StorageClient::begin_read(ClientContext& ctx) {
-  assert(idle() && "client has an outstanding operation");
-  Outstanding op;
+RequestId ClientSession::begin_read(ObjectId object, ClientContext& ctx) {
+  Op op;
+  op.object = object;
   op.is_read = true;
-  op.req = next_req_++;
+  op.req = kReadRequestBit | next_read_req_++;
   op.invoked_at = ctx.now();
-  outstanding_ = std::move(op);
-  transmit(ctx);
-  return outstanding_->req;
+  const RequestId req = op.req;
+  backlog_.push_back(std::move(op));
+  dispatch(ctx);
+  return req;
 }
 
-void StorageClient::transmit(ClientContext& ctx) {
-  const Outstanding& op = *outstanding_;
-  if (op.is_read) {
-    ctx.send_server(target_, net::make_payload<ClientRead>(id_, op.req));
-  } else {
-    ctx.send_server(target_,
-                    net::make_payload<ClientWrite>(id_, op.req, op.value));
+void ClientSession::dispatch(ClientContext& ctx) {
+  // In-order scan: the first backlog op of each object goes out as soon as
+  // a pipeline slot and the object slot are free; later ops of the same
+  // object stay behind it (per-object FIFO).
+  for (auto it = backlog_.begin();
+       it != backlog_.end() && inflight_.size() < opts_.max_inflight;) {
+    if (active_objects_.contains(it->object)) {
+      ++it;
+      continue;
+    }
+    Op op = std::move(*it);
+    it = backlog_.erase(it);
+    op.target = next_target_;
+    active_objects_.insert(op.object);
+    auto [slot, fresh] = inflight_.emplace(op.req, std::move(op));
+    assert(fresh);
+    transmit(slot->second, ctx);
   }
-  ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
 }
 
-void StorageClient::on_reply(const net::Payload& msg, ClientContext& ctx) {
-  if (!outstanding_) return;  // late duplicate after completion
-  OpResult result;
+double ClientSession::retry_delay(std::uint32_t attempt) const {
+  // The cap exists only to bound exponential growth: at multiplier 1 the
+  // schedule is exactly retry_timeout, whatever its value (fabrics use
+  // huge timeouts to mean "never retry" — the cap must not resurrect
+  // retries there).
+  if (opts_.retry_multiplier == 1.0) return opts_.retry_timeout;
+  double delay = opts_.retry_timeout;
+  if (attempt > 1) {
+    delay *= std::pow(opts_.retry_multiplier,
+                      static_cast<double>(attempt - 1));
+  }
+  return std::min(delay, opts_.retry_cap);
+}
+
+void ClientSession::transmit(Op& op, ClientContext& ctx) {
+  ++op.attempts;
+  if (op.is_read) {
+    ctx.send_server(op.target,
+                    net::make_payload<ClientRead>(id_, op.req, op.object));
+  } else {
+    ctx.send_server(op.target, net::make_payload<ClientWrite>(
+                                   id_, op.req, op.value, op.object));
+  }
+  double delay = retry_delay(op.attempts);
+  if (opts_.retry_multiplier != 1.0) {
+    // Equal jitter: [delay/2, delay], quantised to microseconds via the
+    // bias-free Rng::below. Spreads synchronized retry storms without ever
+    // retrying earlier than half the schedule.
+    const std::uint64_t half_us =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(delay * 5e5));
+    delay = static_cast<double>(half_us + jitter_.below(half_us + 1)) * 1e-6;
+  }
+  timer_to_req_.erase(op.timer_token);
+  op.timer_token = ++timer_seq_;
+  timer_to_req_[op.timer_token] = op.req;
+  ctx.arm_timer(delay, op.timer_token);
+}
+
+void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
+                             ClientContext& ctx) {
+  RequestId req = 0;
+  bool is_read = false;
   switch (msg.kind()) {
-    case kClientWriteAck: {
-      const auto& m = static_cast<const ClientWriteAck&>(msg);
-      if (outstanding_->is_read || m.req != outstanding_->req) return;
-      result.is_read = false;
+    case kClientWriteAck:
+      req = static_cast<const ClientWriteAck&>(msg).req;
       break;
-    }
-    case kClientReadAck: {
-      const auto& m = static_cast<const ClientReadAck&>(msg);
-      if (!outstanding_->is_read || m.req != outstanding_->req) return;
-      result.is_read = true;
-      result.value = m.value;
-      result.tag = m.tag;
+    case kClientReadAck:
+      req = static_cast<const ClientReadAck&>(msg).req;
+      is_read = true;
       break;
-    }
     default:
       return;  // not addressed to this protocol role
   }
-  result.req = outstanding_->req;
-  result.invoked_at = outstanding_->invoked_at;
+  auto it = inflight_.find(req);
+  if (it == inflight_.end()) return;  // late duplicate after completion
+  Op& op = it->second;
+  if (op.is_read != is_read) return;  // kind mismatch: not our reply
+
+  OpResult result;
+  result.is_read = op.is_read;
+  result.object = op.object;
+  result.req = op.req;
+  if (is_read) {
+    const auto& m = static_cast<const ClientReadAck&>(msg);
+    result.value = m.value;
+    result.tag = m.tag;
+  }
+  result.invoked_at = op.invoked_at;
   result.completed_at = ctx.now();
-  result.attempts = outstanding_->attempts;
-  outstanding_.reset();
-  ++timer_epoch_;  // invalidate the retry timer
+  result.attempts = op.attempts;
+  result.served_by = from;
+
+  timer_to_req_.erase(op.timer_token);  // invalidate the retry timer
+  active_objects_.erase(op.object);
+  inflight_.erase(it);
+  dispatch(ctx);  // a freed slot may release queued work
   if (on_complete) on_complete(result);
 }
 
-void StorageClient::on_timer(std::uint64_t token, ClientContext& ctx) {
-  if (!outstanding_ || token != timer_epoch_) return;  // stale timer
+void ClientSession::on_timer(std::uint64_t token, ClientContext& ctx) {
+  auto tok = timer_to_req_.find(token);
+  if (tok == timer_to_req_.end()) return;  // stale timer
+  auto it = inflight_.find(tok->second);
+  if (it == inflight_.end() || it->second.timer_token != token) return;
   // §3: "when their request times out, they simply re-send it to another
   // server". Same request id — servers deduplicate retried writes (D5).
-  target_ = static_cast<ProcessId>((target_ + 1) % opts_.n_servers);
-  ++outstanding_->attempts;
+  // Later dispatches start at the rotated-to server: one crashed preferred
+  // server must not cost every subsequent op a timeout.
+  Op& op = it->second;
+  op.target = static_cast<ProcessId>((op.target + 1) % opts_.n_servers);
+  next_target_ = op.target;
   ++total_retries_;
-  transmit(ctx);
+  transmit(op, ctx);
 }
 
 }  // namespace hts::core

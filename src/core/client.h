@@ -1,17 +1,32 @@
-// StorageClient — the client side of the protocol (pseudo-code lines 1–10
+// ClientSession — the client side of the protocol (pseudo-code lines 1–10
 // plus the retry rule of §3: "when their request times out, they simply
-// re-send it to another server").
+// re-send it to another server"), generalised from "one register, one op" to
+// a keyed object namespace with pipelined operations.
 //
-// Like the server, the client is a transport-agnostic state machine. A client
-// has at most one outstanding operation; completion is reported through
-// callbacks so both the blocking (threaded) and event-driven (simulated)
+// Like the server, the session is a transport-agnostic state machine hosted
+// by a fabric. A session pipelines up to ClientOptions::max_inflight
+// operations, each addressed to a register (ObjectId); operations on the
+// same object queue behind each other (per-object ordering), so at most one
+// operation per object is in flight and ops on distinct objects overlap.
+// Every in-flight operation has its own retry timer (token scheme) and its
+// own server target rotation; retry delays grow exponentially with jitter
+// (seed behaviour at retry_multiplier = 1). Completion is reported through
+// a callback so both the blocking (threaded) and event-driven (simulated)
 // fabrics can host it.
+//
+// The original single-register single-op API survives as a facade: the
+// object-less begin_read/begin_write overloads address kDefaultObject, and
+// `StorageClient` remains as an alias.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <optional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "common/value.h"
 #include "core/messages.h"
@@ -32,32 +47,75 @@ class ClientContext {
 struct ClientOptions {
   std::size_t n_servers = 1;
   ProcessId preferred_server = 0;  ///< first server contacted
-  double retry_timeout = 0.25;     ///< seconds before re-sending elsewhere
+
+  /// Base retry delay (seconds). With retry_multiplier = 1 (default) every
+  /// attempt waits exactly retry_timeout — the original fixed-interval
+  /// behaviour, bit-for-bit, with no jitter and no cap (huge timeouts mean
+  /// "never retry"). With retry_multiplier > 1, attempt k waits
+  ///   min(retry_cap, retry_timeout * retry_multiplier^(k-1)),
+  /// jittered into [delay/2, delay].
+  double retry_timeout = 0.25;
+  double retry_multiplier = 1.0;  ///< exponential backoff factor (>= 1)
+  double retry_cap = 8.0;         ///< bound on backoff growth (multiplier>1)
+
+  /// Maximum operations in flight at once (across distinct objects). Ops on
+  /// an object with an op already in flight are queued, preserving
+  /// per-object order. 1 = the original one-outstanding-op client.
+  std::size_t max_inflight = 1;
+
+  /// Seed for the retry-jitter rng (mixed with the client id so equal
+  /// configs on different clients do not retry in lockstep).
+  std::uint64_t seed = 0;
 };
 
 /// Completion record handed to the callbacks.
 struct OpResult {
   bool is_read = false;
+  ObjectId object = kDefaultObject;
   RequestId req = 0;
   Value value;          // read result (empty for writes)
   Tag tag;              // tag of the read value (white-box, for checking)
   double invoked_at = 0;
   double completed_at = 0;
-  std::uint32_t attempts = 1;  // 1 = no retry was needed
+  std::uint32_t attempts = 1;          // 1 = no retry was needed
+  ProcessId served_by = kNoProcess;    // server whose reply completed the op
 };
 
-class StorageClient {
+/// Read request ids carry this bit: reads and writes draw from disjoint
+/// per-client sequences, so WRITE ids are gapless in issue order. Servers
+/// deduplicate retried writes with an exact watermark over that gapless
+/// space (DESIGN.md D6); reads never enter dedup state, so their ids only
+/// need to be unique, which the disjoint space guarantees.
+inline constexpr RequestId kReadRequestBit = 1ull << 63;
+
+class ClientSession {
  public:
-  StorageClient(ClientId id, ClientOptions opts);
+  ClientSession(ClientId id, ClientOptions opts);
 
-  /// Starts a write. Precondition: no operation outstanding.
-  RequestId begin_write(Value v, ClientContext& ctx);
+  /// Starts a write of `object`. Queues (never blocks, never asserts) when
+  /// the pipeline is full or the object already has an op in flight.
+  RequestId begin_write(ObjectId object, Value v, ClientContext& ctx);
 
-  /// Starts a read. Precondition: no operation outstanding.
-  RequestId begin_read(ClientContext& ctx);
+  /// Starts a read of `object`.
+  RequestId begin_read(ObjectId object, ClientContext& ctx);
 
-  /// Feeds a server reply (ClientWriteAck / ClientReadAck).
-  void on_reply(const net::Payload& msg, ClientContext& ctx);
+  /// Single-register facade: the original API, addressing kDefaultObject.
+  RequestId begin_write(Value v, ClientContext& ctx) {
+    return begin_write(kDefaultObject, std::move(v), ctx);
+  }
+  RequestId begin_read(ClientContext& ctx) {
+    return begin_read(kDefaultObject, ctx);
+  }
+
+  /// Feeds a server reply (ClientWriteAck / ClientReadAck). `from` is the
+  /// replying server (fabrics know the sender); it is reported as
+  /// OpResult::served_by so tests need not infer which server answered.
+  void on_reply(const net::Payload& msg, ProcessId from, ClientContext& ctx);
+
+  /// Back-compat overload for hosts that do not track the sender.
+  void on_reply(const net::Payload& msg, ClientContext& ctx) {
+    on_reply(msg, kNoProcess, ctx);
+  }
 
   /// Timer callback from the fabric. Stale tokens are ignored.
   void on_timer(std::uint64_t token, ClientContext& ctx);
@@ -65,29 +123,57 @@ class StorageClient {
   /// A completion callback; invoked exactly once per begin_*.
   std::function<void(const OpResult&)> on_complete;
 
-  [[nodiscard]] bool idle() const { return !outstanding_.has_value(); }
+  [[nodiscard]] bool idle() const {
+    return inflight_.empty() && backlog_.empty();
+  }
+  [[nodiscard]] std::size_t inflight_count() const { return inflight_.size(); }
+  [[nodiscard]] std::size_t backlog_count() const { return backlog_.size(); }
   [[nodiscard]] ClientId id() const { return id_; }
-  [[nodiscard]] ProcessId current_target() const { return target_; }
   [[nodiscard]] std::uint64_t retries() const { return total_retries_; }
 
+  /// Delay before retry number `attempt` (attempt 1 = first transmission).
+  /// Exposed for tests pinning the backoff schedule.
+  [[nodiscard]] double retry_delay(std::uint32_t attempt) const;
+
  private:
-  struct Outstanding {
+  struct Op {
+    ObjectId object = kDefaultObject;
     bool is_read = false;
     RequestId req = 0;
     Value value;  // pending write payload (re-sent on retry)
     double invoked_at = 0;
-    std::uint32_t attempts = 1;
+    std::uint32_t attempts = 0;         // transmissions so far
+    ProcessId target = 0;               // next server to contact
+    std::uint64_t timer_token = 0;      // current retry timer
   };
 
-  void transmit(ClientContext& ctx);
+  /// Moves backlog ops into flight while capacity and object slots allow.
+  void dispatch(ClientContext& ctx);
+
+  /// (Re)transmits an in-flight op and arms its retry timer.
+  void transmit(Op& op, ClientContext& ctx);
 
   ClientId id_;
   ClientOptions opts_;
-  ProcessId target_;
-  RequestId next_req_ = 1;
-  std::uint64_t timer_epoch_ = 0;
+  Rng jitter_;
+  RequestId next_write_req_ = 1;
+  RequestId next_read_req_ = 1;  // flagged with kReadRequestBit on the wire
+  /// Where the next dispatched op starts contacting: sticks to the server
+  /// the last retry rotated onto, so one dead preferred server does not tax
+  /// every subsequent operation with a timeout (the original client's
+  /// session-level target, generalised to many in-flight ops).
+  ProcessId next_target_ = 0;
+  std::uint64_t timer_seq_ = 0;
   std::uint64_t total_retries_ = 0;
-  std::optional<Outstanding> outstanding_;
+
+  std::map<RequestId, Op> inflight_;           // issue-ordered
+  std::deque<Op> backlog_;                     // waiting for a slot
+  std::unordered_set<ObjectId> active_objects_;
+  std::unordered_map<std::uint64_t, RequestId> timer_to_req_;
 };
+
+/// The pre-namespace name: a session used through the facade overloads
+/// behaves exactly like the original one-outstanding-op client.
+using StorageClient = ClientSession;
 
 }  // namespace hts::core

@@ -24,42 +24,70 @@ bool is_ring_kind(std::uint16_t k) {
   return k == kPreWrite || k == kWriteCommit || k == kSyncState;
 }
 
+/// Writes the frame header. The version byte is 0 (the original protocol's
+/// reserved byte) unless an object field follows — so default-object frames
+/// are byte-identical to the pre-namespace wire format.
+void put_header(Encoder& e, std::uint16_t kind, ObjectId object) {
+  e.u8(static_cast<std::uint8_t>(kind));
+  if (object == kDefaultObject) {
+    e.u8(0);
+  } else {
+    e.u8(1);
+    e.u64(object);
+  }
+}
+
+/// Reads the post-kind header remainder: version byte, then the object field
+/// when present. Unknown versions are wire garbage.
+ObjectId get_object(Decoder& d) {
+  const std::uint8_t version = d.u8();
+  if (version == 0) return kDefaultObject;
+  if (version == 1) return d.u64();
+  throw DecodeError("decode_message: unsupported frame version " +
+                    std::to_string(version));
+}
+
+std::string object_suffix(ObjectId object) {
+  return object == kDefaultObject ? "" : ",o=" + std::to_string(object);
+}
+
 }  // namespace
 
 std::string ClientWrite::describe() const {
   return "ClientWrite{c=" + std::to_string(client) +
          ",r=" + std::to_string(req) + ",|v|=" + std::to_string(value.size()) +
-         "}";
+         object_suffix(object) + "}";
 }
 
 std::string ClientWriteAck::describe() const {
-  return "ClientWriteAck{r=" + std::to_string(req) + "}";
+  return "ClientWriteAck{r=" + std::to_string(req) + object_suffix(object) +
+         "}";
 }
 
 std::string ClientRead::describe() const {
   return "ClientRead{c=" + std::to_string(client) + ",r=" + std::to_string(req) +
-         "}";
+         object_suffix(object) + "}";
 }
 
 std::string ClientReadAck::describe() const {
   return "ClientReadAck{r=" + std::to_string(req) + ",tag=" + tag.to_string() +
-         ",|v|=" + std::to_string(value.size()) + "}";
+         ",|v|=" + std::to_string(value.size()) + object_suffix(object) + "}";
 }
 
 std::string PreWrite::describe() const {
   return "PreWrite{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
          ",r=" + std::to_string(req) + ",|v|=" + std::to_string(value.size()) +
-         "}";
+         object_suffix(object) + "}";
 }
 
 std::string WriteCommit::describe() const {
   return "WriteCommit{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
-         ",r=" + std::to_string(req) + "}";
+         ",r=" + std::to_string(req) + object_suffix(object) + "}";
 }
 
 std::string SyncState::describe() const {
   return "SyncState{tag=" + tag.to_string() + ",|v|=" +
-         std::to_string(value.size()) + "}";
+         std::to_string(value.size()) + object_suffix(object) + "}";
 }
 
 std::string RingBatch::describe() const {
@@ -74,11 +102,10 @@ std::string RingBatch::describe() const {
 
 std::string encode_message(const net::Payload& msg) {
   Encoder e;
-  e.u8(static_cast<std::uint8_t>(msg.kind()));
-  e.u8(0);  // reserved / version
   switch (msg.kind()) {
     case kClientWrite: {
       const auto& m = static_cast<const ClientWrite&>(msg);
+      put_header(e, m.kind(), m.object);
       e.u64(m.client);
       e.u64(m.req);
       e.value(m.value);
@@ -86,17 +113,20 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kClientWriteAck: {
       const auto& m = static_cast<const ClientWriteAck&>(msg);
+      put_header(e, m.kind(), m.object);
       e.u64(m.req);
       break;
     }
     case kClientRead: {
       const auto& m = static_cast<const ClientRead&>(msg);
+      put_header(e, m.kind(), m.object);
       e.u64(m.client);
       e.u64(m.req);
       break;
     }
     case kClientReadAck: {
       const auto& m = static_cast<const ClientReadAck&>(msg);
+      put_header(e, m.kind(), m.object);
       e.u64(m.req);
       e.value(m.value);
       put_tag(e, m.tag);
@@ -104,6 +134,7 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kPreWrite: {
       const auto& m = static_cast<const PreWrite&>(msg);
+      put_header(e, m.kind(), m.object);
       put_tag(e, m.tag);
       e.u64(m.client);
       e.u64(m.req);
@@ -112,6 +143,7 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kWriteCommit: {
       const auto& m = static_cast<const WriteCommit&>(msg);
+      put_header(e, m.kind(), m.object);
       put_tag(e, m.tag);
       e.u64(m.client);
       e.u64(m.req);
@@ -119,11 +151,13 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kSyncState: {
       const auto& m = static_cast<const SyncState&>(msg);
+      put_header(e, m.kind(), m.object);
       put_tag(e, m.tag);
       e.value(m.value);
       break;
     }
     case kRingBatch: {
+      put_header(e, msg.kind(), kDefaultObject);
       // Building a bad batch is a caller bug, not an input error: keep it
       // distinguishable from wire garbage (DecodeError) for callers that
       // catch-and-drop malformed frames.
@@ -157,47 +191,59 @@ namespace {
 /// recursion).
 net::PayloadPtr decode_inner(Decoder& d, bool allow_batch) {
   auto kind = static_cast<MsgKind>(d.u8());
-  (void)d.u8();  // reserved
   switch (kind) {
     case kClientWrite: {
+      ObjectId obj = get_object(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
       Value v = d.value();
-      return net::make_payload<ClientWrite>(c, r, std::move(v));
+      return net::make_payload<ClientWrite>(c, r, std::move(v), obj);
     }
-    case kClientWriteAck:
-      return net::make_payload<ClientWriteAck>(d.u64());
+    case kClientWriteAck: {
+      ObjectId obj = get_object(d);
+      RequestId r = d.u64();
+      return net::make_payload<ClientWriteAck>(r, obj);
+    }
     case kClientRead: {
+      ObjectId obj = get_object(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
-      return net::make_payload<ClientRead>(c, r);
+      return net::make_payload<ClientRead>(c, r, obj);
     }
     case kClientReadAck: {
+      ObjectId obj = get_object(d);
       RequestId r = d.u64();
       Value v = d.value();
       Tag t = get_tag(d);
-      return net::make_payload<ClientReadAck>(r, std::move(v), t);
+      return net::make_payload<ClientReadAck>(r, std::move(v), t, obj);
     }
     case kPreWrite: {
+      ObjectId obj = get_object(d);
       Tag t = get_tag(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
       Value v = d.value();
-      return net::make_payload<PreWrite>(t, std::move(v), c, r);
+      return net::make_payload<PreWrite>(t, std::move(v), c, r, obj);
     }
     case kWriteCommit: {
+      ObjectId obj = get_object(d);
       Tag t = get_tag(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
-      return net::make_payload<WriteCommit>(t, c, r);
+      return net::make_payload<WriteCommit>(t, c, r, obj);
     }
     case kSyncState: {
+      ObjectId obj = get_object(d);
       Tag t = get_tag(d);
       Value v = d.value();
-      return net::make_payload<SyncState>(t, std::move(v));
+      return net::make_payload<SyncState>(t, std::move(v), obj);
     }
     case kRingBatch: {
       if (!allow_batch) throw DecodeError("decode_message: nested RingBatch");
+      if (get_object(d) != kDefaultObject) {
+        // The train itself is object-neutral; parts carry their own objects.
+        throw DecodeError("decode_message: RingBatch frame carries an object");
+      }
       const std::uint32_t count = d.u32();
       if (count == 0) throw DecodeError("decode_message: empty RingBatch");
       std::vector<net::PayloadPtr> parts;

@@ -1,4 +1,5 @@
-// Wire messages of the ring storage protocol (paper §3 pseudo-code).
+// Wire messages of the ring storage protocol (paper §3 pseudo-code),
+// extended with a first-class object namespace.
 //
 // Two networks, two message families:
 //  * client ⇄ server: ClientWrite / ClientWriteAck / ClientRead / ClientReadAck
@@ -9,6 +10,15 @@
 // This is what lets the implementation reach ~0.8 × link bandwidth of write
 // throughput (the paper's 81 Mbit/s on 100 Mbit/s links would be impossible
 // if values crossed the ring twice) — see DESIGN.md §3.
+//
+// Object namespace framing (DESIGN.md §Multi-object): every message names the
+// register it operates on via an ObjectId. The second header byte — reserved
+// (always 0) in the original protocol — doubles as the frame version:
+//   version 0: no object field; the message addresses kDefaultObject (0).
+//   version 1: a u64 ObjectId follows the header, before all other fields.
+// Messages for object 0 are always emitted as version 0, which makes
+// single-register traffic byte-for-byte identical to the pre-namespace
+// protocol (pinned by tests), while every other object pays exactly 8 bytes.
 #pragma once
 
 #include <cstddef>
@@ -35,48 +45,62 @@ enum MsgKind : std::uint16_t {
 };
 
 // Fixed field widths on the wire.
-inline constexpr std::size_t kTagWire = 12;   // u64 ts + u32 id
-inline constexpr std::size_t kKindWire = 2;   // u16 discriminant
-inline constexpr std::size_t kIdWire = 8;     // ClientId / RequestId
-inline constexpr std::size_t kLenWire = 4;    // value length prefix
+inline constexpr std::size_t kTagWire = 12;    // u64 ts + u32 id
+inline constexpr std::size_t kKindWire = 2;    // u16 discriminant (kind + ver)
+inline constexpr std::size_t kIdWire = 8;      // ClientId / RequestId
+inline constexpr std::size_t kLenWire = 4;     // value length prefix
+inline constexpr std::size_t kObjectWire = 8;  // u64 ObjectId (version 1 only)
 
-/// Client → server: store `value`. `req` makes retries idempotent.
+/// Bytes the object field occupies for a given object: the default object is
+/// encoded implicitly (version-0 frame), every other object costs u64.
+[[nodiscard]] constexpr std::size_t object_wire(ObjectId object) {
+  return object == kDefaultObject ? 0 : kObjectWire;
+}
+
+/// Client → server: store `value` in register `object`. `req` makes retries
+/// idempotent.
 struct ClientWrite final : net::Payload {
-  ClientWrite(ClientId c, RequestId r, Value v)
-      : Payload(kClientWrite), client(c), req(r), value(std::move(v)) {}
+  ClientWrite(ClientId c, RequestId r, Value v, ObjectId obj = kDefaultObject)
+      : Payload(kClientWrite), client(c), req(r), value(std::move(v)),
+        object(obj) {}
 
   ClientId client;
   RequestId req;
   Value value;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + 2 * kIdWire + kLenWire + value.size();
+    return kKindWire + object_wire(object) + 2 * kIdWire + kLenWire +
+           value.size();
   }
   [[nodiscard]] std::string describe() const override;
 };
 
 /// Server → client: the write identified by `req` is complete.
 struct ClientWriteAck final : net::Payload {
-  explicit ClientWriteAck(RequestId r) : Payload(kClientWriteAck), req(r) {}
+  explicit ClientWriteAck(RequestId r, ObjectId obj = kDefaultObject)
+      : Payload(kClientWriteAck), req(r), object(obj) {}
 
   RequestId req;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + kIdWire;
+    return kKindWire + object_wire(object) + kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
 
-/// Client → server: read the register.
+/// Client → server: read register `object`.
 struct ClientRead final : net::Payload {
-  ClientRead(ClientId c, RequestId r)
-      : Payload(kClientRead), client(c), req(r) {}
+  ClientRead(ClientId c, RequestId r, ObjectId obj = kDefaultObject)
+      : Payload(kClientRead), client(c), req(r), object(obj) {}
 
   ClientId client;
   RequestId req;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + 2 * kIdWire;
+    return kKindWire + object_wire(object) + 2 * kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
@@ -85,63 +109,75 @@ struct ClientRead final : net::Payload {
 /// verification (linearizability checking); a production deployment could
 /// strip it, it is 12 bytes.
 struct ClientReadAck final : net::Payload {
-  ClientReadAck(RequestId r, Value v, Tag t)
-      : Payload(kClientReadAck), req(r), value(std::move(v)), tag(t) {}
+  ClientReadAck(RequestId r, Value v, Tag t, ObjectId obj = kDefaultObject)
+      : Payload(kClientReadAck), req(r), value(std::move(v)), tag(t),
+        object(obj) {}
 
   RequestId req;
   Value value;
   Tag tag;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + kIdWire + kLenWire + value.size() + kTagWire;
+    return kKindWire + object_wire(object) + kIdWire + kLenWire +
+           value.size() + kTagWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
 
-/// Ring phase 1: announce `value` under `tag` to every server. The origin is
-/// `tag.id`. Carries the writing client's identity so that completion can be
-/// recorded for retry deduplication everywhere.
+/// Ring phase 1: announce `value` under `tag` for register `object` to every
+/// server. The origin is `tag.id`. Carries the writing client's identity so
+/// that completion can be recorded for retry deduplication everywhere.
 struct PreWrite final : net::Payload {
-  PreWrite(Tag t, Value v, ClientId c, RequestId r)
-      : Payload(kPreWrite), tag(t), value(std::move(v)), client(c), req(r) {}
+  PreWrite(Tag t, Value v, ClientId c, RequestId r,
+           ObjectId obj = kDefaultObject)
+      : Payload(kPreWrite), tag(t), value(std::move(v)), client(c), req(r),
+        object(obj) {}
 
   Tag tag;
   Value value;
   ClientId client;
   RequestId req;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + kTagWire + 2 * kIdWire + kLenWire + value.size();
+    return kKindWire + object_wire(object) + kTagWire + 2 * kIdWire +
+           kLenWire + value.size();
   }
   [[nodiscard]] std::string describe() const override;
 };
 
-/// Ring phase 2: commit the pre-written `tag`. Value intentionally omitted.
+/// Ring phase 2: commit the pre-written `tag` of register `object`. Value
+/// intentionally omitted.
 struct WriteCommit final : net::Payload {
-  WriteCommit(Tag t, ClientId c, RequestId r)
-      : Payload(kWriteCommit), tag(t), client(c), req(r) {}
+  WriteCommit(Tag t, ClientId c, RequestId r, ObjectId obj = kDefaultObject)
+      : Payload(kWriteCommit), tag(t), client(c), req(r), object(obj) {}
 
   Tag tag;
   ClientId client;
   RequestId req;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + kTagWire + 2 * kIdWire;
+    return kKindWire + object_wire(object) + kTagWire + 2 * kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
 
-/// Ring repair: predecessor of a crashed server pushes its current state to
-/// its new successor so the splice point is at least as fresh as the sender.
-/// Never forwarded.
+/// Ring repair: predecessor of a crashed server pushes one register's current
+/// state to its new successor so the splice point is at least as fresh as the
+/// sender (one SyncState per touched object). Never forwarded.
 struct SyncState final : net::Payload {
-  SyncState(Tag t, Value v) : Payload(kSyncState), tag(t), value(std::move(v)) {}
+  SyncState(Tag t, Value v, ObjectId obj = kDefaultObject)
+      : Payload(kSyncState), tag(t), value(std::move(v)), object(obj) {}
 
   Tag tag;
   Value value;
+  ObjectId object;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + kTagWire + kLenWire + value.size();
+    return kKindWire + object_wire(object) + kTagWire + kLenWire +
+           value.size();
   }
   [[nodiscard]] std::string describe() const override;
 };

@@ -14,29 +14,41 @@ RingServer::RingServer(ProcessId self, std::size_t n_servers,
       opts_(opts),
       ring_(n_servers),
       successor_(ring_.successor(self)),
-      tag_(kInitialTag),
-      sched_(n_servers, self),
-      commit_watermark_(n_servers, 0) {
+      sched_(n_servers, self) {
   assert(self < n_servers);
+  // The default register always exists: crash repair syncs it even when it
+  // was never written, exactly as the single-register protocol did.
+  objects_.emplace(kDefaultObject,
+                   ObjectState(kDefaultObject, n_servers, kInitialTag));
+}
+
+RingServer::ObjectState& RingServer::state_of(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    it = objects_.emplace(id, ObjectState(id, ring_.initial_size(), kInitialTag))
+             .first;
+  }
+  return it->second;
+}
+
+const RingServer::ObjectState* RingServer::find_state(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
 }
 
 // ---------------------------------------------------------------- clients
 
 void RingServer::on_client_write(ClientId client, RequestId req, Value value,
-                                 ServerContext& ctx) {
-  if (opts_.dedup_retries) {
-    auto it = completed_req_.find(client);
-    if (it != completed_req_.end() && it->second >= req) {
-      // This request already completed somewhere (we learned via the commit
-      // circulating); re-applying would risk the duplicate-write atomicity
-      // violation (D5). Just ack.
-      ++stats_.dedup_acks;
-      ctx.send_client(client,
-                      net::make_payload<ClientWriteAck>(req));
-      return;
-    }
+                                 ServerContext& ctx, ObjectId object) {
+  if (opts_.dedup_retries && request_completed(client, req)) {
+    // This request already completed somewhere (we learned via the commit
+    // circulating); re-applying would risk the duplicate-write atomicity
+    // violation (D5). Just ack.
+    ++stats_.dedup_acks;
+    ctx.send_client(client, net::make_payload<ClientWriteAck>(req, object));
+    return;
   }
-  LocalWrite w{client, req, std::move(value)};
+  LocalWrite w{object, client, req, std::move(value)};
   if (solo()) {
     solo_write(w, ctx);
     return;
@@ -45,24 +57,29 @@ void RingServer::on_client_write(ClientId client, RequestId req, Value value,
 }
 
 void RingServer::on_client_read(ClientId client, RequestId req,
-                                ServerContext& ctx) {
-  if (pending_.empty()) {  // line 77
+                                ServerContext& ctx, ObjectId object) {
+  const ObjectState* obj = find_state(object);
+  if (obj == nullptr || obj->pending.empty()) {  // line 77
+    // A never-touched register is a register in its initial state — no
+    // pending pre-writes can exist for it, so the read is immediate.
     ++stats_.reads_immediate;
-    ctx.send_client(client,
-                    net::make_payload<ClientReadAck>(req, value_, tag_));
+    ctx.send_client(client, net::make_payload<ClientReadAck>(
+                                req, obj ? obj->value : Value{},
+                                obj ? obj->tag : kInitialTag, object));
     return;
   }
-  const Tag threshold = *pending_.max_tag();  // line 80
-  if (opts_.read_fastpath && tag_ >= threshold) {
+  const Tag threshold = *obj->pending.max_tag();  // line 80
+  if (opts_.read_fastpath && obj->tag >= threshold) {
     // Ablation: the locally applied value already dominates every pending
     // pre-write, so it is safe to return it (the paper always parks).
     ++stats_.reads_immediate;
-    ctx.send_client(client,
-                    net::make_payload<ClientReadAck>(req, value_, tag_));
+    ctx.send_client(client, net::make_payload<ClientReadAck>(req, obj->value,
+                                                             obj->tag, object));
     return;
   }
   ++stats_.reads_parked;
-  parked_.push_back(ParkedRead{client, req, threshold});  // line 81
+  state_of(object).parked.push_back(
+      ParkedRead{client, req, threshold});  // line 81
 }
 
 // ---------------------------------------------------------------- ring in
@@ -96,10 +113,11 @@ void RingServer::on_ring_message(net::PayloadPtr msg, ServerContext& ctx) {
 
 void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
                                   ServerContext& ctx) {
+  ObjectState& obj = state_of(m.object);
   if (m.tag.id == self_) {
     // My own pre-write completed the loop (lines 32–39).
-    auto it = outstanding_.find(m.tag);
-    if (it == outstanding_.end()) {
+    auto it = obj.outstanding.find(m.tag);
+    if (it == obj.outstanding.end()) {
       // Long completed; a crash-recovery duplicate. Absorb.
       ++stats_.duplicates_dropped;
       return;
@@ -109,40 +127,41 @@ void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
       // duplicate exists because of a crash re-send, so the commit may have
       // been lost too — re-issue it.
       push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
-                                                 it->second.req));
+                                                 it->second.req, m.object));
       return;
     }
     it->second.write_phase = true;
-    pending_.erase(m.tag);        // line 37
-    apply(m.tag, it->second.value);  // lines 33–36
+    obj.pending.erase(m.tag);           // line 37
+    apply(obj, m.tag, it->second.value);  // lines 33–36
     push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
-                                               it->second.req));  // line 38
+                                               it->second.req,
+                                               m.object));  // line 38
     return;
   }
 
   // Transit. The early-commit case must run before duplicate suppression:
   // processing the overtaking commit set the watermark, but this pre-write
   // is the first copy we see, not a duplicate.
-  if (early_commits_.contains(m.tag)) {
+  if (obj.early_commits.contains(m.tag)) {
     // Defensive (non-FIFO fabrics only): the commit overtook this pre-write.
     // Apply now and forward the pre-write so downstream servers can do the
     // same; it must NOT enter the pending set (the commit already passed).
-    early_commits_.erase(m.tag);
-    apply(m.tag, m.value);
-    note_completed(m.tag, m.client, m.req);
-    unpark_up_to(m.tag, ctx);
+    obj.early_commits.erase(m.tag);
+    apply(obj, m.tag, m.value);
+    note_completed(obj, m.tag, m.client, m.req);
+    unpark_up_to(obj, m.tag, ctx);
     sched_.enqueue(ForwardItem{m.tag.id, msg});
     return;
   }
 
   // Duplicate handling (D5):
-  if (already_committed(m.tag)) {
+  if (already_committed(obj, m.tag)) {
     // The commit already passed here; everyone downstream on this path has
     // or will see that commit before this duplicate. Nothing to do.
     ++stats_.duplicates_dropped;
     return;
   }
-  if (queued_tags_.contains(m.tag)) {
+  if (obj.queued_tags.contains(m.tag)) {
     // Original copy is still waiting in our forward queue; it will carry the
     // information onward. Drop the duplicate.
     ++stats_.duplicates_dropped;
@@ -154,21 +173,23 @@ void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
     // D4: the pre-write of a dead origin completed its loop at us — we are
     // the surrogate. Behave exactly as the origin would at line 32: apply,
     // clear pending, and launch the write phase on the origin's behalf.
-    if (adopted_.contains(m.tag)) {
+    if (obj.adopted.contains(m.tag)) {
       // Duplicate while our adoption commit circulates; re-issue the commit
       // in case it was lost with another crash.
-      push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req));
+      push_urgent(
+          net::make_payload<WriteCommit>(m.tag, m.client, m.req, m.object));
       return;
     }
     ++stats_.adoptions;
-    pending_.erase(m.tag);
-    apply(m.tag, m.value);
-    adopted_[m.tag] = {m.client, m.req};
-    push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req));
+    obj.pending.erase(m.tag);
+    apply(obj, m.tag, m.value);
+    obj.adopted[m.tag] = {m.client, m.req};
+    push_urgent(
+        net::make_payload<WriteCommit>(m.tag, m.client, m.req, m.object));
     return;
   }
 
-  if (pending_.contains(m.tag)) {
+  if (obj.pending.contains(m.tag)) {
     // We already forwarded this pre-write once (it is pending here). A
     // duplicate must still travel onward: crash recovery re-sends exist
     // precisely to bridge gaps *downstream* of us. Forward without
@@ -180,38 +201,39 @@ void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
   // Normal transit path (lines 30–31). The pending insertion happens at
   // forward time (line 71) — see next_ring_send().
   sched_.enqueue(ForwardItem{m.tag.id, msg});
-  queued_tags_.insert(m.tag);
+  obj.queued_tags.insert(m.tag);
   (void)ctx;
 }
 
 void RingServer::handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
                                ServerContext& ctx) {
+  ObjectState& obj = state_of(m.object);
   if (m.tag.id == self_) {
     // My own commit returned: the write is complete (lines 49–51).
-    auto it = outstanding_.find(m.tag);
-    if (it == outstanding_.end()) {
+    auto it = obj.outstanding.find(m.tag);
+    if (it == obj.outstanding.end()) {
       ++stats_.duplicates_dropped;  // duplicate of an acked write
       return;
     }
-    note_completed(m.tag, it->second.client, it->second.req);
-    ctx.send_client(it->second.client,
-                    net::make_payload<ClientWriteAck>(it->second.req));
-    outstanding_.erase(it);
-    unpark_up_to(m.tag, ctx);
+    note_completed(obj, m.tag, it->second.client, it->second.req);
+    ctx.send_client(it->second.client, net::make_payload<ClientWriteAck>(
+                                           it->second.req, m.object));
+    obj.outstanding.erase(it);
+    unpark_up_to(obj, m.tag, ctx);
     return;
   }
 
   // Surrogate absorption: a commit we issued for a dead origin came back.
-  auto ad = adopted_.find(m.tag);
-  if (ad != adopted_.end() && !ring_.is_alive(m.tag.id) &&
+  auto ad = obj.adopted.find(m.tag);
+  if (ad != obj.adopted.end() && !ring_.is_alive(m.tag.id) &&
       ring_.absorber(m.tag.id) == self_) {
-    note_completed(m.tag, ad->second.first, ad->second.second);
-    adopted_.erase(ad);
-    unpark_up_to(m.tag, ctx);
+    note_completed(obj, m.tag, ad->second.first, ad->second.second);
+    obj.adopted.erase(ad);
+    unpark_up_to(obj, m.tag, ctx);
     return;
   }
 
-  if (already_committed(m.tag)) {
+  if (already_committed(obj, m.tag)) {
     // Recovery duplicate. Forward it (downstream may have missed it) unless
     // we are where it must be absorbed.
     if (!ring_.is_alive(m.tag.id) && ring_.absorber(m.tag.id) == self_) {
@@ -222,20 +244,22 @@ void RingServer::handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
     return;
   }
 
-  auto entry = pending_.erase(m.tag);  // line 47
+  auto entry = obj.pending.erase(m.tag);  // line 47
   if (entry) {
-    apply(m.tag, entry->value);  // lines 43–46, value cached at pre-write
+    apply(obj, m.tag, entry->value);  // lines 43–46, value cached at pre-write
   } else {
     // Commit overtook its pre-write (only possible on a non-FIFO fabric).
     // Remember it; the pre-write handler completes the work.
-    early_commits_.insert(m.tag);
+    obj.early_commits.insert(m.tag);
   }
-  note_completed(m.tag, m.client, m.req);
-  unpark_up_to(m.tag, ctx);
+  note_completed(obj, m.tag, m.client, m.req);
+  unpark_up_to(obj, m.tag, ctx);
   sched_.enqueue(ForwardItem{m.tag.id, msg});  // line 48
 }
 
-void RingServer::handle_sync(const SyncState& m) { apply(m.tag, m.value); }
+void RingServer::handle_sync(const SyncState& m) {
+  apply(state_of(m.object), m.tag, m.value);
+}
 
 // ---------------------------------------------------------------- egress
 
@@ -274,8 +298,9 @@ std::optional<RingSend> RingServer::next_ring_send() {
     if (item.msg->kind() == kPreWrite) {
       // Line 71: a pre-write enters our pending set when we forward it.
       const auto& pw = static_cast<const PreWrite&>(*item.msg);
-      if (queued_tags_.erase(pw.tag) > 0) {
-        pending_.insert(PendingEntry{pw.tag, pw.value, pw.client, pw.req});
+      ObjectState& obj = state_of(pw.object);
+      if (obj.queued_tags.erase(pw.tag) > 0) {
+        obj.pending.insert(PendingEntry{pw.tag, pw.value, pw.client, pw.req});
       }
     }
     ++stats_.forwards;
@@ -311,27 +336,31 @@ std::optional<RingBatchSend> RingServer::next_ring_batch() {
 }
 
 RingSend RingServer::initiate_write(LocalWrite w) {
-  // Lines 22–26: tag = [max(highest pending ts, local ts) + 1, i].
-  std::uint64_t ts = tag_.ts;
-  if (auto hp = pending_.max_tag()) ts = std::max(ts, hp->ts);
+  // Lines 22–26: tag = [max(highest pending ts, local ts) + 1, i]. The
+  // timestamp space is per object: registers version independently.
+  ObjectState& obj = state_of(w.object);
+  std::uint64_t ts = obj.tag.ts;
+  if (auto hp = obj.pending.max_tag()) ts = std::max(ts, hp->ts);
   const Tag tag{ts + 1, self_};
 
-  pending_.insert(PendingEntry{tag, w.value, w.client, w.req});
-  outstanding_[tag] = OutstandingWrite{w.client, w.req, w.value, false};
+  obj.pending.insert(PendingEntry{tag, w.value, w.client, w.req});
+  obj.outstanding[tag] = OutstandingWrite{w.client, w.req, w.value, false};
   sched_.count_sent(self_);  // line 26
   ++stats_.pre_writes_initiated;
-  return RingSend{successor_,
-                  net::make_payload<PreWrite>(tag, w.value, w.client, w.req)};
+  return RingSend{successor_, net::make_payload<PreWrite>(
+                                  tag, w.value, w.client, w.req, w.object)};
 }
 
 void RingServer::solo_write(const LocalWrite& w, ServerContext& ctx) {
-  std::uint64_t ts = tag_.ts;
-  if (auto hp = pending_.max_tag()) ts = std::max(ts, hp->ts);
+  ObjectState& obj = state_of(w.object);
+  std::uint64_t ts = obj.tag.ts;
+  if (auto hp = obj.pending.max_tag()) ts = std::max(ts, hp->ts);
   const Tag tag{ts + 1, self_};
-  apply(tag, w.value);
-  note_completed(tag, w.client, w.req);
-  ctx.send_client(w.client, net::make_payload<ClientWriteAck>(w.req));
-  unpark_up_to(tag, ctx);
+  apply(obj, tag, w.value);
+  note_completed(obj, tag, w.client, w.req);
+  ctx.send_client(w.client,
+                  net::make_payload<ClientWriteAck>(w.req, w.object));
+  unpark_up_to(obj, tag, ctx);
 }
 
 // ---------------------------------------------------------------- crashes
@@ -350,58 +379,79 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
   if (was_successor) {
     // Lines 86–91: splice the ring; bring the new successor up to date and
     // re-send every pending pre-write (anything swallowed by the dead
-    // successor is covered; duplicates are suppressed downstream).
-    ++stats_.syncs_sent;
-    push_urgent(net::make_payload<SyncState>(tag_, value_));
-    for (const auto& e : pending_.snapshot()) {
-      push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req));
+    // successor is covered; duplicates are suppressed downstream). One
+    // repair pass per touched register, default object first (objects_ is
+    // ordered) — single-register traffic is exactly the original repair
+    // (the default register syncs unconditionally, as the seed did).
+    // Registers still in their initial state need no SyncState: applying
+    // the initial tag downstream is a no-op, and with one register per key
+    // a namespace-wide sweep should not flood the ring with them.
+    for (const auto& [id, obj] : objects_) {
+      if (id == kDefaultObject || !obj.tag.is_initial()) {
+        ++stats_.syncs_sent;
+        push_urgent(net::make_payload<SyncState>(obj.tag, obj.value, id));
+      }
+      for (const auto& e : obj.pending.snapshot()) {
+        push_urgent(
+            net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req, id));
+      }
     }
   }
 
-  // Origin-side repair: any of my in-flight writes may have died inside the
-  // crashed server. Re-issue the current phase; duplicates are absorbed.
-  for (auto& [tag, ow] : outstanding_) {
-    if (ow.write_phase) {
-      push_urgent(net::make_payload<WriteCommit>(tag, ow.client, ow.req));
-    } else {
-      push_urgent(net::make_payload<PreWrite>(tag, ow.value, ow.client, ow.req));
+  for (auto& [id, obj] : objects_) {
+    // Origin-side repair: any of my in-flight writes may have died inside
+    // the crashed server. Re-issue the current phase; duplicates are
+    // absorbed.
+    for (auto& [tag, ow] : obj.outstanding) {
+      if (ow.write_phase) {
+        push_urgent(
+            net::make_payload<WriteCommit>(tag, ow.client, ow.req, id));
+      } else {
+        push_urgent(net::make_payload<PreWrite>(tag, ow.value, ow.client,
+                                                ow.req, id));
+      }
     }
-  }
 
-  // D4 — adoption: if we are the dead server's surrogate, restart the
-  // circulation of every pre-write it originated that is still pending here;
-  // when each loops back to us we commit it on the origin's behalf.
-  if (ring_.absorber(crashed) == self_) {
-    for (const auto& e : pending_.entries_from(crashed)) {
-      ++stats_.adoptions;
-      push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req));
+    // D4 — adoption: if we are the dead server's surrogate, restart the
+    // circulation of every pre-write it originated that is still pending
+    // here; when each loops back to us we commit it on the origin's behalf.
+    if (ring_.absorber(crashed) == self_) {
+      for (const auto& e : obj.pending.entries_from(crashed)) {
+        ++stats_.adoptions;
+        push_urgent(
+            net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req, id));
+      }
     }
   }
 }
 
 void RingServer::resolve_everything_solo(ServerContext& ctx) {
-  // Only this server remains: every pending pre-write resolves by local
-  // application in tag order; every queued/outstanding write completes.
-  for (const auto& e : pending_.snapshot()) {
-    apply(e.tag, e.value);
-    note_completed(e.tag, e.client, e.req);
-  }
-  pending_.clear();
+  // Only this server remains: every pending pre-write of every register
+  // resolves by local application in tag order; every queued/outstanding
+  // write completes.
+  for (auto& [id, obj] : objects_) {
+    for (const auto& e : obj.pending.snapshot()) {
+      apply(obj, e.tag, e.value);
+      note_completed(obj, e.tag, e.client, e.req);
+    }
+    obj.pending.clear();
 
-  for (auto& [tag, ow] : outstanding_) {
-    apply(tag, ow.value);
-    note_completed(tag, ow.client, ow.req);
-    ctx.send_client(ow.client, net::make_payload<ClientWriteAck>(ow.req));
+    for (auto& [tag, ow] : obj.outstanding) {
+      apply(obj, tag, ow.value);
+      note_completed(obj, tag, ow.client, ow.req);
+      ctx.send_client(ow.client,
+                      net::make_payload<ClientWriteAck>(ow.req, id));
+    }
+    obj.outstanding.clear();
+    obj.adopted.clear();
+    obj.queued_tags.clear();
+    obj.early_commits.clear();
+
+    // Parked reads: every threshold tag has now been applied or superseded,
+    // so the current tag dominates every parked threshold.
+    unpark_up_to(obj, obj.tag, ctx);
   }
-  outstanding_.clear();
-  adopted_.clear();
   urgent_.clear();
-  queued_tags_.clear();
-  early_commits_.clear();
-
-  // Parked reads: every threshold tag has now been applied or superseded,
-  // so the current tag dominates every parked threshold.
-  unpark_up_to(tag_, ctx);
 
   // Queued client writes complete through the solo path.
   std::deque<LocalWrite> queued = std::move(write_queue_);
@@ -411,45 +461,86 @@ void RingServer::resolve_everything_solo(ServerContext& ctx) {
 
 // ---------------------------------------------------------------- helpers
 
-void RingServer::apply(const Tag& t, const Value& v) {
-  if (t > tag_) {
-    tag_ = t;
-    value_ = v;
+void RingServer::apply(ObjectState& obj, const Tag& t, const Value& v) {
+  if (t > obj.tag) {
+    obj.tag = t;
+    obj.value = v;
   }
 }
 
-void RingServer::note_completed(const Tag& t, ClientId client, RequestId req) {
-  if (t.id < commit_watermark_.size()) {
-    commit_watermark_[t.id] = std::max(commit_watermark_[t.id], t.ts);
+void RingServer::note_completed(ObjectState& obj, const Tag& t,
+                                ClientId client, RequestId req) {
+  if (t.id < obj.commit_watermark.size()) {
+    obj.commit_watermark[t.id] = std::max(obj.commit_watermark[t.id], t.ts);
   }
-  if (opts_.dedup_retries) {
-    auto& best = completed_req_[client];
-    best = std::max(best, req);
+  if (!opts_.dedup_retries) return;
+  CompletedWindow& w = completed_req_[client];
+  if (req <= w.watermark) return;  // stale duplicate
+  w.above.insert(req);
+  // D6: advance the watermark over the gapless completed prefix. Write ids
+  // are gapless per client (reads use a disjoint id space), so a gap is a
+  // write whose commit has not circulated yet — it will, and `above`
+  // drains. No forced compaction: guessing a gap closed could ack a write
+  // that was never applied (an acked-but-lost write).
+  while (!w.above.empty() && *w.above.begin() == w.watermark + 1) {
+    w.watermark = *w.above.begin();
+    w.above.erase(w.above.begin());
   }
 }
 
-bool RingServer::already_committed(const Tag& t) const {
-  return t.id < commit_watermark_.size() && t.ts <= commit_watermark_[t.id];
+bool RingServer::request_completed(ClientId client, RequestId req) const {
+  auto it = completed_req_.find(client);
+  if (it == completed_req_.end()) return false;
+  return req <= it->second.watermark || it->second.above.contains(req);
 }
 
-void RingServer::unpark_up_to(const Tag& t, ServerContext& ctx) {
+bool RingServer::already_committed(const ObjectState& obj, const Tag& t) {
+  return t.id < obj.commit_watermark.size() &&
+         t.ts <= obj.commit_watermark[t.id];
+}
+
+void RingServer::unpark_up_to(ObjectState& obj, const Tag& t,
+                              ServerContext& ctx) {
   std::vector<ParkedRead> keep;
-  keep.reserve(parked_.size());
-  for (ParkedRead& r : parked_) {
+  keep.reserve(obj.parked.size());
+  for (ParkedRead& r : obj.parked) {
     if (r.threshold <= t) {
       // D2: reply with the *current* local value — at least as new as the
       // threshold since the unblocking commit has been applied.
-      ctx.send_client(r.client,
-                      net::make_payload<ClientReadAck>(r.req, value_, tag_));
+      ctx.send_client(r.client, net::make_payload<ClientReadAck>(
+                                    r.req, obj.value, obj.tag, obj.id));
     } else {
       keep.push_back(std::move(r));
     }
   }
-  parked_.swap(keep);
+  obj.parked.swap(keep);
 }
 
 void RingServer::push_urgent(net::PayloadPtr msg) {
   urgent_.push_back(std::move(msg));
+}
+
+const Tag& RingServer::current_tag(ObjectId object) const {
+  static const Tag initial = kInitialTag;
+  const ObjectState* obj = find_state(object);
+  return obj ? obj->tag : initial;
+}
+
+const Value& RingServer::current_value(ObjectId object) const {
+  static const Value empty;
+  const ObjectState* obj = find_state(object);
+  return obj ? obj->value : empty;
+}
+
+const PendingSet& RingServer::pending(ObjectId object) const {
+  static const PendingSet none;
+  const ObjectState* obj = find_state(object);
+  return obj ? obj->pending : none;
+}
+
+std::size_t RingServer::parked_read_count(ObjectId object) const {
+  const ObjectState* obj = find_state(object);
+  return obj ? obj->parked.size() : 0;
 }
 
 }  // namespace hts::core

@@ -1,6 +1,6 @@
 // RingServer — the server side of the paper's atomic storage algorithm
 // (pseudo-code lines 11–93), as a deterministic, transport-agnostic state
-// machine.
+// machine, generalised to a keyed namespace of independent registers.
 //
 // The state machine is hosted by a fabric (discrete-event simulator, threaded
 // in-memory transport, or the synchronous round model). Inputs arrive through
@@ -10,14 +10,24 @@
 // whenever the ring link is free. This mirrors the paper's model where a
 // server emits at most one ring message per round.
 //
+// Multi-object layout (DESIGN.md §Multi-object): everything the paper's
+// pseudo-code keeps per register — tag, value, pending_write_set, parked
+// reads, the origin's in-flight writes — lives in one ObjectState record,
+// keyed by ObjectId. Everything that belongs to the *server* — the ring view,
+// the fairness scheduler with its per-origin nb_msg counters, the local write
+// queue, the urgent queue, retry deduplication — stays singular, so one ring
+// and one batching pipeline carry the traffic of every object and commits for
+// many objects amortise into one train.
+//
 // Correctness-critical behaviours beyond the paper's pseudo-code are flagged
-// with DESIGN.md deviation numbers (D1..D5).
+// with DESIGN.md deviation numbers (D1..D6).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -49,7 +59,7 @@ struct RingSend {
 /// One batched ring transmission: up to ServerOptions::max_batch messages for
 /// this server's current successor, chosen one at a time by the fairness
 /// policy — the paper's nb_msg rule holds *within* a batch exactly as it
-/// does across batches.
+/// does across batches. Messages of different objects share trains freely.
 struct RingBatchSend {
   ProcessId to = kNoProcess;
   std::vector<net::PayloadPtr> msgs;
@@ -85,6 +95,7 @@ struct ServerOptions {
   /// DESIGN.md §Batching). The default matches the 16-message coalescing
   /// window the TCP-stream model used previously.
   std::size_t max_batch = 16;
+
 };
 
 /// Counters exposed for tests and ablation benches.
@@ -109,12 +120,13 @@ class RingServer {
 
   // ---------- inputs (driven by the fabric) ----------
 
-  /// ⟨write, v⟩ from a client (lines 18–20).
+  /// ⟨write, v⟩ for `object` from a client (lines 18–20).
   void on_client_write(ClientId client, RequestId req, Value value,
-                       ServerContext& ctx);
+                       ServerContext& ctx, ObjectId object = kDefaultObject);
 
-  /// ⟨read⟩ from a client (lines 76–84).
-  void on_client_read(ClientId client, RequestId req, ServerContext& ctx);
+  /// ⟨read⟩ of `object` from a client (lines 76–84).
+  void on_client_read(ClientId client, RequestId req, ServerContext& ctx,
+                      ObjectId object = kDefaultObject);
 
   /// A ring message from the predecessor (PreWrite / WriteCommit /
   /// SyncState), or a RingBatch of them — unpacked here, atomically, so
@@ -140,13 +152,21 @@ class RingServer {
   std::optional<RingBatchSend> next_ring_batch();
 
   // ---------- introspection (tests, benches) ----------
+  //
+  // The single-object accessors of the original API read the default
+  // register; every one has an object-keyed overload. Reading a register
+  // that was never written is valid and yields the initial state.
 
   [[nodiscard]] ProcessId id() const { return self_; }
-  [[nodiscard]] const Tag& current_tag() const { return tag_; }
-  [[nodiscard]] const Value& current_value() const { return value_; }
-  [[nodiscard]] const PendingSet& pending() const { return pending_; }
+  [[nodiscard]] const Tag& current_tag(ObjectId object = kDefaultObject) const;
+  [[nodiscard]] const Value& current_value(
+      ObjectId object = kDefaultObject) const;
+  [[nodiscard]] const PendingSet& pending(
+      ObjectId object = kDefaultObject) const;
   [[nodiscard]] const RingView& ring() const { return ring_; }
-  [[nodiscard]] std::size_t parked_read_count() const { return parked_.size(); }
+  [[nodiscard]] std::size_t parked_read_count(
+      ObjectId object = kDefaultObject) const;
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
   [[nodiscard]] std::size_t write_queue_depth() const {
     return write_queue_.size();
   }
@@ -155,6 +175,7 @@ class RingServer {
 
  private:
   struct LocalWrite {
+    ObjectId object;
     ClientId client;
     RequestId req;
     Value value;
@@ -171,6 +192,44 @@ class RingServer {
     bool write_phase = false;  // own PreWrite completed the loop
   };
 
+  /// Everything the paper keeps per register. Tags of different objects live
+  /// in disjoint spaces: each object counts its own timestamps.
+  struct ObjectState {
+    ObjectId id = kDefaultObject;  // which register this record is
+    Value value;          // v   (line 12)
+    Tag tag;              // [ts, id]
+    PendingSet pending;   // pending_write_set
+    std::vector<ParkedRead> parked;
+
+    // Origin bookkeeping: my in-flight writes, keyed by tag (D3).
+    std::map<Tag, OutstandingWrite> outstanding;
+    // Surrogate bookkeeping: writes I am completing for a dead origin (D4).
+    std::map<Tag, std::pair<ClientId, RequestId>> adopted;
+
+    // Duplicate suppression (D5): per-origin highest committed timestamp.
+    std::vector<std::uint64_t> commit_watermark;
+    // Tags currently sitting in the forward queue (cheap duplicate test).
+    std::unordered_set<Tag> queued_tags;
+    // Defensive: commits that arrived before their pre-write (non-FIFO).
+    std::unordered_set<Tag> early_commits;
+
+    ObjectState(ObjectId object, std::size_t n_servers, const Tag& initial)
+        : id(object), tag(initial), commit_watermark(n_servers, 0) {}
+  };
+
+  /// D6: per-client completed-write tracking that tolerates out-of-order
+  /// completion (pipelined sessions). Write request ids are gapless per
+  /// client (reads draw from a disjoint id space — client.h), so
+  /// `watermark` covers the exact completed prefix and `above` holds
+  /// out-of-order completions past a still-outstanding write; every gap
+  /// write eventually completes (retry + ring liveness), draining `above`.
+  /// Tracking is exact — a request is reported completed iff its commit
+  /// was seen — which is what makes the dedup ack safe.
+  struct CompletedWindow {
+    RequestId watermark = 0;
+    std::set<RequestId> above;
+  };
+
   void handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
                         ServerContext& ctx);
   void handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
@@ -184,18 +243,29 @@ class RingServer {
   /// Solo fast path: the ring is just this server; writes apply immediately.
   void solo_write(const LocalWrite& w, ServerContext& ctx);
 
-  /// Applies (tag, value) to the local register if newer (lines 33–35/43–45).
-  void apply(const Tag& t, const Value& v);
+  /// Fetches (creating on first touch) the state of one register.
+  ObjectState& state_of(ObjectId id);
+  /// Read-only lookup; nullptr when the register was never touched.
+  [[nodiscard]] const ObjectState* find_state(ObjectId id) const;
+
+  /// Applies (tag, value) to the register if newer (lines 33–35/43–45).
+  static void apply(ObjectState& obj, const Tag& t, const Value& v);
 
   /// Records completion of a write for duplicate suppression (watermark) and
   /// client-retry deduplication.
-  void note_completed(const Tag& t, ClientId client, RequestId req);
+  void note_completed(ObjectState& obj, const Tag& t, ClientId client,
+                      RequestId req);
 
-  /// Replies to every parked read whose threshold is <= t (line 81 trigger).
-  void unpark_up_to(const Tag& t, ServerContext& ctx);
+  /// True if this request id completed for this client (D5/D6).
+  [[nodiscard]] bool request_completed(ClientId client, RequestId req) const;
+
+  /// Replies to every parked read of `obj` whose threshold is <= t
+  /// (line 81 trigger).
+  void unpark_up_to(ObjectState& obj, const Tag& t, ServerContext& ctx);
 
   /// True if a commit for this tag was already processed here.
-  [[nodiscard]] bool already_committed(const Tag& t) const;
+  [[nodiscard]] static bool already_committed(const ObjectState& obj,
+                                              const Tag& t);
 
   /// When the view collapses to {self}, every pending write resolves locally.
   void resolve_everything_solo(ServerContext& ctx);
@@ -209,32 +279,19 @@ class RingServer {
   RingView ring_;
   ProcessId successor_;
 
-  Value value_;            // v   (line 12)
-  Tag tag_;                // [ts, id]
-  PendingSet pending_;     // pending_write_set
-  FairScheduler sched_;    // forward_queue + nb_msg
+  // Per-register protocol state. std::map: deterministic iteration order for
+  // crash re-sends (object 0 first), pointer stability across insertions.
+  std::map<ObjectId, ObjectState> objects_;
+
+  FairScheduler sched_;    // forward_queue + nb_msg — per SERVER, all objects
   std::deque<LocalWrite> write_queue_;
 
   // Paper-direct sends (write-phase starts, crash repair) jump the fairness
   // queue; they correspond to the pseudo-code's immediate `send` statements.
   std::deque<net::PayloadPtr> urgent_;
 
-  // Origin bookkeeping: my in-flight writes, keyed by tag (D3).
-  std::map<Tag, OutstandingWrite> outstanding_;
-
-  // Surrogate bookkeeping: writes I am completing for a dead origin (D4).
-  std::map<Tag, std::pair<ClientId, RequestId>> adopted_;
-
-  std::vector<ParkedRead> parked_;
-
-  // Duplicate suppression (D5): per-origin highest committed timestamp.
-  std::vector<std::uint64_t> commit_watermark_;
-  // Client-retry dedup (D5): highest completed request id per client.
-  std::unordered_map<ClientId, RequestId> completed_req_;
-  // Tags currently sitting in the forward queue (cheap duplicate test).
-  std::unordered_set<Tag> queued_tags_;
-  // Defensive: commits that arrived before their pre-write (non-FIFO links).
-  std::unordered_set<Tag> early_commits_;
+  // Client-retry dedup (D5/D6): completed write requests per client.
+  std::unordered_map<ClientId, CompletedWindow> completed_req_;
 
   ServerStats stats_;
 };

@@ -10,6 +10,8 @@
 
 #include <cassert>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "baselines/abd.h"
@@ -214,7 +216,8 @@ class BaselineCluster {
       auto& lc = *cluster->clients_[client];
       cluster->client_net_->send(
           client_nic, cluster->machines_[lc.machine]->nic,
-          net::make_payload<ClientEnvelope>(client, std::move(msg)));
+          net::make_payload<ClientEnvelope>(client, server.id(),
+                                            std::move(msg)));
     }
   };
 
@@ -238,9 +241,25 @@ class BaselineCluster {
 
     void deliver(const net::Payload& msg) { client.on_reply(msg, *this); }
 
-    // ClientPort
-    void begin_write(Value v) override { client.begin_write(std::move(v), *this); }
-    void begin_read() override { client.begin_read(*this); }
+    // ClientPort. The baseline protocols serve a single register. A
+    // non-default object must fail loudly in every build: silently
+    // collapsing the namespace onto one register would fabricate
+    // linearizability violations in per-object histories.
+    RequestId begin_write(ObjectId object, Value v) override {
+      require_default(object);
+      return client.begin_write(std::move(v), *this);
+    }
+    RequestId begin_read(ObjectId object) override {
+      require_default(object);
+      return client.begin_read(*this);
+    }
+    static void require_default(ObjectId object) {
+      if (object != kDefaultObject) {
+        throw std::logic_error(
+            "baseline protocols serve only the default register (object 0); "
+            "got object " + std::to_string(object));
+      }
+    }
     void set_on_complete(
         std::function<void(const core::OpResult&)> cb) override {
       client.on_complete = std::move(cb);

@@ -1,6 +1,9 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
@@ -56,6 +59,8 @@ void attach_clients(sim::Simulator& sim, Cluster& cluster,
   base.stop_at = p.warmup_s + p.measure_s;
   base.measure_from = p.warmup_s;
   base.measure_until = p.warmup_s + p.measure_s;
+  base.n_objects = p.n_objects;
+  base.pipeline = p.pipeline;
 
   std::uint64_t seed = p.seed;
   std::size_t total_readers = 0, total_writers = 0;
@@ -92,18 +97,22 @@ void attach_clients(sim::Simulator& sim, Cluster& cluster,
     spawn(s, true, p.writer_machines_per_server, p.writers_per_machine);
   }
 
-  // Preload the register with one full-size value before measurement starts,
-  // so read-only experiments measure real payload transfers (the paper's
-  // register holds data when its read throughput is measured).
+  // Preload every register with one full-size value before measurement
+  // starts, so read-only experiments measure real payload transfers (the
+  // paper's register holds data when its read throughput is measured). One
+  // pipelined burst at t=0: round-robin objects hit each register exactly
+  // once.
   {
     const std::size_t machine = cluster.add_client_machine();
     const ClientId id = add_client(machine, 0);
     WorkloadConfig wl = base;
     wl.write_fraction = 1.0;
     wl.start_at = 0.0;
-    wl.stop_at = 1e-9;  // exactly one operation
+    wl.stop_at = 1e-9;  // exactly one issue burst
     wl.measure_from = base.stop_at + 1;  // never counted
     wl.measure_until = base.stop_at + 2;
+    wl.pipeline = p.n_objects;  // one write per register, all at t=0
+    wl.round_robin_objects = true;
     out.drivers.push_back(std::make_unique<ClosedLoopDriver>(
         sim, cluster.port(id), id, wl, values, nullptr));
     out.is_writer.push_back(false);  // excluded from writer fairness stats
@@ -139,6 +148,11 @@ SimClusterConfig cluster_config(const ExperimentParams& p) {
   cfg.n_servers = p.n_servers;
   cfg.shared_network = p.shared_network;
   cfg.server_options = p.server_options;
+  // Wide enough for the measured pipelining AND for the preload burst to
+  // write every register concurrently at t=0 (drivers bound their own
+  // in-flight ops at wl.pipeline, so measured clients never use the
+  // extra session width).
+  cfg.client_max_inflight = std::max(p.pipeline, p.n_objects);
   // Benches are failure-free; a generous timeout avoids spurious retries
   // under deep queuing.
   cfg.client_retry_timeout_s = 5.0;
@@ -174,6 +188,15 @@ ExperimentResult run_core_experiment(const ExperimentParams& p) {
 
 template <typename Protocol>
 static ExperimentResult run_baseline(const ExperimentParams& p) {
+  // The baseline clients are strictly one-outstanding-op, single-register
+  // (their begin_* precondition is only an assert, stripped in Release):
+  // fail loudly in every build rather than silently corrupt their state.
+  if (p.pipeline > 1 || p.n_objects > 1) {
+    throw std::logic_error(
+        "baseline experiments support neither pipelining nor the object "
+        "namespace (pipeline = " + std::to_string(p.pipeline) +
+        ", n_objects = " + std::to_string(p.n_objects) + ")");
+  }
   sim::Simulator sim;
   BaselineCluster<Protocol> cluster(sim, cluster_config(p));
   UniqueValueSource values;

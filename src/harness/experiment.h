@@ -33,6 +33,13 @@ struct ExperimentParams {
   double warmup_s = 0.5;
   double measure_s = 2.0;
   std::uint64_t seed = 42;
+
+  /// Object namespace: each operation addresses one of n_objects registers
+  /// uniformly at random; each client keeps up to `pipeline` ops in flight
+  /// (core protocol only — baselines serve the single default register).
+  std::size_t n_objects = 1;
+  std::size_t pipeline = 1;
+
   core::ServerOptions server_options;
 };
 

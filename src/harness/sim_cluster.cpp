@@ -35,12 +35,12 @@ struct SimCluster::ServerNode final : core::ServerContext {
         break;
       case core::kClientWrite: {
         const auto& m = static_cast<const core::ClientWrite&>(*msg);
-        server.on_client_write(m.client, m.req, m.value, *this);
+        server.on_client_write(m.client, m.req, m.value, *this, m.object);
         break;
       }
       case core::kClientRead: {
         const auto& m = static_cast<const core::ClientRead&>(*msg);
-        server.on_client_read(m.client, m.req, *this);
+        server.on_client_read(m.client, m.req, *this, m.object);
         break;
       }
       default:
@@ -127,17 +127,23 @@ struct SimCluster::ClientMachine {
 struct SimCluster::LogicalClient final : core::ClientContext, ClientPort {
   SimCluster* cluster = nullptr;
   std::size_t machine = 0;
-  core::StorageClient client;
+  core::ClientSession client;
 
   LogicalClient(SimCluster* cl, std::size_t m, ClientId id,
                 core::ClientOptions opts)
       : cluster(cl), machine(m), client(id, opts) {}
 
-  void deliver(const net::Payload& msg) { client.on_reply(msg, *this); }
+  void deliver(const net::Payload& msg, ProcessId from) {
+    client.on_reply(msg, from, *this);
+  }
 
   // harness::ClientPort
-  void begin_write(Value v) override { client.begin_write(std::move(v), *this); }
-  void begin_read() override { client.begin_read(*this); }
+  RequestId begin_write(ObjectId object, Value v) override {
+    return client.begin_write(object, std::move(v), *this);
+  }
+  RequestId begin_read(ObjectId object) override {
+    return client.begin_read(object, *this);
+  }
   void set_on_complete(
       std::function<void(const core::OpResult&)> cb) override {
     client.on_complete = std::move(cb);
@@ -162,7 +168,7 @@ struct SimCluster::LogicalClient final : core::ClientContext, ClientPort {
 void SimCluster::ClientMachine::deliver(net::PayloadPtr msg) {
   if (msg->kind() != ClientEnvelope::kKind) return;
   const auto& env = static_cast<const ClientEnvelope&>(*msg);
-  cluster->clients_[env.to]->deliver(*env.inner);
+  cluster->clients_[env.to]->deliver(*env.inner, env.from);
 }
 
 void SimCluster::ServerNode::transmit_reply(ClientId client,
@@ -170,7 +176,7 @@ void SimCluster::ServerNode::transmit_reply(ClientId client,
   SimCluster& cl = *cluster;
   auto& lc = *cl.clients_[client];
   cl.client_net_->send(client_nic, cl.machines_[lc.machine]->nic,
-                       net::make_payload<ClientEnvelope>(client,
+                       net::make_payload<ClientEnvelope>(client, server.id(),
                                                          std::move(msg)));
 }
 
@@ -231,7 +237,7 @@ std::size_t SimCluster::add_client_machine() {
   return machines_.size() - 1;
 }
 
-core::StorageClient& SimCluster::add_client(std::size_t machine,
+core::ClientSession& SimCluster::add_client(std::size_t machine,
                                             ProcessId server) {
   assert(machine < machines_.size());
   assert(server < servers_.size());
@@ -239,6 +245,10 @@ core::StorageClient& SimCluster::add_client(std::size_t machine,
   opts.n_servers = cfg_.n_servers;
   opts.preferred_server = server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
+  opts.retry_multiplier = cfg_.client_retry_multiplier;
+  opts.retry_cap = cfg_.client_retry_cap;
+  opts.max_inflight = cfg_.client_max_inflight;
+  opts.seed = cfg_.client_seed;
   const ClientId id = static_cast<ClientId>(clients_.size());
   clients_.push_back(
       std::make_unique<LogicalClient>(this, machine, id, opts));
@@ -269,7 +279,7 @@ core::RingServer& SimCluster::server(ProcessId p) {
   return servers_[p]->server;
 }
 
-core::StorageClient& SimCluster::client(ClientId id) {
+core::ClientSession& SimCluster::client(ClientId id) {
   return clients_[id]->client;
 }
 

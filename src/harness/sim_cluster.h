@@ -23,12 +23,16 @@
 namespace hts::harness {
 
 /// Wrapper that routes a server→client reply to the right logical client on
-/// a shared client-machine NIC (a real deployment demuxes by TCP connection).
+/// a shared client-machine NIC (a real deployment demuxes by TCP
+/// connection, which also tells the client which server answered — so
+/// `from` adds no wire bytes).
 struct ClientEnvelope final : net::Payload {
   static constexpr std::uint16_t kKind = 0x7100;
-  ClientEnvelope(ClientId to_client, net::PayloadPtr m)
-      : Payload(kKind), to(to_client), inner(std::move(m)) {}
+  ClientEnvelope(ClientId to_client, ProcessId from_server, net::PayloadPtr m)
+      : Payload(kKind), to(to_client), from(from_server),
+        inner(std::move(m)) {}
   ClientId to;
+  ProcessId from;
   net::PayloadPtr inner;
   [[nodiscard]] std::size_t wire_size() const override {
     return 8 + inner->wire_size();
@@ -44,6 +48,11 @@ struct SimClusterConfig {
   bool shared_network = false;   ///< one NIC per server for all traffic
   double detection_delay_s = 2e-3;
   double client_retry_timeout_s = 0.25;
+  /// Session pipelining/backoff knobs (core::ClientOptions pass-through).
+  std::size_t client_max_inflight = 1;
+  double client_retry_multiplier = 1.0;
+  double client_retry_cap = 8.0;
+  std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
 };
 
@@ -58,8 +67,9 @@ class SimCluster {
   /// Adds a client machine (own NIC on the client network). Returns its id.
   std::size_t add_client_machine();
 
-  /// Adds a logical client on `machine`, initially contacting `server`.
-  core::StorageClient& add_client(std::size_t machine, ProcessId server);
+  /// Adds a logical client session on `machine`, initially contacting
+  /// `server`; pipelining width and backoff follow the cluster config.
+  core::ClientSession& add_client(std::size_t machine, ProcessId server);
 
   /// Crashes a server now: NICs go down, in-flight deliveries to it are
   /// dropped, survivors' failure detectors fire after detection_delay.
@@ -68,7 +78,7 @@ class SimCluster {
 
   [[nodiscard]] bool server_up(ProcessId p) const;
   [[nodiscard]] core::RingServer& server(ProcessId p);
-  [[nodiscard]] core::StorageClient& client(ClientId id);
+  [[nodiscard]] core::ClientSession& client(ClientId id);
   /// Issue/complete surface for workload drivers.
   [[nodiscard]] ClientPort& port(ClientId id);
   [[nodiscard]] std::size_t client_count() const;

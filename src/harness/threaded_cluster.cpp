@@ -1,6 +1,7 @@
 #include "harness/threaded_cluster.h"
 
 #include <cassert>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -12,12 +13,17 @@ namespace {
 
 /// Internal control message that moves a begin_read/begin_write request onto
 /// the owning client's transport thread (state machines are single-threaded).
+/// Carries the caller's promise so many operations can be in flight at once.
 struct ControlOp final : net::Payload {
   static constexpr std::uint16_t kKind = 0x7200;
-  ControlOp(bool read, Value v)
-      : Payload(kKind), is_read(read), value(std::move(v)) {}
+  ControlOp(bool read, ObjectId obj, Value v,
+            std::shared_ptr<std::promise<core::OpResult>> p)
+      : Payload(kKind), is_read(read), object(obj), value(std::move(v)),
+        promise(std::move(p)) {}
   bool is_read;
+  ObjectId object;
   Value value;
+  std::shared_ptr<std::promise<core::OpResult>> promise;
   [[nodiscard]] std::size_t wire_size() const override { return 0; }
   [[nodiscard]] std::string describe() const override { return "ControlOp"; }
 };
@@ -47,12 +53,12 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
         break;
       case core::kClientWrite: {
         const auto& m = static_cast<const core::ClientWrite&>(*msg);
-        server.on_client_write(m.client, m.req, m.value, *this);
+        server.on_client_write(m.client, m.req, m.value, *this, m.object);
         break;
       }
       case core::kClientRead: {
         const auto& m = static_cast<const core::ClientRead&>(*msg);
-        server.on_client_read(m.client, m.req, *this);
+        server.on_client_read(m.client, m.req, *this, m.object);
         break;
       }
       default:
@@ -88,12 +94,15 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
 
 struct ThreadedCluster::ClientHost final : core::ClientContext {
   ThreadedCluster* cluster = nullptr;
-  core::StorageClient client;
-  std::mutex mu;
-  std::promise<core::OpResult> promise;
-  double op_invoked_at = 0;
-  std::uint64_t op_seed = 0;
-  bool op_is_read = false;
+  core::ClientSession client;
+
+  /// Caller-side state per in-flight request. Touched only on the client's
+  /// transport thread (ControlOp delivery and completion both run there).
+  struct PendingOp {
+    std::shared_ptr<std::promise<core::OpResult>> promise;
+    std::uint64_t value_seed = 0;
+  };
+  std::map<RequestId, PendingOp> pending;
 
   ClientHost(ThreadedCluster* cl, ClientId id, core::ClientOptions opts)
       : cluster(cl), client(id, opts) {
@@ -101,22 +110,26 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
   }
 
   void on_message(net::NodeAddress from, net::PayloadPtr msg) {
-    (void)from;
     if (msg->kind() == ControlOp::kKind) {
       const auto& op = static_cast<const ControlOp&>(*msg);
-      if (op.is_read) {
-        client.begin_read(*this);
-      } else {
-        client.begin_write(op.value, *this);
-      }
+      const std::uint64_t seed = op.value.synthetic_seed();
+      const RequestId req =
+          op.is_read ? client.begin_read(op.object, *this)
+                     : client.begin_write(op.object, op.value, *this);
+      pending.emplace(req, PendingOp{op.promise, seed});
       return;
     }
-    client.on_reply(*msg, *this);
+    const ProcessId sender =
+        from.kind == net::NodeAddress::Kind::kServer
+            ? static_cast<ProcessId>(from.id)
+            : kNoProcess;
+    client.on_reply(*msg, sender, *this);
   }
 
   void on_timer(std::uint64_t token) { client.on_timer(token, *this); }
 
   void finish(const core::OpResult& r) {
+    auto it = pending.find(r.req);
     if (cluster->cfg_.record_history) {
       const std::scoped_lock lock(cluster->history_mu_);
       if (r.is_read) {
@@ -124,13 +137,18 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
                                        ? lincheck::kInitialValueId
                                        : r.value.synthetic_seed();
         cluster->history_.record_read(client.id(), seen, r.invoked_at,
-                                      r.completed_at, r.tag);
+                                      r.completed_at, r.tag, r.object);
       } else {
-        cluster->history_.record_write(client.id(), op_seed, r.invoked_at,
-                                       r.completed_at);
+        const std::uint64_t seed =
+            it != pending.end() ? it->second.value_seed : 0;
+        cluster->history_.record_write(client.id(), seed, r.invoked_at,
+                                       r.completed_at, r.object);
       }
     }
-    promise.set_value(r);
+    if (it != pending.end()) {
+      it->second.promise->set_value(r);
+      pending.erase(it);
+    }
   }
 
   // core::ClientContext
@@ -179,6 +197,10 @@ ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
   opts.n_servers = cfg_.n_servers;
   opts.preferred_server = preferred_server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
+  opts.retry_multiplier = cfg_.client_retry_multiplier;
+  opts.retry_cap = cfg_.client_retry_cap;
+  opts.max_inflight = cfg_.client_max_inflight;
+  opts.seed = cfg_.client_seed;
   const ClientId id = static_cast<ClientId>(clients_.size());
   auto host = std::make_unique<ClientHost>(this, id, opts);
   ClientHost* raw = host.get();
@@ -220,21 +242,24 @@ lincheck::History ThreadedCluster::history() const {
 
 // ---------------------------------------------------------------- client
 
-core::OpResult ThreadedCluster::BlockingClient::run(bool is_read, Value v) {
+std::future<core::OpResult> ThreadedCluster::BlockingClient::launch(
+    bool is_read, ObjectId object, Value v) {
   auto* host = static_cast<ClientHost*>(host_);
-  std::future<core::OpResult> fut;
-  {
-    const std::scoped_lock lock(host->mu);
-    host->promise = std::promise<core::OpResult>();
-    fut = host->promise.get_future();
-    host->op_seed = v.synthetic_seed();
-    host->op_is_read = is_read;
-  }
-  // Hop onto the client's own thread to start the operation.
+  auto promise = std::make_shared<std::promise<core::OpResult>>();
+  std::future<core::OpResult> fut = promise->get_future();
+  // Hop onto the client's own thread to start the operation; the session
+  // pipelines or queues it there.
   host->cluster->transport_.send(
       net::NodeAddress::client(host->client.id()),
       net::NodeAddress::client(host->client.id()),
-      net::make_payload<ControlOp>(is_read, std::move(v)));
+      net::make_payload<ControlOp>(is_read, object, std::move(v),
+                                   std::move(promise)));
+  return fut;
+}
+
+core::OpResult ThreadedCluster::BlockingClient::run(bool is_read,
+                                                    ObjectId object, Value v) {
+  auto fut = launch(is_read, object, std::move(v));
   if (fut.wait_for(std::chrono::duration<double>(kOpTimeoutSeconds)) !=
       std::future_status::ready) {
     throw std::runtime_error("client operation timed out (deadlock?)");
@@ -242,14 +267,26 @@ core::OpResult ThreadedCluster::BlockingClient::run(bool is_read, Value v) {
   return fut.get();
 }
 
-void ThreadedCluster::BlockingClient::write(Value v) {
-  (void)run(false, std::move(v));
+void ThreadedCluster::BlockingClient::write(ObjectId object, Value v) {
+  (void)run(false, object, std::move(v));
 }
 
-Value ThreadedCluster::BlockingClient::read() { return run(true, {}).value; }
+Value ThreadedCluster::BlockingClient::read(ObjectId object) {
+  return run(true, object, {}).value;
+}
 
-core::OpResult ThreadedCluster::BlockingClient::read_result() {
-  return run(true, {});
+core::OpResult ThreadedCluster::BlockingClient::read_result(ObjectId object) {
+  return run(true, object, {});
+}
+
+std::future<core::OpResult> ThreadedCluster::BlockingClient::async_write(
+    ObjectId object, Value v) {
+  return launch(false, object, std::move(v));
+}
+
+std::future<core::OpResult> ThreadedCluster::BlockingClient::async_read(
+    ObjectId object) {
+  return launch(true, object, {});
 }
 
 ClientId ThreadedCluster::BlockingClient::id() const {

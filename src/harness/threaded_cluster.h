@@ -24,6 +24,11 @@ struct ThreadedClusterConfig {
   std::size_t n_servers = 3;
   double detection_delay_s = 0.005;
   double client_retry_timeout_s = 0.1;
+  /// Session pipelining/backoff knobs (core::ClientOptions pass-through).
+  std::size_t client_max_inflight = 8;
+  double client_retry_multiplier = 1.0;
+  double client_retry_cap = 8.0;
+  std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
   bool record_history = true;  ///< collect a lincheck history of all ops
 };
@@ -36,22 +41,36 @@ class ThreadedCluster {
   ThreadedCluster(const ThreadedCluster&) = delete;
   ThreadedCluster& operator=(const ThreadedCluster&) = delete;
 
-  /// Synchronous client handle. Thread-safe for one caller at a time.
+  /// Client handle over one pipelined session. The blocking calls are
+  /// thread-safe for one caller at a time; the async_* calls may be issued
+  /// back-to-back (up to client_max_inflight ops overlap across distinct
+  /// objects; same-object ops queue in order inside the session).
   class BlockingClient {
    public:
-    /// Blocks until the write is acknowledged.
-    void write(Value v);
-    /// Blocks until a value is returned.
-    Value read();
-    /// Like read() but exposes the full result (tag, attempts).
-    core::OpResult read_result();
+    /// Blocks until the write of `object` is acknowledged.
+    void write(ObjectId object, Value v);
+    /// Blocks until a value of `object` is returned.
+    Value read(ObjectId object);
+    /// Like read() but exposes the full result (tag, attempts, served_by).
+    core::OpResult read_result(ObjectId object);
+
+    /// Single-register facade (the original API, object 0).
+    void write(Value v) { write(kDefaultObject, std::move(v)); }
+    Value read() { return read(kDefaultObject); }
+    core::OpResult read_result() { return read_result(kDefaultObject); }
+
+    /// Pipelined issue: returns immediately; the future resolves when the
+    /// operation completes. Ops on distinct objects proceed in parallel.
+    std::future<core::OpResult> async_write(ObjectId object, Value v);
+    std::future<core::OpResult> async_read(ObjectId object);
 
     [[nodiscard]] ClientId id() const;
 
    private:
     friend class ThreadedCluster;
     explicit BlockingClient(void* host) : host_(host) {}
-    core::OpResult run(bool is_read, Value v);
+    std::future<core::OpResult> launch(bool is_read, ObjectId object, Value v);
+    core::OpResult run(bool is_read, ObjectId object, Value v);
     void* host_;  // ClientHost, opaque to keep the header light
   };
 

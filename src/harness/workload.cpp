@@ -1,5 +1,7 @@
 #include "harness/workload.h"
 
+#include <cassert>
+
 namespace hts::harness {
 
 ClosedLoopDriver::ClosedLoopDriver(sim::Simulator& sim, ClientPort& port,
@@ -13,6 +15,8 @@ ClosedLoopDriver::ClosedLoopDriver(sim::Simulator& sim, ClientPort& port,
       values_(values),
       history_(history),
       rng_(cfg.seed) {
+  assert(cfg_.pipeline >= 1);
+  assert(cfg_.n_objects >= 1);
   const double window = cfg_.measure_until - cfg_.measure_from;
   reads_.set_window(window);
   writes_.set_window(window);
@@ -24,28 +28,37 @@ void ClosedLoopDriver::start() {
 }
 
 void ClosedLoopDriver::issue() {
-  if (sim_.now() >= cfg_.stop_at) return;
-  const bool is_write = rng_.unit() < cfg_.write_fraction;
-  InFlight op;
-  op.is_read = !is_write;
-  op.invoked_at = sim_.now();
-  if (is_write) {
-    op.value_seed = values_.next();
-    in_flight_ = op;
+  while (in_flight_.size() < cfg_.pipeline && sim_.now() < cfg_.stop_at) {
+    const bool is_write = rng_.unit() < cfg_.write_fraction;
+    InFlight op;
+    op.is_read = !is_write;
+    if (cfg_.n_objects <= 1) {
+      op.object = kDefaultObject;
+    } else if (cfg_.round_robin_objects) {
+      op.object = static_cast<ObjectId>(issued_ % cfg_.n_objects);
+    } else {
+      op.object = static_cast<ObjectId>(rng_.below(cfg_.n_objects));
+    }
+    op.invoked_at = sim_.now();
     ++issued_;
-    port_.begin_write(Value::synthetic(op.value_seed, cfg_.value_size));
-  } else {
-    op.value_seed = 0;
-    in_flight_ = op;
-    ++issued_;
-    port_.begin_read();
+    RequestId req;
+    if (is_write) {
+      op.value_seed = values_.next();
+      req = port_.begin_write(op.object,
+                              Value::synthetic(op.value_seed, cfg_.value_size));
+    } else {
+      op.value_seed = 0;
+      req = port_.begin_read(op.object);
+    }
+    in_flight_.emplace(req, op);
   }
 }
 
 void ClosedLoopDriver::completed(const core::OpResult& r) {
-  if (!in_flight_) return;
-  const InFlight op = *in_flight_;
-  in_flight_.reset();
+  auto it = in_flight_.find(r.req);
+  if (it == in_flight_.end()) return;
+  const InFlight op = it->second;
+  in_flight_.erase(it);
 
   const bool in_window =
       op.invoked_at >= cfg_.measure_from && r.completed_at <= cfg_.measure_until;
@@ -58,7 +71,7 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
       const std::uint64_t seen =
           r.value.empty() ? lincheck::kInitialValueId : r.value.synthetic_seed();
       history_->record_read(client_id_, seen, op.invoked_at, r.completed_at,
-                            r.tag);
+                            r.tag, op.object);
     }
   } else {
     if (in_window) {
@@ -67,21 +80,20 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
     }
     if (history_ != nullptr) {
       history_->record_write(client_id_, op.value_seed, op.invoked_at,
-                             r.completed_at);
+                             r.completed_at, op.object);
     }
   }
   issue();
 }
 
 void ClosedLoopDriver::finalize() {
-  if (!in_flight_ || history_ == nullptr) return;
-  const InFlight& op = *in_flight_;
-  if (op.is_read) {
+  if (history_ == nullptr) return;
+  for (const auto& [req, op] : in_flight_) {
     // A pending read constrains nothing; skip it.
-    return;
+    if (op.is_read) continue;
+    history_->record_write(client_id_, op.value_seed, op.invoked_at,
+                           lincheck::kPending, op.object);
   }
-  history_->record_write(client_id_, op.value_seed, op.invoked_at,
-                         lincheck::kPending);
 }
 
 }  // namespace hts::harness

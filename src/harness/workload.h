@@ -2,14 +2,15 @@
 //
 // The paper's load generator: "the client application can emulate multiple
 // clients, i.e. it can send multiple read and write requests in parallel" —
-// here, each logical client runs one operation at a time (closed loop) and a
+// here, each logical client keeps up to `pipeline` operations in flight
+// (1 = the classic closed loop) spread over `n_objects` registers, and a
 // machine hosts many of them. Drivers work against any protocol (core ring,
 // ABD, chain, TOB) through the ClientPort interface.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
+#include <map>
 
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -22,10 +23,18 @@
 namespace hts::harness {
 
 /// Minimal issue/complete surface every protocol's client adapter exposes.
+/// Operations address a register in the object namespace; protocols without
+/// namespace support (the baselines) serve kDefaultObject only. begin_*
+/// returns the request id so pipelining drivers can match completions.
 class ClientPort {
  public:
-  virtual void begin_write(Value v) = 0;
-  virtual void begin_read() = 0;
+  virtual RequestId begin_write(ObjectId object, Value v) = 0;
+  virtual RequestId begin_read(ObjectId object) = 0;
+  /// Single-register convenience (the pre-namespace surface).
+  RequestId begin_write(Value v) {
+    return begin_write(kDefaultObject, std::move(v));
+  }
+  RequestId begin_read() { return begin_read(kDefaultObject); }
   /// Invoked exactly once per begin_*; set before the first begin.
   virtual void set_on_complete(
       std::function<void(const core::OpResult&)> cb) = 0;
@@ -49,22 +58,29 @@ struct WorkloadConfig {
   double stop_at = 10.0;        ///< stop issuing new operations
   double measure_from = 1.0;    ///< metrics window start (post-warmup)
   double measure_until = 10.0;  ///< metrics window end
-  std::uint64_t seed = 1;       ///< rng for the read/write coin
+  std::uint64_t seed = 1;       ///< rng for the read/write and object coins
+  std::size_t n_objects = 1;    ///< registers addressed (uniformly at random)
+  std::size_t pipeline = 1;     ///< concurrent ops kept in flight (1=closed)
+  /// Cycle objects round-robin (op i → object i mod n_objects) instead of
+  /// uniformly at random — deterministic coverage (e.g. preloading every
+  /// register exactly once with pipeline = n_objects).
+  bool round_robin_objects = false;
 };
 
-/// Issues one operation at a time, forever (until stop_at); records metrics
-/// inside the measurement window and, optionally, every operation into a
-/// lincheck history (pending ops flushed by finalize()).
+/// Keeps up to `pipeline` operations in flight until stop_at (1 = the
+/// classic one-at-a-time closed loop); records metrics inside the
+/// measurement window and, optionally, every operation into a lincheck
+/// history (pending ops flushed by finalize()).
 class ClosedLoopDriver {
  public:
   ClosedLoopDriver(sim::Simulator& sim, ClientPort& port, ClientId client_id,
                    WorkloadConfig cfg, UniqueValueSource& values,
                    lincheck::History* history = nullptr);
 
-  /// Schedules the first operation.
+  /// Schedules the first operation(s).
   void start();
 
-  /// Flushes a still-outstanding operation into the history as pending.
+  /// Flushes still-outstanding write operations into the history as pending.
   void finalize();
 
   [[nodiscard]] const ThroughputMeter& read_meter() const { return reads_; }
@@ -74,6 +90,7 @@ class ClosedLoopDriver {
     return write_lat_;
   }
   [[nodiscard]] std::uint64_t ops_issued() const { return issued_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
 
  private:
   void issue();
@@ -89,10 +106,11 @@ class ClosedLoopDriver {
 
   struct InFlight {
     bool is_read;
+    ObjectId object;
     std::uint64_t value_seed;
     double invoked_at;
   };
-  std::optional<InFlight> in_flight_;
+  std::map<RequestId, InFlight> in_flight_;
 
   ThroughputMeter reads_, writes_;
   LatencyStats read_lat_, write_lat_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <limits>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,33 @@ std::string fmt(double t) {
   return std::to_string(t);
 }
 
+/// Runs `leaf` on each register's projection of `h` (atomicity is per
+/// object). The overwhelmingly common single-object history takes a
+/// zero-copy fast path; failures of a non-default object are annotated.
+template <typename Leaf>
+CheckResult per_object(const History& h, Leaf leaf) {
+  bool multi = false;
+  for (const Op& op : h.ops()) {
+    if (op.object != h.ops().front().object) {
+      multi = true;
+      break;
+    }
+  }
+  if (!multi) return leaf(h);
+
+  std::map<ObjectId, History> parts;
+  for (const Op& op : h.ops()) parts[op.object].record(op);
+  for (const auto& [object, sub] : parts) {
+    CheckResult r = leaf(sub);
+    if (!r.linearizable) {
+      r.explanation =
+          "object " + std::to_string(object) + ": " + r.explanation;
+      return r;
+    }
+  }
+  return {true, ""};
+}
+
 }  // namespace
 
 std::string Op::describe() const {
@@ -26,12 +54,15 @@ std::string Op::describe() const {
   s += is_read ? "" : ")";
   s += " [" + fmt(invoked_at) + "," + fmt(responded_at) + ") client " +
        std::to_string(client);
+  if (object != kDefaultObject) s += " object " + std::to_string(object);
   return s;
 }
 
 // ------------------------------------------------------------- fast checker
 
-CheckResult check_register(const History& h) {
+namespace {
+
+CheckResult check_register_single(const History& h) {
   struct Cluster {
     std::uint64_t value = 0;
     bool has_write = false;
@@ -171,9 +202,17 @@ CheckResult check_register(const History& h) {
   return {true, ""};
 }
 
+}  // namespace
+
+CheckResult check_register(const History& h) {
+  return per_object(h, check_register_single);
+}
+
 // ------------------------------------------------------------ tag checker
 
-CheckResult check_tag_order(const History& h) {
+namespace {
+
+CheckResult check_tag_order_single(const History& h) {
   // Sort completed ops by response time and verify that read tags never go
   // backwards across real-time precedence, and that a write's completion is
   // never followed (in real time) by a read of a strictly older tag, unless
@@ -219,6 +258,12 @@ CheckResult check_tag_order(const History& h) {
   return {true, ""};
 }
 
+}  // namespace
+
+CheckResult check_tag_order(const History& h) {
+  return per_object(h, check_tag_order_single);
+}
+
 // ------------------------------------------------------------ brute force
 
 namespace {
@@ -256,9 +301,7 @@ bool brute_dfs(BruteState& st, std::size_t remaining) {
   return false;
 }
 
-}  // namespace
-
-CheckResult check_register_brute(const History& h) {
+CheckResult check_register_brute_single(const History& h) {
   // Pending ops: a pending read constrains nothing → drop. A pending write
   // may or may not take effect → try both (drop it, or keep with resp=+inf).
   std::vector<Op> base;
@@ -292,6 +335,12 @@ CheckResult check_register_brute(const History& h) {
     if (brute_dfs(st, ops.size())) return {true, ""};
   }
   return {false, "no linearization exists (exhaustive search)"};
+}
+
+}  // namespace
+
+CheckResult check_register_brute(const History& h) {
+  return per_object(h, check_register_brute_single);
 }
 
 }  // namespace hts::lincheck

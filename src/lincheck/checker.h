@@ -1,5 +1,12 @@
-// Linearizability ("atomicity") checkers for single-register histories with
-// unique write values.
+// Linearizability ("atomicity") checkers for register histories with unique
+// write values.
+//
+// Histories may span the whole object namespace: every checker first
+// partitions the history by ObjectId and decides each register's
+// sub-history independently (atomicity composes per object — a cross-object
+// history is correct iff each register's projection is linearizable, which
+// is exactly what makes the multi-object API sound). Failure explanations
+// name the offending object.
 //
 // check_register(): exact O(n log n) decision procedure. The key structural
 // fact (Gibbons & Korach, "Testing Shared Memories"): in any linearization of
@@ -36,14 +43,18 @@ struct CheckResult {
   explicit operator bool() const { return linearizable; }
 };
 
-/// Exact, fast checker (unique write values required).
+/// Exact, fast checker (unique write values required across the history).
+/// Partitions by object; a multi-object history passes iff every register's
+/// projection is linearizable.
 CheckResult check_register(const History& h);
 
 /// Exponential reference checker for cross-validation on tiny histories.
+/// Also partitioned per object.
 CheckResult check_register_brute(const History& h);
 
 /// White-box: verifies tags are consistent with real time (requires reads to
-/// carry tags; writes may omit them).
+/// carry tags; writes may omit them). Tag spaces are per object, so the
+/// monotonicity check is performed within each register's projection.
 CheckResult check_tag_order(const History& h);
 
 }  // namespace hts::lincheck

@@ -29,6 +29,9 @@ struct Op {
   /// Optional white-box tag (reads carry the tag of the returned value);
   /// kNoProcess id when absent.
   Tag tag = kInitialTag;
+  /// Which register the operation addressed. Checkers partition by object:
+  /// atomicity is per register, histories span the namespace.
+  ObjectId object = kDefaultObject;
 
   [[nodiscard]] bool pending() const { return responded_at == kPending; }
 
@@ -42,13 +45,14 @@ struct Op {
 
 class History {
  public:
-  void record_write(ClientId c, std::uint64_t value, double inv, double resp) {
-    ops_.push_back(Op{c, false, value, inv, resp, kInitialTag});
+  void record_write(ClientId c, std::uint64_t value, double inv, double resp,
+                    ObjectId object = kDefaultObject) {
+    ops_.push_back(Op{c, false, value, inv, resp, kInitialTag, object});
   }
 
   void record_read(ClientId c, std::uint64_t value, double inv, double resp,
-                   Tag tag = kInitialTag) {
-    ops_.push_back(Op{c, true, value, inv, resp, tag});
+                   Tag tag = kInitialTag, ObjectId object = kDefaultObject) {
+    ops_.push_back(Op{c, true, value, inv, resp, tag, object});
   }
 
   void record(Op op) { ops_.push_back(op); }

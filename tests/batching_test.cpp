@@ -87,7 +87,8 @@ TEST(RingBatching, MaxBatchOneIsBitForBitTheUnbatchedProtocol) {
   // Two identical servers driven through identical inputs; one drained via
   // the legacy one-message pull, the other via next_ring_batch with
   // max_batch = 1. The emitted wire bytes must be identical, and no
-  // multi-message batch may ever form.
+  // multi-message batch may ever form. Inputs span several objects: the
+  // guarantee is per message, whatever register it addresses.
   ServerOptions unbatched;
   unbatched.max_batch = 1;
   RingServer a(1, 3, unbatched);
@@ -97,8 +98,12 @@ TEST(RingBatching, MaxBatchOneIsBitForBitTheUnbatchedProtocol) {
   auto drive = [&ctx](RingServer& s) {
     feed_pre_writes(s, 0, 10, 3, ctx);
     s.on_client_write(7, 1, Value::synthetic(1, 64), ctx);
-    s.on_client_write(7, 2, Value::synthetic(2, 64), ctx);
+    s.on_client_write(7, 2, Value::synthetic(2, 64), ctx, /*object=*/4);
     s.on_ring_message(net::make_payload<WriteCommit>(Tag{10, 0}, 50, 1), ctx);
+    s.on_ring_message(net::make_payload<PreWrite>(Tag{9, 0},
+                                                  Value::synthetic(3, 64), 51,
+                                                  2, /*object=*/4),
+                      ctx);
     s.on_peer_crash(2, ctx);  // urgent re-sends join the stream
   };
   drive(a);
@@ -115,6 +120,114 @@ TEST(RingBatching, MaxBatchOneIsBitForBitTheUnbatchedProtocol) {
   EXPECT_EQ(wire_a, wire_b);
   EXPECT_EQ(b.stats().batches_out, 0u);
   EXPECT_EQ(a.stats().ring_messages_out, b.stats().ring_messages_out);
+}
+
+// ------------------------------------------------ pre-redesign wire pin
+//
+// The object-namespace redesign must leave default-object traffic byte-for-
+// byte identical to the pre-redesign protocol. These golden encodings are
+// hand-built to the seed's exact layout (kind u8, reserved 0 u8, fields in
+// seed order) — if encode_message ever diverges for object 0, this pins it.
+
+namespace {
+
+void put_tag_golden(Encoder& e, const Tag& t) {
+  e.u64(t.ts);
+  e.u32(t.id);
+}
+
+}  // namespace
+
+TEST(RingBatching, DefaultObjectEncodingsMatchPreRedesignLayout) {
+  const Value v = Value::synthetic(9, 100);
+  const Tag t{12, 3};
+
+  {
+    Encoder e;
+    e.u8(kClientWrite);
+    e.u8(0);
+    e.u64(1234);
+    e.u64(56);
+    e.value(v);
+    EXPECT_EQ(encode_message(ClientWrite(1234, 56, v)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kClientWriteAck);
+    e.u8(0);
+    e.u64(77);
+    EXPECT_EQ(encode_message(ClientWriteAck(77)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kClientRead);
+    e.u8(0);
+    e.u64(42);
+    e.u64(7);
+    EXPECT_EQ(encode_message(ClientRead(42, 7)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kClientReadAck);
+    e.u8(0);
+    e.u64(7);
+    e.value(v);
+    put_tag_golden(e, t);
+    EXPECT_EQ(encode_message(ClientReadAck(7, v, t)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kPreWrite);
+    e.u8(0);
+    put_tag_golden(e, t);
+    e.u64(900);
+    e.u64(15);
+    e.value(v);
+    EXPECT_EQ(encode_message(PreWrite(t, v, 900, 15)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kWriteCommit);
+    e.u8(0);
+    put_tag_golden(e, t);
+    e.u64(900);
+    e.u64(15);
+    EXPECT_EQ(encode_message(WriteCommit(t, 900, 15)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kSyncState);
+    e.u8(0);
+    put_tag_golden(e, t);
+    e.value(v);
+    EXPECT_EQ(encode_message(SyncState(t, v)), std::move(e).result());
+  }
+}
+
+TEST(RingBatching, DefaultObjectServerTrafficCarriesNoObjectBytes) {
+  // End-to-end flavour of the pin: a server driven exclusively with default-
+  // object traffic emits only version-0 frames (the pre-redesign protocol),
+  // even with the multi-object machinery underneath.
+  ServerOptions opts;
+  opts.max_batch = 4;
+  RingServer server(1, 3, opts);
+  NullCtx ctx;
+  feed_pre_writes(server, 0, 10, 3, ctx);
+  server.on_client_write(7, 1, Value::synthetic(1, 64), ctx);
+  server.on_ring_message(net::make_payload<WriteCommit>(Tag{10, 0}, 50, 1),
+                         ctx);
+  server.on_peer_crash(2, ctx);
+
+  std::size_t frames = 0;
+  while (auto batch = server.next_ring_batch()) {
+    for (const auto& m : batch->msgs) {
+      const std::string bytes = encode_message(*m);
+      ASSERT_GE(bytes.size(), 2u);
+      EXPECT_EQ(bytes[1], 0) << m->describe();  // version 0: no object field
+      ++frames;
+    }
+  }
+  EXPECT_GT(frames, 0u);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
-// StorageClient unit tests: request/reply matching, timeout-driven retry
-// rotation, stale-reply and stale-timer handling.
+// ClientSession unit tests: request/reply matching, timeout-driven retry
+// rotation with exponential backoff, stale-reply and stale-timer handling,
+// pipelining across objects with per-object ordering, and served_by
+// attribution. The facade tests exercise the original single-register API.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/client.h"
@@ -142,6 +145,216 @@ TEST(StorageClient, RequestIdsIncrease) {
   c.on_reply(ack1, ctx);
   const RequestId r2 = c.begin_read(ctx);
   EXPECT_GT(r2, r1);
+}
+
+// ----------------------------------------------------- pipelined sessions
+
+TEST(ClientSession, PipelinesAcrossDistinctObjects) {
+  MockClientCtx ctx;
+  ClientOptions o = opts();
+  o.max_inflight = 3;
+  ClientSession c(7, o);
+  c.begin_write(/*object=*/1, Value::synthetic(1, 16), ctx);
+  c.begin_write(/*object=*/2, Value::synthetic(2, 16), ctx);
+  c.begin_read(/*object=*/3, ctx);
+  ASSERT_EQ(ctx.sent.size(), 3u);  // all three on the wire at once
+  EXPECT_EQ(c.inflight_count(), 3u);
+  EXPECT_EQ(c.backlog_count(), 0u);
+  EXPECT_EQ(static_cast<const ClientWrite&>(*ctx.sent[0].msg).object, 1u);
+  EXPECT_EQ(static_cast<const ClientWrite&>(*ctx.sent[1].msg).object, 2u);
+  EXPECT_EQ(static_cast<const ClientRead&>(*ctx.sent[2].msg).object, 3u);
+}
+
+TEST(ClientSession, PipelineCapQueuesExcessOps) {
+  MockClientCtx ctx;
+  ClientOptions o = opts();
+  o.max_inflight = 2;
+  ClientSession c(7, o);
+  const RequestId r1 = c.begin_write(1, Value::synthetic(1, 16), ctx);
+  c.begin_write(2, Value::synthetic(2, 16), ctx);
+  c.begin_write(3, Value::synthetic(3, 16), ctx);  // over the cap: queued
+  EXPECT_EQ(ctx.sent.size(), 2u);
+  EXPECT_EQ(c.backlog_count(), 1u);
+  ClientWriteAck ack(r1);
+  c.on_reply(ack, 0, ctx);  // frees a slot → queued op goes out
+  EXPECT_EQ(ctx.sent.size(), 3u);
+  EXPECT_EQ(static_cast<const ClientWrite&>(*ctx.sent[2].msg).object, 3u);
+}
+
+TEST(ClientSession, SameObjectOpsStayOrdered) {
+  // Two writes to one object: the second must wait for the first even with
+  // pipeline capacity to spare — per-object ordering is the API contract.
+  MockClientCtx ctx;
+  ClientOptions o = opts();
+  o.max_inflight = 4;
+  ClientSession c(7, o);
+  const RequestId r1 = c.begin_write(5, Value::synthetic(1, 16), ctx);
+  const RequestId r2 = c.begin_write(5, Value::synthetic(2, 16), ctx);
+  EXPECT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(c.backlog_count(), 1u);
+
+  std::vector<RequestId> completed;
+  c.on_complete = [&](const OpResult& r) { completed.push_back(r.req); };
+  ClientWriteAck ack1(r1);
+  c.on_reply(ack1, 0, ctx);
+  ASSERT_EQ(ctx.sent.size(), 2u);  // second write released in order
+  EXPECT_EQ(static_cast<const ClientWrite&>(*ctx.sent[1].msg).req, r2);
+  ClientWriteAck ack2(r2);
+  c.on_reply(ack2, 0, ctx);
+  EXPECT_EQ(completed, (std::vector<RequestId>{r1, r2}));
+  EXPECT_TRUE(c.idle());
+}
+
+TEST(ClientSession, PerOpTimersRetryOnlyTheTimedOutOp) {
+  MockClientCtx ctx;
+  ClientOptions o = opts(3, 0);
+  o.max_inflight = 2;
+  ClientSession c(7, o);
+  c.begin_write(1, Value::synthetic(1, 16), ctx);
+  const RequestId r2 = c.begin_write(2, Value::synthetic(2, 16), ctx);
+  ASSERT_EQ(ctx.timers.size(), 2u);
+  c.on_timer(ctx.timers[1].second, ctx);  // only op 2's timer fires
+  ASSERT_EQ(ctx.sent.size(), 3u);
+  const auto& retry = static_cast<const ClientWrite&>(*ctx.sent[2].msg);
+  EXPECT_EQ(retry.req, r2);
+  EXPECT_EQ(ctx.sent[2].server, 1u);  // rotated off server 0
+  EXPECT_EQ(ctx.sent[0].server, 0u);  // op 1 untouched
+  EXPECT_EQ(c.retries(), 1u);
+}
+
+TEST(ClientSession, WriteIdsAreGaplessAndReadIdsDisjoint) {
+  // Server-side retry dedup (D6) needs write ids 1, 2, 3, … with no holes;
+  // reads draw from a separate flagged sequence.
+  MockClientCtx ctx;
+  StorageClient c(7, opts());
+  const RequestId w1 = c.begin_write(Value::synthetic(1, 16), ctx);
+  ClientWriteAck ack1(w1);
+  c.on_reply(ack1, ctx);
+  const RequestId r1 = c.begin_read(ctx);
+  EXPECT_NE(r1 & kReadRequestBit, 0u);
+  ClientReadAck rack(r1, Value{}, kInitialTag);
+  c.on_reply(rack, ctx);
+  const RequestId w2 = c.begin_write(Value::synthetic(2, 16), ctx);
+  EXPECT_EQ(w1, 1u);
+  EXPECT_EQ(w2, 2u) << "the interleaved read must not burn a write id";
+  EXPECT_EQ(w2 & kReadRequestBit, 0u);
+}
+
+TEST(ClientSession, NewOpsStickToTheRotatedTarget) {
+  // After a retry rotates off a (dead) preferred server, subsequent ops
+  // must start at the rotated-to server instead of paying a timeout each.
+  MockClientCtx ctx;
+  StorageClient c(7, opts(3, 0));
+  const RequestId req = c.begin_write(Value::synthetic(1, 16), ctx);
+  EXPECT_EQ(ctx.sent[0].server, 0u);
+  c.on_timer(ctx.timers[0].second, ctx);  // retry → server 1
+  EXPECT_EQ(ctx.sent[1].server, 1u);
+  ClientWriteAck ack(req);
+  c.on_reply(ack, 1, ctx);
+  c.begin_read(ctx);
+  ASSERT_EQ(ctx.sent.size(), 3u);
+  EXPECT_EQ(ctx.sent[2].server, 1u) << "session target must be sticky";
+}
+
+TEST(ClientSession, CompletionReportsServedBy) {
+  MockClientCtx ctx;
+  ClientSession c(7, opts(3, 0));
+  OpResult seen;
+  c.on_complete = [&](const OpResult& r) { seen = r; };
+  const RequestId req = c.begin_read(ctx);
+  c.on_timer(ctx.timers[0].second, ctx);  // retry lands on server 1
+  ClientReadAck ack(req, Value::synthetic(9, 32), Tag{4, 2});
+  c.on_reply(ack, /*from=*/1, ctx);
+  EXPECT_EQ(seen.served_by, 1u);
+  EXPECT_EQ(seen.attempts, 2u);
+  // The facade overload (no sender) reports kNoProcess.
+  OpResult facade_seen;
+  c.on_complete = [&](const OpResult& r) { facade_seen = r; };
+  const RequestId req2 = c.begin_read(ctx);
+  ClientReadAck ack2(req2, Value::synthetic(9, 32), Tag{4, 2});
+  c.on_reply(ack2, ctx);
+  EXPECT_EQ(facade_seen.served_by, kNoProcess);
+}
+
+// ------------------------------------------------------- retry backoff
+
+TEST(ClientSession, MultiplierOneKeepsSeedFixedIntervalNoJitter) {
+  MockClientCtx ctx;
+  ClientOptions o = opts();
+  o.retry_timeout = 0.1;
+  o.retry_multiplier = 1.0;
+  ClientSession c(7, o);
+  c.begin_write(Value::synthetic(1, 16), ctx);
+  for (int i = 0; i < 4; ++i) c.on_timer(ctx.timers.back().second, ctx);
+  ASSERT_EQ(ctx.timers.size(), 5u);
+  for (const auto& [delay, token] : ctx.timers) {
+    EXPECT_DOUBLE_EQ(delay, 0.1);  // every attempt: exactly the base timeout
+  }
+}
+
+TEST(ClientSession, MultiplierOneIgnoresTheCap) {
+  // The cap bounds exponential growth only. Fabrics express "never retry"
+  // as a huge retry_timeout; the cap must not resurrect those retries.
+  MockClientCtx ctx;
+  ClientOptions o = opts();
+  o.retry_timeout = 10.0;  // above the default cap of 8.0
+  o.retry_multiplier = 1.0;
+  ClientSession c(7, o);
+  c.begin_write(Value::synthetic(1, 16), ctx);
+  c.on_timer(ctx.timers.back().second, ctx);
+  ASSERT_EQ(ctx.timers.size(), 2u);
+  EXPECT_DOUBLE_EQ(ctx.timers[0].first, 10.0);
+  EXPECT_DOUBLE_EQ(ctx.timers[1].first, 10.0);
+  EXPECT_DOUBLE_EQ(c.retry_delay(5), 10.0);
+}
+
+TEST(ClientSession, BackoffGrowsExponentiallyWithinJitterBandsAndCaps) {
+  MockClientCtx ctx;
+  ClientOptions o = opts();
+  o.retry_timeout = 0.1;
+  o.retry_multiplier = 2.0;
+  o.retry_cap = 0.5;
+  o.seed = 99;
+  ClientSession c(7, o);
+  c.begin_write(Value::synthetic(1, 16), ctx);
+  for (int i = 0; i < 5; ++i) c.on_timer(ctx.timers.back().second, ctx);
+  ASSERT_EQ(ctx.timers.size(), 6u);
+  // Schedule: 0.1, 0.2, 0.4, 0.5 (cap), 0.5, 0.5 — each jittered into
+  // [delay/2, delay].
+  const double expect[] = {0.1, 0.2, 0.4, 0.5, 0.5, 0.5};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(ctx.timers[i].first, expect[i] / 2 - 1e-6) << "attempt " << i;
+    EXPECT_LE(ctx.timers[i].first, expect[i] + 1e-6) << "attempt " << i;
+    EXPECT_DOUBLE_EQ(c.retry_delay(static_cast<std::uint32_t>(i + 1)),
+                     expect[i]);
+  }
+  // Jitter must actually jitter: not every delay sits on the nominal value.
+  bool any_off_nominal = false;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (std::abs(ctx.timers[i].first - expect[i]) > 1e-9) {
+      any_off_nominal = true;
+    }
+  }
+  EXPECT_TRUE(any_off_nominal);
+}
+
+TEST(ClientSession, JitterStreamsDifferPerClient) {
+  auto delays = [](ClientId id) {
+    MockClientCtx ctx;
+    ClientOptions o;
+    o.n_servers = 3;
+    o.retry_timeout = 0.1;
+    o.retry_multiplier = 2.0;
+    o.seed = 1;
+    ClientSession c(id, o);
+    c.begin_write(Value::synthetic(1, 16), ctx);
+    for (int i = 0; i < 6; ++i) c.on_timer(ctx.timers.back().second, ctx);
+    std::vector<double> out;
+    for (auto& [d, t] : ctx.timers) out.push_back(d);
+    return out;
+  };
+  EXPECT_NE(delays(1), delays(2));
+  EXPECT_EQ(delays(1), delays(1));  // deterministic per (seed, client)
 }
 
 }  // namespace

@@ -251,5 +251,82 @@ TEST(Messages, DescribeMentionsKeyFields) {
   EXPECT_NE(s.find("900"), std::string::npos);
 }
 
+// ------------------------------------------------------- object namespace
+
+TEST(Messages, ObjectFieldRoundTripsOnEveryKind) {
+  const ObjectId obj = 0xDEAD'BEEF'0042ull;
+  std::vector<net::PayloadPtr> msgs;
+  msgs.push_back(
+      net::make_payload<ClientWrite>(1, 2, Value::synthetic(9, 64), obj));
+  msgs.push_back(net::make_payload<ClientWriteAck>(3, obj));
+  msgs.push_back(net::make_payload<ClientRead>(4, 5, obj));
+  msgs.push_back(net::make_payload<ClientReadAck>(
+      6, Value::synthetic(10, 64), Tag{7, 1}, obj));
+  msgs.push_back(net::make_payload<PreWrite>(Tag{8, 2},
+                                             Value::synthetic(11, 64), 12, 13,
+                                             obj));
+  msgs.push_back(net::make_payload<WriteCommit>(Tag{9, 0}, 14, 15, obj));
+  msgs.push_back(
+      net::make_payload<SyncState>(Tag{10, 1}, Value::synthetic(12, 64), obj));
+  for (const auto& msg : msgs) {
+    const auto bytes = encode_message(*msg);
+    EXPECT_EQ(bytes.size(), msg->wire_size()) << msg->describe();
+    const auto decoded = decode_message(bytes);
+    ASSERT_EQ(decoded->kind(), msg->kind()) << msg->describe();
+    EXPECT_EQ(encode_message(*decoded), bytes) << msg->describe();
+  }
+  // Spot-check the decoded object on two kinds.
+  EXPECT_EQ(as<PreWrite>(decode_message(encode_message(*msgs[4]))).object, obj);
+  EXPECT_EQ(as<ClientWriteAck>(decode_message(encode_message(*msgs[1]))).object,
+            obj);
+}
+
+TEST(Messages, ObjectCostsExactlyEightBytesAndOnlyOffDefault) {
+  const PreWrite def(Tag{8, 2}, Value::synthetic(11, 64), 12, 13);
+  const PreWrite keyed(Tag{8, 2}, Value::synthetic(11, 64), 12, 13, 42);
+  EXPECT_EQ(keyed.wire_size(), def.wire_size() + kObjectWire);
+  EXPECT_EQ(encode_message(def).size() + kObjectWire,
+            encode_message(keyed).size());
+}
+
+TEST(Messages, KeyedFrameIsVersionOneDefaultFrameIsVersionZero) {
+  const auto def = encode_message(WriteCommit(Tag{3, 1}, 7, 9));
+  const auto keyed = encode_message(WriteCommit(Tag{3, 1}, 7, 9, 5));
+  ASSERT_GE(def.size(), 2u);
+  ASSERT_GE(keyed.size(), 10u);
+  EXPECT_EQ(def[1], 0);    // version 0: no object field
+  EXPECT_EQ(keyed[1], 1);  // version 1: u64 object follows
+  // Past the header(+object), the encodings are identical.
+  EXPECT_EQ(def.substr(2), keyed.substr(2 + kObjectWire));
+  EXPECT_EQ(keyed[2], 5);  // little-endian object id
+}
+
+TEST(Messages, UnknownFrameVersionRejected) {
+  auto bytes = encode_message(WriteCommit(Tag{3, 1}, 7, 9, 5));
+  bytes[1] = 2;  // future version
+  EXPECT_THROW((void)decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, RingBatchMixesObjectsFreely) {
+  std::vector<net::PayloadPtr> parts;
+  parts.push_back(net::make_payload<PreWrite>(Tag{12, 3},
+                                              Value::synthetic(4, 128), 900,
+                                              15, /*obj=*/0));
+  parts.push_back(net::make_payload<WriteCommit>(Tag{11, 2}, 901, 16,
+                                                 /*obj=*/7));
+  parts.push_back(net::make_payload<SyncState>(Tag{5, 1},
+                                               Value::synthetic(8, 64),
+                                               /*obj=*/9));
+  RingBatch m(std::move(parts));
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  const auto& rb = as<RingBatch>(d);
+  ASSERT_EQ(rb.parts.size(), 3u);
+  EXPECT_EQ(as<PreWrite>(rb.parts[0]).object, 0u);
+  EXPECT_EQ(as<WriteCommit>(rb.parts[1]).object, 7u);
+  EXPECT_EQ(as<SyncState>(rb.parts[2]).object, 9u);
+}
+
 }  // namespace
 }  // namespace hts::core
