@@ -12,17 +12,27 @@
 // pipeline latency. Expect throughput to improve monotonically from
 // max_batch = 1 up to a sweet spot, then flatten.
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hts::harness;
+  // --quick: CI smoke mode — tiny windows, minimal sweep; numbers are not
+  // meaningful, only that the bench still builds, runs and prints.
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   std::printf("FIG5 — write throughput vs ring batch size "
-              "(baseline: max_batch = 1, unbatched)\n");
+              "(baseline: max_batch = 1, unbatched)%s\n",
+              quick ? " [quick]" : "");
 
-  const std::size_t value_sizes[] = {512, 1024, 4096, 8192};
-  const std::size_t batch_sizes[] = {1, 2, 4, 8, 16, 32};
+  const std::vector<std::size_t> value_sizes =
+      quick ? std::vector<std::size_t>{1024}
+            : std::vector<std::size_t>{512, 1024, 4096, 8192};
+  const std::vector<std::size_t> batch_sizes =
+      quick ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
 
   for (const std::size_t value_size : value_sizes) {
     Table table("Figure 5: write throughput, value size " +
@@ -38,6 +48,10 @@ int main() {
       p.writers_per_machine = 8;
       p.value_size = value_size;
       p.server_options.max_batch = max_batch;
+      if (quick) {
+        p.warmup_s = 0.05;
+        p.measure_s = 0.15;
+      }
       ExperimentResult r = run_core_experiment(p);
       if (max_batch == 1) baseline = r.write_mbps;
       table.add_row({std::to_string(max_batch), Table::num(r.write_mbps),

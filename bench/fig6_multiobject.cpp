@@ -20,6 +20,7 @@
 //     namespace a read waits only for ITS register, so the namespace wins
 //     on both throughput and latency at equal server count.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,9 @@ namespace {
 using namespace hts;
 using namespace hts::harness;
 
+double g_warmup = 0.2;
+double g_measure = 0.5;
+
 struct RunResult {
   double write_mbps = 0;
   double read_mbps = 0;
@@ -46,7 +50,7 @@ struct RunResult {
 /// `pipeline` ops in flight across `n_objects` registers.
 RunResult run(std::size_t sessions_per_machine, std::size_t pipeline,
               std::size_t n_objects, double write_fraction) {
-  const double warmup = 0.2, measure = 0.5;
+  const double warmup = g_warmup, measure = g_measure;
   sim::Simulator sim;
   SimClusterConfig cfg;
   cfg.n_servers = 3;
@@ -111,8 +115,16 @@ RunResult run(std::size_t sessions_per_machine, std::size_t pipeline,
 
 }  // namespace
 
-int main() {
-  std::printf("FIG6 — multi-object pipelining (3 servers, 1 KiB values)\n\n");
+int main(int argc, char** argv) {
+  // --quick: CI smoke mode — tiny windows, minimal sweep; numbers are not
+  // meaningful, only that the bench still builds, runs and prints.
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  if (quick) {
+    g_warmup = 0.05;
+    g_measure = 0.1;
+  }
+  std::printf("FIG6 — multi-object pipelining (3 servers, 1 KiB values)%s\n\n",
+              quick ? " [quick]" : "");
 
   // ---- 1. one session per machine: objects × max_inflight, write-heavy ----
   const RunResult seed_run = run(/*sessions=*/1, /*pipeline=*/1,
@@ -121,8 +133,14 @@ int main() {
               "throughput vs the sequential single-object seed",
               {"objects", "max_inflight", "write Mbit/s", "vs seed",
                "mean lat ms", "batch fill"});
-  for (const std::size_t objects : {1ul, 2ul, 4ul, 8ul, 16ul}) {
-    for (const std::size_t inflight : {1ul, 4ul, 16ul}) {
+  const std::vector<std::size_t> object_counts =
+      quick ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  const std::vector<std::size_t> inflight_steps =
+      quick ? std::vector<std::size_t>{8}
+            : std::vector<std::size_t>{1, 4, 16};
+  for (const std::size_t objects : object_counts) {
+    for (const std::size_t inflight : inflight_steps) {
       if (inflight > objects && objects > 1) continue;  // capped by objects
       const RunResult r = run(1, inflight, objects, 1.0);
       sweep.add_row({std::to_string(objects), std::to_string(inflight),
@@ -142,7 +160,10 @@ int main() {
              "objects)",
              {"in-flight", "config", "total Mbit/s", "ops/s", "mean lat ms",
               "batch fill"});
-  for (const std::size_t concurrency : {6ul, 12ul, 24ul}) {
+  const std::vector<std::size_t> concurrencies =
+      quick ? std::vector<std::size_t>{6}
+            : std::vector<std::size_t>{6, 12, 24};
+  for (const std::size_t concurrency : concurrencies) {
     const std::size_t per_machine = concurrency / 3;
     const RunResult seq =
         run(/*sessions=*/per_machine, /*pipeline=*/1, /*objects=*/1, 0.5);

@@ -1,0 +1,189 @@
+// FIG7 — sharded multi-ring scale-out (beyond the paper): aggregate write
+// throughput as a function of the ring count R, at equal servers per ring
+// and equal client fleet / in-flight ops.
+//
+// The paper's ring protocol saturates its links per ring; linearizability is
+// per register, so a Topology of R disjoint rings behind the deterministic
+// ShardMap serves one atomic namespace with R independent protocol
+// instances (DESIGN.md §Sharding, D7). With the client fleet held constant,
+// a saturated single ring should scale near-linearly as R grows: the same
+// in-flight ops spread over R rings, each ring running the unchanged
+// protocol on its own NICs.
+//
+//  1. Scale-out sweep: R ∈ {1, 2, 4} × max_inflight, fixed fleet and object
+//     count. "vs R=1" is the headline: ≥ ~1.9x at R=2, ≥ ~3.5x at R=4.
+//  2. Per-shard breakdown at R=4: the ShardMap spreads objects evenly, so
+//     every ring carries a similar share of wire bytes at a similar batch
+//     fill — no hot shard, no idle shard.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/topology.h"
+#include "harness/report.h"
+#include "harness/ring_traffic.h"
+#include "harness/sim_cluster.h"
+#include "harness/workload.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace hts;
+using namespace hts::harness;
+
+double g_warmup = 0.2;
+double g_measure = 0.5;
+
+constexpr std::size_t kServersPerRing = 3;
+constexpr std::size_t kMachines = 6;            // client machines (fixed fleet)
+constexpr std::size_t kSessionsPerMachine = 2;  // sessions per machine
+constexpr std::size_t kObjects = 64;            // registers, sharded over R
+constexpr std::size_t kValueSize = 1024;
+
+struct RunResult {
+  double write_mbps = 0;
+  double ops_per_s = 0;
+  double mean_lat_ms = 0;
+  std::vector<RingTraffic> per_ring;
+};
+
+/// Fixed client fleet (kMachines x kSessionsPerMachine sessions, `inflight`
+/// ops each over kObjects registers), R rings of kServersPerRing servers.
+RunResult run(std::size_t n_rings, std::size_t inflight) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.topology = core::Topology{n_rings, kServersPerRing};
+  cfg.client_max_inflight = inflight;
+  cfg.client_retry_timeout_s = 5.0;  // failure-free: no spurious retries
+  SimCluster cluster(sim, cfg);
+
+  UniqueValueSource values;
+  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+  std::uint64_t seed = 1;
+  const std::size_t total_servers = cluster.n_servers();
+  for (std::size_t m = 0; m < kMachines; ++m) {
+    const auto machine = cluster.add_client_machine();
+    for (std::size_t k = 0; k < kSessionsPerMachine; ++k) {
+      // Preferred servers cycle over the whole deployment so every ring sees
+      // the same session fan-in.
+      const ProcessId preferred = static_cast<ProcessId>(
+          (m * kSessionsPerMachine + k) % total_servers);
+      cluster.add_client(machine, preferred);
+      const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+      WorkloadConfig wl;
+      wl.write_fraction = 1.0;
+      wl.value_size = kValueSize;
+      wl.stop_at = g_warmup + g_measure;
+      wl.measure_from = g_warmup;
+      wl.measure_until = g_warmup + g_measure;
+      wl.seed = ++seed;
+      wl.n_objects = kObjects;
+      wl.pipeline = inflight;
+      wl.start_at = 1e-5 * static_cast<double>(id % 97);
+      drivers.push_back(std::make_unique<ClosedLoopDriver>(
+          sim, cluster.port(id), id, wl, values, nullptr));
+    }
+  }
+  for (auto& d : drivers) d->start();
+  sim.run_until(g_warmup + g_measure);
+  sim.run_to_quiescence();
+
+  RunResult r;
+  std::uint64_t write_bytes = 0, ops = 0;
+  double lat_sum = 0;
+  std::uint64_t lat_n = 0;
+  for (const auto& d : drivers) {
+    write_bytes += d->write_meter().bytes();
+    ops += d->write_meter().ops();
+    lat_sum += d->write_latency().mean() *
+               static_cast<double>(d->write_latency().count());
+    lat_n += d->write_latency().count();
+  }
+  r.write_mbps = static_cast<double>(write_bytes) * 8.0 / 1e6 / g_measure;
+  r.ops_per_s = static_cast<double>(ops) / g_measure;
+  r.mean_lat_ms = lat_n ? lat_sum / static_cast<double>(lat_n) * 1e3 : 0;
+  r.per_ring = cluster.traffic_per_ring();
+  return r;
+}
+
+std::string fill_summary(const std::vector<RingTraffic>& per_ring) {
+  std::string s;
+  for (std::size_t i = 0; i < per_ring.size(); ++i) {
+    if (i) s += "/";
+    s += Table::num(per_ring[i].batch_fill(), 1);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  if (quick) {
+    g_warmup = 0.05;
+    g_measure = 0.1;
+  }
+  std::printf("FIG7 — sharded scale-out (%zu servers/ring, %zu machines x "
+              "%zu sessions, %zu objects, %zu B values%s)\n\n",
+              kServersPerRing, kMachines, kSessionsPerMachine, kObjects,
+              kValueSize, quick ? ", quick" : "");
+
+  // ---- 1. scale-out sweep: rings x max_inflight, write-only --------------
+  const std::vector<std::size_t> ring_counts = {1, 2, 4};
+  // Saturating in-flight budgets: below ~8 per session the single ring is
+  // not yet at its link limit and sharding merely trades latency.
+  const std::vector<std::size_t> inflights =
+      quick ? std::vector<std::size_t>{8}
+            : std::vector<std::size_t>{8, 16, 32};
+  Table sweep("Scale-out: aggregate write throughput vs ring count "
+              "(fixed fleet, objects sharded by ShardMap)",
+              {"rings", "max_inflight", "write Mbit/s", "vs R=1", "ops/s",
+               "mean lat ms", "batch fill per ring"});
+  for (const std::size_t inflight : inflights) {
+    double base = 0;
+    for (const std::size_t rings : ring_counts) {
+      const RunResult r = run(rings, inflight);
+      if (rings == 1) base = r.write_mbps;
+      sweep.add_row({std::to_string(rings), std::to_string(inflight),
+                     Table::num(r.write_mbps),
+                     Table::num(base > 0 ? r.write_mbps / base : 1.0, 2) + "x",
+                     Table::num(r.ops_per_s, 0), Table::num(r.mean_lat_ms, 2),
+                     fill_summary(r.per_ring)});
+    }
+  }
+  sweep.print();
+  sweep.print_csv();
+
+  // ---- 2. per-shard balance at R=4 ---------------------------------------
+  std::printf("\n");
+  const RunResult r4 = run(4, quick ? 8 : 16);
+  const RingTraffic total = total_traffic(r4.per_ring);
+  Table shards("Per-shard breakdown at R=4: the ShardMap spreads load",
+               {"ring", "transmissions", "wire MB", "share %", "batch fill"});
+  for (std::size_t i = 0; i < r4.per_ring.size(); ++i) {
+    const RingTraffic& t = r4.per_ring[i];
+    shards.add_row(
+        {std::to_string(i), std::to_string(t.transmissions),
+         Table::num(static_cast<double>(t.bytes) / 1e6, 2),
+         Table::num(total.bytes ? 100.0 * static_cast<double>(t.bytes) /
+                                      static_cast<double>(total.bytes)
+                                : 0.0),
+         Table::num(t.batch_fill(), 2)});
+  }
+  shards.add_row({"total", std::to_string(total.transmissions),
+                  Table::num(static_cast<double>(total.bytes) / 1e6, 2),
+                  "100.0", Table::num(total.batch_fill(), 2)});
+  shards.print();
+  shards.print_csv();
+
+  std::printf(
+      "\nReading the tables: every ring runs the unchanged protocol on its\n"
+      "own NICs, so a saturated single ring scales near-linearly with R —\n"
+      "the same client fleet and in-flight budget, spread by the shard map.\n"
+      "The per-shard table shows why: wire bytes split evenly across rings\n"
+      "at comparable batch fill, so no shard is hot and none idles.\n");
+  return 0;
+}

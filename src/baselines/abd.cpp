@@ -10,19 +10,43 @@ AbdServer::AbdServer(ProcessId self, std::size_t n_servers) : self_(self) {
   (void)n_servers;
 }
 
+namespace {
+const Value kAbdInitialValue;
+}  // namespace
+
+AbdServer::Register& AbdServer::reg_of(ObjectId object) {
+  return regs_[object];
+}
+
+const AbdServer::Register* AbdServer::find_reg(ObjectId object) const {
+  auto it = regs_.find(object);
+  return it == regs_.end() ? nullptr : &it->second;
+}
+
+const Tag& AbdServer::current_tag(ObjectId object) const {
+  const Register* r = find_reg(object);
+  return r ? r->tag : kInitialTag;
+}
+
+const Value& AbdServer::current_value(ObjectId object) const {
+  const Register* r = find_reg(object);
+  return r ? r->value : kAbdInitialValue;
+}
+
 void AbdServer::on_client_message(const net::Payload& msg, Context& ctx) {
   switch (msg.kind()) {
     case kAbdReadTs: {
       const auto& m = static_cast<const AbdReadTs&>(msg);
-      ctx.send_client(m.client,
-                      net::make_payload<AbdReadTsAck>(m.req, m.phase, tag_));
+      ctx.send_client(m.client, net::make_payload<AbdReadTsAck>(
+                                    m.req, m.phase, current_tag(m.object)));
       break;
     }
     case kAbdStore: {
       const auto& m = static_cast<const AbdStore&>(msg);
-      if (m.tag > tag_) {
-        tag_ = m.tag;
-        value_ = m.value;
+      Register& reg = reg_of(m.object);
+      if (m.tag > reg.tag) {
+        reg.tag = m.tag;
+        reg.value = m.value;
       }
       ctx.send_client(m.client,
                       net::make_payload<AbdStoreAck>(m.req, m.phase));
@@ -30,8 +54,10 @@ void AbdServer::on_client_message(const net::Payload& msg, Context& ctx) {
     }
     case kAbdGet: {
       const auto& m = static_cast<const AbdGet&>(msg);
-      ctx.send_client(
-          m.client, net::make_payload<AbdGetAck>(m.req, m.phase, tag_, value_));
+      ctx.send_client(m.client,
+                      net::make_payload<AbdGetAck>(m.req, m.phase,
+                                                   current_tag(m.object),
+                                                   current_value(m.object)));
       break;
     }
     default:
@@ -55,31 +81,35 @@ void AbdClient::broadcast(core::ClientContext& ctx,
   ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
 }
 
-RequestId AbdClient::begin_write(Value v, core::ClientContext& ctx) {
+RequestId AbdClient::begin_write(ObjectId object, Value v,
+                                 core::ClientContext& ctx) {
   assert(idle());
   req_ = next_req_++;
   is_read_ = false;
+  object_ = object;
   write_value_ = std::move(v);
   invoked_at_ = ctx.now();
   attempts_ = 1;
   phase_ = Phase::kWriteQueryTs;
   acks_ = 0;
   best_tag_ = kInitialTag;
-  broadcast(ctx, net::make_payload<AbdReadTs>(id_, req_, ++phase_seq_));
+  broadcast(ctx,
+            net::make_payload<AbdReadTs>(id_, req_, ++phase_seq_, object_));
   return req_;
 }
 
-RequestId AbdClient::begin_read(core::ClientContext& ctx) {
+RequestId AbdClient::begin_read(ObjectId object, core::ClientContext& ctx) {
   assert(idle());
   req_ = next_req_++;
   is_read_ = true;
+  object_ = object;
   invoked_at_ = ctx.now();
   attempts_ = 1;
   phase_ = Phase::kReadCollect;
   acks_ = 0;
   best_tag_ = kInitialTag;
   best_value_ = Value{};
-  broadcast(ctx, net::make_payload<AbdGet>(id_, req_, ++phase_seq_));
+  broadcast(ctx, net::make_payload<AbdGet>(id_, req_, ++phase_seq_, object_));
   return req_;
 }
 
@@ -98,7 +128,7 @@ void AbdClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
       acks_ = 0;
       const Tag tag{best_tag_.ts + 1, opts_.writer_id};
       broadcast(ctx, net::make_payload<AbdStore>(id_, req_, ++phase_seq_, tag,
-                                                 write_value_));
+                                                 write_value_, object_));
       return;
     }
     case kAbdStoreAck: {
@@ -125,8 +155,9 @@ void AbdClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
       // the classical fix for read inversion, paid on every read.
       phase_ = Phase::kReadWriteBack;
       acks_ = 0;
-      broadcast(ctx, net::make_payload<AbdStore>(id_, req_, ++phase_seq_,
-                                                 best_tag_, best_value_));
+      broadcast(ctx,
+                net::make_payload<AbdStore>(id_, req_, ++phase_seq_, best_tag_,
+                                            best_value_, object_));
       return;
     }
     default:
@@ -137,6 +168,7 @@ void AbdClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
 void AbdClient::finish(core::ClientContext& ctx) {
   core::OpResult r;
   r.is_read = is_read_;
+  r.object = object_;
   r.req = req_;
   if (is_read_) {
     r.value = best_value_;
@@ -160,10 +192,12 @@ void AbdClient::on_timer(std::uint64_t token, core::ClientContext& ctx) {
   if (is_read_) {
     phase_ = Phase::kReadCollect;
     best_value_ = Value{};
-    broadcast(ctx, net::make_payload<AbdGet>(id_, req_, ++phase_seq_));
+    broadcast(ctx,
+              net::make_payload<AbdGet>(id_, req_, ++phase_seq_, object_));
   } else {
     phase_ = Phase::kWriteQueryTs;
-    broadcast(ctx, net::make_payload<AbdReadTs>(id_, req_, ++phase_seq_));
+    broadcast(ctx,
+              net::make_payload<AbdReadTs>(id_, req_, ++phase_seq_, object_));
   }
 }
 

@@ -11,10 +11,18 @@
 // Tolerates any minority of server crashes without a failure detector.
 // Clients and servers are transport-agnostic state machines hosted by the
 // same fabrics as the core protocol.
+//
+// Object namespace: like the core protocol, ABD serves a keyed namespace of
+// independent registers — replicas keep one (tag, value) per ObjectId and
+// client→server messages name their register (the default object costs no
+// wire bytes, every other object 8, mirroring the core framing), so
+// fig6/fig7-style multi-object comparisons are apples-to-apples. The client
+// remains strictly one-outstanding-op; the namespace adds no pipelining.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -22,6 +30,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "core/client.h"  // core::OpResult, core::ClientContext
+#include "core/messages.h"  // core::object_wire
 #include "net/payload.h"
 
 namespace hts::baselines {
@@ -36,12 +45,16 @@ enum AbdMsgKind : std::uint16_t {
 };
 
 struct AbdReadTs final : net::Payload {
-  AbdReadTs(ClientId c, RequestId r, std::uint32_t ph)
-      : Payload(kAbdReadTs), client(c), req(r), phase(ph) {}
+  AbdReadTs(ClientId c, RequestId r, std::uint32_t ph,
+            ObjectId obj = kDefaultObject)
+      : Payload(kAbdReadTs), client(c), req(r), phase(ph), object(obj) {}
   ClientId client;
   RequestId req;
   std::uint32_t phase;  // disambiguates retried/raced phases
-  [[nodiscard]] std::size_t wire_size() const override { return 2 + 8 + 8 + 4; }
+  ObjectId object;
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 2 + 8 + 8 + 4 + core::object_wire(object);
+  }
   [[nodiscard]] std::string describe() const override { return "AbdReadTs"; }
 };
 
@@ -58,16 +71,18 @@ struct AbdReadTsAck final : net::Payload {
 };
 
 struct AbdStore final : net::Payload {
-  AbdStore(ClientId c, RequestId r, std::uint32_t ph, Tag t, Value v)
+  AbdStore(ClientId c, RequestId r, std::uint32_t ph, Tag t, Value v,
+           ObjectId obj = kDefaultObject)
       : Payload(kAbdStore), client(c), req(r), phase(ph), tag(t),
-        value(std::move(v)) {}
+        value(std::move(v)), object(obj) {}
   ClientId client;
   RequestId req;
   std::uint32_t phase;
   Tag tag;
   Value value;
+  ObjectId object;
   [[nodiscard]] std::size_t wire_size() const override {
-    return 2 + 8 + 8 + 4 + 12 + 4 + value.size();
+    return 2 + 8 + 8 + 4 + 12 + 4 + value.size() + core::object_wire(object);
   }
   [[nodiscard]] std::string describe() const override { return "AbdStore"; }
 };
@@ -82,12 +97,16 @@ struct AbdStoreAck final : net::Payload {
 };
 
 struct AbdGet final : net::Payload {
-  AbdGet(ClientId c, RequestId r, std::uint32_t ph)
-      : Payload(kAbdGet), client(c), req(r), phase(ph) {}
+  AbdGet(ClientId c, RequestId r, std::uint32_t ph,
+         ObjectId obj = kDefaultObject)
+      : Payload(kAbdGet), client(c), req(r), phase(ph), object(obj) {}
   ClientId client;
   RequestId req;
   std::uint32_t phase;
-  [[nodiscard]] std::size_t wire_size() const override { return 2 + 8 + 8 + 4; }
+  ObjectId object;
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 2 + 8 + 8 + 4 + core::object_wire(object);
+  }
   [[nodiscard]] std::string describe() const override { return "AbdGet"; }
 };
 
@@ -104,7 +123,9 @@ struct AbdGetAck final : net::Payload {
   [[nodiscard]] std::string describe() const override { return "AbdGetAck"; }
 };
 
-/// Server: a passive replica answering the three quorum RPCs.
+/// Server: a passive replica answering the three quorum RPCs. Keeps one
+/// (tag, value) per register; registers never touched are not materialised
+/// and answer from the initial state (the namespace is unbounded).
 class AbdServer {
  public:
   using Context = PeerContext;  // send_peer unused: no inter-server traffic
@@ -114,13 +135,24 @@ class AbdServer {
   void on_client_message(const net::Payload& msg, Context& ctx);
 
   [[nodiscard]] ProcessId id() const { return self_; }
-  [[nodiscard]] const Tag& current_tag() const { return tag_; }
-  [[nodiscard]] const Value& current_value() const { return value_; }
+  [[nodiscard]] const Tag& current_tag(
+      ObjectId object = kDefaultObject) const;
+  [[nodiscard]] const Value& current_value(
+      ObjectId object = kDefaultObject) const;
+  [[nodiscard]] std::size_t object_count() const { return regs_.size(); }
 
  private:
+  struct Register {
+    Tag tag;
+    Value value;
+  };
+  /// Created on first store; read-only lookups of untouched registers get
+  /// the shared initial state.
+  Register& reg_of(ObjectId object);
+  [[nodiscard]] const Register* find_reg(ObjectId object) const;
+
   ProcessId self_;
-  Tag tag_;
-  Value value_;
+  std::map<ObjectId, Register> regs_;
 };
 
 /// Client: drives the two-phase quorum protocol. Same surface as
@@ -135,8 +167,18 @@ class AbdClient {
 
   AbdClient(ClientId id, Options opts);
 
-  RequestId begin_write(Value v, core::ClientContext& ctx);
-  RequestId begin_read(core::ClientContext& ctx);
+  /// Starts a write/read of `object`. Strictly one op outstanding.
+  RequestId begin_write(ObjectId object, Value v, core::ClientContext& ctx);
+  RequestId begin_read(ObjectId object, core::ClientContext& ctx);
+
+  /// Single-register facade (the pre-namespace API, object 0).
+  RequestId begin_write(Value v, core::ClientContext& ctx) {
+    return begin_write(kDefaultObject, std::move(v), ctx);
+  }
+  RequestId begin_read(core::ClientContext& ctx) {
+    return begin_read(kDefaultObject, ctx);
+  }
+
   void on_reply(const net::Payload& msg, core::ClientContext& ctx);
   void on_timer(std::uint64_t token, core::ClientContext& ctx);
 
@@ -170,6 +212,7 @@ class AbdClient {
 
   // Operation in progress.
   bool is_read_ = false;
+  ObjectId object_ = kDefaultObject;
   Value write_value_;
   double invoked_at_ = 0;
   std::uint32_t attempts_ = 1;

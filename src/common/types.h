@@ -32,6 +32,19 @@ using RequestId = std::uint64_t;
 /// single-register protocol (no object field on the wire).
 using ObjectId = std::uint64_t;
 
+/// Index of one ring (shard) in a multi-ring topology. A storage service is
+/// a set of independent rings behind a deterministic ObjectId → ring map
+/// (core::ShardMap); every register lives on exactly one ring, so atomicity
+/// composes across rings for free (DESIGN.md D7).
+using RingId = std::uint32_t;
+
+/// The ring of a single-ring deployment, and the default shard.
+inline constexpr RingId kDefaultRing = 0;
+
+/// Sentinel used where the serving ring is unknown (e.g. a history op whose
+/// reply never identified its server).
+inline constexpr RingId kNoRing = std::numeric_limits<RingId>::max();
+
 /// The default register: the seed protocol's single object.
 inline constexpr ObjectId kDefaultObject = 0;
 

@@ -20,9 +20,8 @@ ClientSession::ClientSession(ClientId id, ClientOptions opts)
     : id_(id),
       opts_(opts),
       jitter_(mix_seed(opts.seed, id)),
-      next_target_(opts.preferred_server) {
-  assert(opts_.n_servers > 0);
-  assert(opts_.preferred_server < opts_.n_servers);
+      router_(opts.topology.value_or(Topology::single(opts.n_servers)),
+              opts.preferred_server) {
   assert(opts_.max_inflight > 0);
   assert(opts_.retry_multiplier >= 1.0);
 }
@@ -65,7 +64,8 @@ void ClientSession::dispatch(ClientContext& ctx) {
     }
     Op op = std::move(*it);
     it = backlog_.erase(it);
-    op.target = next_target_;
+    op.ring = router_.ring_of(op.object);
+    op.target = router_.target_of(op.ring);
     active_objects_.insert(op.object);
     auto [slot, fresh] = inflight_.emplace(op.req, std::move(op));
     assert(fresh);
@@ -134,6 +134,12 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
   OpResult result;
   result.is_read = op.is_read;
   result.object = op.object;
+  // The serving ring comes from the server that actually replied — the
+  // evidence the cross-ring checker needs; a misrouting bug would make it
+  // differ from the router's choice. Routed ring only when the fabric did
+  // not identify the sender.
+  result.ring = from != kNoProcess ? router_.topology().ring_of_server(from)
+                                   : op.ring;
   result.req = op.req;
   if (is_read) {
     const auto& m = static_cast<const ClientReadAck&>(msg);
@@ -159,11 +165,11 @@ void ClientSession::on_timer(std::uint64_t token, ClientContext& ctx) {
   if (it == inflight_.end() || it->second.timer_token != token) return;
   // §3: "when their request times out, they simply re-send it to another
   // server". Same request id — servers deduplicate retried writes (D5).
-  // Later dispatches start at the rotated-to server: one crashed preferred
-  // server must not cost every subsequent op a timeout.
+  // Rotation stays inside the op's ring, and later dispatches to that ring
+  // start at the rotated-to server: one crashed preferred server must not
+  // cost every subsequent op of its shard a timeout.
   Op& op = it->second;
-  op.target = static_cast<ProcessId>((op.target + 1) % opts_.n_servers);
-  next_target_ = op.target;
+  op.target = router_.rotate(op.ring, op.target);
   ++total_retries_;
   transmit(op, ctx);
 }

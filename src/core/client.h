@@ -8,6 +8,9 @@
 // operations, each addressed to a register (ObjectId); operations on the
 // same object queue behind each other (per-object ordering), so at most one
 // operation per object is in flight and ops on distinct objects overlap.
+// Under a multi-ring Topology the session routes every op to its object's
+// ring through a ShardRouter — one in-flight budget spans all rings, while
+// retry rotation and the sticky server target stay per ring.
 // Every in-flight operation has its own retry timer (token scheme) and its
 // own server target rotation; retry delays grow exponentially with jitter
 // (seed behaviour at retry_multiplier = 1). Completion is reported through
@@ -23,6 +26,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -30,6 +34,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "core/messages.h"
+#include "core/topology.h"
 #include "net/payload.h"
 
 namespace hts::core {
@@ -45,8 +50,17 @@ class ClientContext {
 };
 
 struct ClientOptions {
+  /// Single-ring facade: size of the one ring when `topology` is unset.
   std::size_t n_servers = 1;
-  ProcessId preferred_server = 0;  ///< first server contacted
+  ProcessId preferred_server = 0;  ///< first server contacted (global id)
+
+  /// Deployment shape: R independent rings behind a deterministic shard map
+  /// (core::Topology). Unset = Topology::single(n_servers), the pre-sharding
+  /// deployment — routing, rotation and wire traffic are bit-for-bit the
+  /// single-ring client. When set, ops route to their object's ring and the
+  /// session pipelines across rings from one in-flight budget; retry
+  /// rotation and the sticky target are kept per ring (ShardRouter).
+  std::optional<Topology> topology;
 
   /// Base retry delay (seconds). With retry_multiplier = 1 (default) every
   /// attempt waits exactly retry_timeout — the original fixed-interval
@@ -72,6 +86,9 @@ struct ClientOptions {
 struct OpResult {
   bool is_read = false;
   ObjectId object = kDefaultObject;
+  /// Shard that served the op: the ring of the replying server when the
+  /// fabric identified it (served_by), else the ring the op was routed to.
+  RingId ring = kDefaultRing;
   RequestId req = 0;
   Value value;          // read result (empty for writes)
   Tag tag;              // tag of the read value (white-box, for checking)
@@ -130,6 +147,12 @@ class ClientSession {
   [[nodiscard]] std::size_t backlog_count() const { return backlog_.size(); }
   [[nodiscard]] ClientId id() const { return id_; }
   [[nodiscard]] std::uint64_t retries() const { return total_retries_; }
+  /// The resolved deployment shape (Topology::single(n_servers) when the
+  /// options carried no explicit topology).
+  [[nodiscard]] const Topology& topology() const {
+    return router_.topology();
+  }
+  [[nodiscard]] const ShardRouter& router() const { return router_; }
 
   /// Delay before retry number `attempt` (attempt 1 = first transmission).
   /// Exposed for tests pinning the backoff schedule.
@@ -138,12 +161,13 @@ class ClientSession {
  private:
   struct Op {
     ObjectId object = kDefaultObject;
+    RingId ring = kDefaultRing;         // shard serving `object`
     bool is_read = false;
     RequestId req = 0;
     Value value;  // pending write payload (re-sent on retry)
     double invoked_at = 0;
     std::uint32_t attempts = 0;         // transmissions so far
-    ProcessId target = 0;               // next server to contact
+    ProcessId target = 0;               // next server to contact (global id)
     std::uint64_t timer_token = 0;      // current retry timer
   };
 
@@ -158,11 +182,13 @@ class ClientSession {
   Rng jitter_;
   RequestId next_write_req_ = 1;
   RequestId next_read_req_ = 1;  // flagged with kReadRequestBit on the wire
-  /// Where the next dispatched op starts contacting: sticks to the server
-  /// the last retry rotated onto, so one dead preferred server does not tax
-  /// every subsequent operation with a timeout (the original client's
-  /// session-level target, generalised to many in-flight ops).
-  ProcessId next_target_ = 0;
+  /// Routes each op to its object's ring and keeps, per ring, the server the
+  /// next dispatched op starts contacting: sticks to the server the last
+  /// retry rotated onto, so one dead preferred server does not tax every
+  /// subsequent operation with a timeout (the original client's
+  /// session-level target, generalised to many in-flight ops and many
+  /// rings).
+  ShardRouter router_;
   std::uint64_t timer_seq_ = 0;
   std::uint64_t total_retries_ = 0;
 

@@ -1,0 +1,179 @@
+// Topology / ShardMap / ShardRouter — the deployment surface of a sharded
+// storage service (DESIGN.md §Sharding, D7).
+//
+// A service is no longer "n servers on one ring" but a Topology of R
+// independent rings behind a deterministic ObjectId → ring map. Each ring
+// runs the paper's protocol completely unchanged — linearizability is per
+// register and every register lives on exactly one ring, so disjoint rings
+// compose into one atomic namespace for free, and aggregate throughput
+// scales with R (bench/fig7_sharding.cpp).
+//
+// Addressing: a server is identified either by its global id (what fabrics,
+// crash injection and OpResult::served_by use) or by its ring coordinate
+// (ring, local index). Global ids are ring-major:
+//   global = ring * servers_per_ring + local.
+// With one ring the two coincide, which is what keeps every pre-sharding
+// API call valid unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hts::core {
+
+/// Shape of a deployment: R rings of equal size. Equal-size rings keep the
+/// global-id arithmetic closed-form; heterogeneous rings are a ROADMAP item.
+struct Topology {
+  std::size_t n_rings = 1;
+  std::size_t servers_per_ring = 1;
+
+  /// The pre-sharding deployment: one ring of `n` servers. Pinned mode —
+  /// every route resolves to ring 0 and the emitted wire traffic is
+  /// byte-for-byte the single-ring protocol (tests/shard_test.cpp).
+  [[nodiscard]] static constexpr Topology single(std::size_t n) {
+    return Topology{1, n};
+  }
+
+  [[nodiscard]] constexpr std::size_t total_servers() const {
+    return n_rings * servers_per_ring;
+  }
+  [[nodiscard]] constexpr bool valid() const {
+    return n_rings >= 1 && servers_per_ring >= 1;
+  }
+
+  /// Ring coordinate → global server id.
+  [[nodiscard]] constexpr ProcessId global_id(RingId ring,
+                                              ProcessId local) const {
+    return static_cast<ProcessId>(ring * servers_per_ring + local);
+  }
+  /// Global server id → ring it belongs to.
+  [[nodiscard]] constexpr RingId ring_of_server(ProcessId global) const {
+    return static_cast<RingId>(global / servers_per_ring);
+  }
+  /// Global server id → index within its ring (the id RingServer sees).
+  [[nodiscard]] constexpr ProcessId local_id(ProcessId global) const {
+    return static_cast<ProcessId>(global % servers_per_ring);
+  }
+  /// Global id of the first server of `ring`.
+  [[nodiscard]] constexpr ProcessId ring_base(RingId ring) const {
+    return static_cast<ProcessId>(ring * servers_per_ring);
+  }
+
+  friend constexpr bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// Deterministic ObjectId → RingId routing, consistent-hash style: each ring
+/// owns a fixed set of points on a 64-bit circle and an object routes to the
+/// ring owning the first point at or after its hash. The map is a pure
+/// function of (n_rings, object) with a pinned mixing function, so the same
+/// object routes to the same ring across client restarts, across processes
+/// and across machines — no coordination, no state. Growing R by one moves
+/// only ~1/(R+1) of the namespace (tests pin both properties).
+///
+/// Single-ring pin: with n_rings == 1 every object maps to ring 0 and no
+/// hashing happens at all — the pre-sharding behaviour, bit-for-bit.
+class ShardMap {
+ public:
+  /// Points per ring on the hash circle. Enough to balance a handful of
+  /// rings to within a few percent without making lookup tables large.
+  static constexpr std::size_t kPointsPerRing = 64;
+
+  explicit ShardMap(std::size_t n_rings) : n_rings_(n_rings) {
+    assert(n_rings >= 1);
+    if (n_rings_ == 1) return;
+    points_.reserve(n_rings_ * kPointsPerRing);
+    for (RingId r = 0; r < static_cast<RingId>(n_rings_); ++r) {
+      for (std::size_t k = 0; k < kPointsPerRing; ++k) {
+        points_.emplace_back(
+            mix((static_cast<std::uint64_t>(r) << 32) | (k + 1)), r);
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  [[nodiscard]] RingId ring_of(ObjectId object) const {
+    if (n_rings_ == 1) return kDefaultRing;
+    const std::uint64_t h = mix(object ^ kObjectSalt);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), std::pair<std::uint64_t, RingId>{h, 0});
+    if (it == points_.end()) it = points_.begin();  // wrap around the circle
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t n_rings() const { return n_rings_; }
+
+ private:
+  /// Pinned finalizer (splitmix64). Never change this: object placement is
+  /// part of the deployment contract — a different mix is a different map,
+  /// and every client must agree on the map with no coordination.
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+  /// Keeps object hashes off the ring-point positions (object ids and ring
+  /// point seeds are both small integers).
+  static constexpr std::uint64_t kObjectSalt = 0xA24BAED4963EE407ull;
+
+  std::size_t n_rings_;
+  std::vector<std::pair<std::uint64_t, RingId>> points_;
+};
+
+/// The routing state one client session keeps for a topology: the shard map
+/// plus a per-ring sticky target — the generalisation of the original
+/// client's single "server I last rotated onto". Retry rotation walks the
+/// servers *of the op's ring*; ops bound for other rings keep their own
+/// sticky target, so a dead server on one shard never costs another shard's
+/// traffic a timeout.
+class ShardRouter {
+ public:
+  ShardRouter(Topology topo, ProcessId preferred_global)
+      : topo_(topo), map_(topo.n_rings) {
+    assert(topo_.valid());
+    assert(preferred_global < topo_.total_servers());
+    // Every ring starts at the preferred server's local index: a client
+    // that prefers server k of its home ring prefers server k of every
+    // ring, preserving the fabric's load spreading across shards.
+    const ProcessId local = topo_.local_id(preferred_global);
+    sticky_.reserve(topo_.n_rings);
+    for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+      sticky_.push_back(topo_.global_id(r, local));
+    }
+  }
+
+  /// Which ring serves `object`.
+  [[nodiscard]] RingId ring_of(ObjectId object) const {
+    return map_.ring_of(object);
+  }
+
+  /// Global id of the server a new op on `ring` should contact first.
+  [[nodiscard]] ProcessId target_of(RingId ring) const {
+    return sticky_[ring];
+  }
+
+  /// Retry rotation: advance from `current` (a global id) to the next server
+  /// of `ring`, stick to it, and return it.
+  ProcessId rotate(RingId ring, ProcessId current) {
+    const ProcessId local = static_cast<ProcessId>(
+        (topo_.local_id(current) + 1) % topo_.servers_per_ring);
+    sticky_[ring] = topo_.global_id(ring, local);
+    return sticky_[ring];
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const ShardMap& shards() const { return map_; }
+
+ private:
+  Topology topo_;
+  ShardMap map_;
+  std::vector<ProcessId> sticky_;  ///< per-ring global target
+};
+
+}  // namespace hts::core

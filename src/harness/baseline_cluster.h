@@ -31,6 +31,8 @@ struct AbdProtocol {
   using Server = baselines::AbdServer;
   using Client = baselines::AbdClient;
   static constexpr const char* kName = "abd";
+  /// ABD serves the keyed object namespace (per-register quorum state).
+  static constexpr bool kObjectNamespace = true;
 
   static Server make_server(ProcessId p, std::size_t n) { return Server(p, n); }
   static Client make_client(ClientId id, std::size_t n, ProcessId preferred,
@@ -55,6 +57,7 @@ struct ChainProtocol {
   using Server = baselines::ChainServer;
   using Client = baselines::ChainClient;
   static constexpr const char* kName = "chain";
+  static constexpr bool kObjectNamespace = false;  ///< default register only
 
   static Server make_server(ProcessId p, std::size_t n) { return Server(p, n); }
   static Client make_client(ClientId id, std::size_t n, ProcessId preferred,
@@ -85,6 +88,7 @@ struct TobProtocol {
   using Server = baselines::TobServer;
   using Client = baselines::TobClient;
   static constexpr const char* kName = "tob";
+  static constexpr bool kObjectNamespace = false;  ///< default register only
 
   static Server make_server(ProcessId p, std::size_t n) { return Server(p, n); }
   static Client make_client(ClientId id, std::size_t n, ProcessId preferred,
@@ -241,23 +245,33 @@ class BaselineCluster {
 
     void deliver(const net::Payload& msg) { client.on_reply(msg, *this); }
 
-    // ClientPort. The baseline protocols serve a single register. A
-    // non-default object must fail loudly in every build: silently
-    // collapsing the namespace onto one register would fabricate
-    // linearizability violations in per-object histories.
+    // ClientPort. Namespace-capable baselines (ABD) route the object
+    // straight through. The rest serve a single register, and a non-default
+    // object must fail loudly in every build: silently collapsing the
+    // namespace onto one register would fabricate linearizability
+    // violations in per-object histories.
     RequestId begin_write(ObjectId object, Value v) override {
-      require_default(object);
-      return client.begin_write(std::move(v), *this);
+      if constexpr (Protocol::kObjectNamespace) {
+        return client.begin_write(object, std::move(v), *this);
+      } else {
+        require_default(object);
+        return client.begin_write(std::move(v), *this);
+      }
     }
     RequestId begin_read(ObjectId object) override {
-      require_default(object);
-      return client.begin_read(*this);
+      if constexpr (Protocol::kObjectNamespace) {
+        return client.begin_read(object, *this);
+      } else {
+        require_default(object);
+        return client.begin_read(*this);
+      }
     }
     static void require_default(ObjectId object) {
       if (object != kDefaultObject) {
         throw std::logic_error(
-            "baseline protocols serve only the default register (object 0); "
-            "got object " + std::to_string(object));
+            std::string(Protocol::kName) +
+            " serves only the default register (object 0); got object " +
+            std::to_string(object));
       }
     }
     void set_on_complete(

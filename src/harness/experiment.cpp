@@ -52,7 +52,8 @@ struct DriverSet {
 template <typename Cluster, typename AddClient>
 void attach_clients(sim::Simulator& sim, Cluster& cluster,
                     const ExperimentParams& p, UniqueValueSource& values,
-                    DriverSet& out, AddClient&& add_client) {
+                    DriverSet& out, AddClient&& add_client,
+                    bool pipelined_sessions = true) {
   WorkloadConfig base;
   base.value_size = p.value_size;
   base.start_at = 0.0;
@@ -92,30 +93,48 @@ void attach_clients(sim::Simulator& sim, Cluster& cluster,
     }
   };
 
-  for (ProcessId s = 0; s < p.n_servers; ++s) {
+  // One client-machine block per *global* server, so a sharded topology gets
+  // the same per-server offered load as a single ring of the same size.
+  const std::size_t total_servers = p.n_rings * p.n_servers;
+  for (ProcessId s = 0; s < total_servers; ++s) {
     spawn(s, false, p.reader_machines_per_server, p.readers_per_machine);
     spawn(s, true, p.writer_machines_per_server, p.writers_per_machine);
   }
 
   // Preload every register with one full-size value before measurement
   // starts, so read-only experiments measure real payload transfers (the
-  // paper's register holds data when its read throughput is measured). One
-  // pipelined burst at t=0: round-robin objects hit each register exactly
-  // once.
+  // paper's register holds data when its read throughput is measured).
   {
     const std::size_t machine = cluster.add_client_machine();
-    const ClientId id = add_client(machine, 0);
-    WorkloadConfig wl = base;
-    wl.write_fraction = 1.0;
-    wl.start_at = 0.0;
-    wl.stop_at = 1e-9;  // exactly one issue burst
-    wl.measure_from = base.stop_at + 1;  // never counted
-    wl.measure_until = base.stop_at + 2;
-    wl.pipeline = p.n_objects;  // one write per register, all at t=0
-    wl.round_robin_objects = true;
-    out.drivers.push_back(std::make_unique<ClosedLoopDriver>(
-        sim, cluster.port(id), id, wl, values, nullptr));
-    out.is_writer.push_back(false);  // excluded from writer fairness stats
+    WorkloadConfig preload = base;
+    preload.write_fraction = 1.0;
+    preload.start_at = 0.0;
+    preload.stop_at = 1e-9;  // exactly one issue burst per driver
+    preload.measure_from = base.stop_at + 1;  // never counted
+    preload.measure_until = base.stop_at + 2;
+    preload.round_robin_objects = true;
+    if (pipelined_sessions) {
+      // One pipelined burst at t=0: round-robin objects hit each register
+      // exactly once.
+      const ClientId id = add_client(machine, 0);
+      WorkloadConfig wl = preload;
+      wl.pipeline = p.n_objects;  // one write per register, all at t=0
+      out.drivers.push_back(std::make_unique<ClosedLoopDriver>(
+          sim, cluster.port(id), id, wl, values, nullptr));
+      out.is_writer.push_back(false);  // excluded from writer fairness stats
+    } else {
+      // One-outstanding-op clients (the baselines): one preload client per
+      // register, each writing exactly its own object at t=0.
+      for (std::size_t k = 0; k < p.n_objects; ++k) {
+        const ClientId id = add_client(machine, 0);
+        WorkloadConfig wl = preload;
+        wl.pipeline = 1;
+        wl.object_offset = k;
+        out.drivers.push_back(std::make_unique<ClosedLoopDriver>(
+            sim, cluster.port(id), id, wl, values, nullptr));
+        out.is_writer.push_back(false);
+      }
+    }
   }
 }
 
@@ -146,6 +165,7 @@ void fill_latency(const DriverSet& set, ExperimentResult& r) {
 SimClusterConfig cluster_config(const ExperimentParams& p) {
   SimClusterConfig cfg;
   cfg.n_servers = p.n_servers;
+  cfg.topology = core::Topology{p.n_rings, p.n_servers};
   cfg.shared_network = p.shared_network;
   cfg.server_options = p.server_options;
   // Wide enough for the measured pipelining AND for the preload burst to
@@ -188,23 +208,29 @@ ExperimentResult run_core_experiment(const ExperimentParams& p) {
 
 template <typename Protocol>
 static ExperimentResult run_baseline(const ExperimentParams& p) {
-  // The baseline clients are strictly one-outstanding-op, single-register
-  // (their begin_* precondition is only an assert, stripped in Release):
-  // fail loudly in every build rather than silently corrupt their state.
-  if (p.pipeline > 1 || p.n_objects > 1) {
+  // The baseline clients are strictly one-outstanding-op (their begin_*
+  // precondition is only an assert, stripped in Release), single-ring, and
+  // only ABD serves the object namespace: fail loudly in every build rather
+  // than silently corrupt their state.
+  if (p.pipeline > 1 || p.n_rings > 1 ||
+      (p.n_objects > 1 && !Protocol::kObjectNamespace)) {
     throw std::logic_error(
-        "baseline experiments support neither pipelining nor the object "
-        "namespace (pipeline = " + std::to_string(p.pipeline) +
-        ", n_objects = " + std::to_string(p.n_objects) + ")");
+        std::string("baseline experiment (") + Protocol::kName +
+        ") does not support this shape (pipeline = " +
+        std::to_string(p.pipeline) + ", n_rings = " +
+        std::to_string(p.n_rings) + ", n_objects = " +
+        std::to_string(p.n_objects) + ")");
   }
   sim::Simulator sim;
   BaselineCluster<Protocol> cluster(sim, cluster_config(p));
   UniqueValueSource values;
   DriverSet set;
-  attach_clients(sim, cluster, p, values, set,
-                 [&](std::size_t machine, ProcessId server) {
-                   return cluster.add_client(machine, server);
-                 });
+  attach_clients(
+      sim, cluster, p, values, set,
+      [&](std::size_t machine, ProcessId server) {
+        return cluster.add_client(machine, server);
+      },
+      /*pipelined_sessions=*/false);
   return run_with(cluster, sim, p, set);
 }
 

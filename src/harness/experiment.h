@@ -13,7 +13,10 @@
 namespace hts::harness {
 
 struct ExperimentParams {
+  /// Servers per ring. With n_rings > 1 the cluster is a sharded topology
+  /// of n_rings independent rings of this size (core protocol only).
   std::size_t n_servers = 3;
+  std::size_t n_rings = 1;
 
   // Per the paper: dedicated client machines per server; each machine hosts
   // several logical closed-loop clients ("the client application can emulate

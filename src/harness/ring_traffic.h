@@ -1,0 +1,46 @@
+// Per-shard wire-traffic aggregation for multi-ring clusters.
+//
+// Both fabrics break their global transmission/byte totals out per ring —
+// the simulator from its per-NIC transmit counters, the threaded transport
+// from per-host send accounting — and pair them with the ring servers'
+// protocol stats, so a sharded bench can report each shard's batch fill and
+// load share next to the aggregate (bench/fig7_sharding.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hts::harness {
+
+/// Ring egress of one shard: what its servers put on the wire.
+struct RingTraffic {
+  std::uint64_t transmissions = 0;  ///< wire sends (a whole batch counts once)
+  std::uint64_t bytes = 0;          ///< wire bytes of those sends
+  std::uint64_t ring_messages = 0;  ///< protocol messages the servers pulled
+  std::uint64_t batches = 0;        ///< multi-message trains among the sends
+
+  /// Protocol messages per transmission — how full the shard's trains ran.
+  [[nodiscard]] double batch_fill() const {
+    return transmissions == 0 ? 0.0
+                              : static_cast<double>(ring_messages) /
+                                    static_cast<double>(transmissions);
+  }
+
+  RingTraffic& operator+=(const RingTraffic& o) {
+    transmissions += o.transmissions;
+    bytes += o.bytes;
+    ring_messages += o.ring_messages;
+    batches += o.batches;
+    return *this;
+  }
+};
+
+/// Aggregate over all shards.
+[[nodiscard]] inline RingTraffic total_traffic(
+    const std::vector<RingTraffic>& per_ring) {
+  RingTraffic t;
+  for (const RingTraffic& r : per_ring) t += r;
+  return t;
+}
+
+}  // namespace hts::harness

@@ -12,15 +12,23 @@ namespace hts::harness {
 struct SimCluster::ServerNode final : core::ServerContext {
   SimCluster* cluster = nullptr;
   sim::Simulator* sim = nullptr;
-  core::RingServer server;
+  core::RingServer server;           // runs on local (in-ring) ids
+  RingId ring = kDefaultRing;        // which shard this server belongs to
+  ProcessId global = 0;              // ring-major global id
+  ProcessId ring_base = 0;           // global id of the ring's server 0
   sim::NicId ring_nic = sim::kNoNic;
   sim::NicId client_nic = sim::kNoNic;
   bool up = true;
   bool pump_scheduled = false;
 
-  ServerNode(SimCluster* cl, ProcessId self, std::size_t n,
+  ServerNode(SimCluster* cl, RingId r, ProcessId local, std::size_t n_per_ring,
              core::ServerOptions opts)
-      : cluster(cl), sim(&cl->sim_), server(self, n, opts) {}
+      : cluster(cl),
+        sim(&cl->sim_),
+        server(local, n_per_ring, opts),
+        ring(r),
+        global(cl->topo_.global_id(r, local)),
+        ring_base(cl->topo_.ring_base(r)) {}
 
   /// Single entry point for both NICs: routes by message family so the
   /// shared-network topology (one NIC for everything) works unchanged.
@@ -86,8 +94,11 @@ struct SimCluster::ServerNode final : core::ServerContext {
     if (!batch) return false;
     assert(batch->to != server.id());
     sim::Network& net = cluster->server_network();
-    const ProcessId to = batch->to;
-    net.send(ring_nic, cluster->servers_[to]->ring_nic,
+    // The protocol addresses its successor by local id; the fabric maps it
+    // into the ring's global id block. Ring traffic never crosses rings.
+    const ProcessId to_global =
+        static_cast<ProcessId>(ring_base + batch->to);
+    net.send(ring_nic, cluster->servers_[to_global]->ring_nic,
              std::move(*batch).into_wire());
     return true;
   }
@@ -175,8 +186,10 @@ void SimCluster::ServerNode::transmit_reply(ClientId client,
                                             net::PayloadPtr msg) {
   SimCluster& cl = *cluster;
   auto& lc = *cl.clients_[client];
+  // The envelope names the *global* server id: that is what sessions report
+  // as served_by and what identifies the serving ring to the checkers.
   cl.client_net_->send(client_nic, cl.machines_[lc.machine]->nic,
-                       net::make_payload<ClientEnvelope>(client, server.id(),
+                       net::make_payload<ClientEnvelope>(client, global,
                                                          std::move(msg)));
 }
 
@@ -195,8 +208,8 @@ void SimCluster::ServerNode::send_client(ClientId client,
 // ---------------------------------------------------------------- cluster
 
 SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
-    : sim_(sim), cfg_(cfg) {
-  assert(cfg_.n_servers >= 1);
+    : sim_(sim), cfg_(cfg), topo_(cfg.resolved_topology()) {
+  assert(topo_.valid());
   server_net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
   if (cfg_.shared_network) {
     client_net_ = server_net_.get();
@@ -205,22 +218,29 @@ SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
     client_net_ = client_net_owned_.get();
   }
 
-  for (ProcessId p = 0; p < cfg_.n_servers; ++p) {
-    auto node = std::make_unique<ServerNode>(this, p, cfg_.n_servers,
-                                             cfg_.server_options);
-    ServerNode* raw = node.get();
-    node->ring_nic = server_net_->add_nic(
-        "s" + std::to_string(p) + ".ring",
-        [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
-    if (cfg_.shared_network) {
-      // One physical NIC: ring and client traffic share the serializers.
-      node->client_nic = node->ring_nic;
-    } else {
-      node->client_nic = client_net_->add_nic(
-          "s" + std::to_string(p) + ".client",
+  // One ring at a time, ring-major: servers_[global] is server `local` of
+  // ring `global / servers_per_ring`. Each ring is an independent instance
+  // of the protocol; only client traffic ever spans rings.
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+    for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
+      auto node = std::make_unique<ServerNode>(this, r, local,
+                                               topo_.servers_per_ring,
+                                               cfg_.server_options);
+      ServerNode* raw = node.get();
+      const std::string label = "s" + std::to_string(node->global);
+      node->ring_nic = server_net_->add_nic(
+          label + ".ring",
           [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+      if (cfg_.shared_network) {
+        // One physical NIC: ring and client traffic share the serializers.
+        node->client_nic = node->ring_nic;
+      } else {
+        node->client_nic = client_net_->add_nic(
+            label + ".client",
+            [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+      }
+      servers_.push_back(std::move(node));
     }
-    servers_.push_back(std::move(node));
   }
 }
 
@@ -242,7 +262,8 @@ core::ClientSession& SimCluster::add_client(std::size_t machine,
   assert(machine < machines_.size());
   assert(server < servers_.size());
   core::ClientOptions opts;
-  opts.n_servers = cfg_.n_servers;
+  opts.n_servers = topo_.total_servers();
+  opts.topology = topo_;
   opts.preferred_server = server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
   opts.retry_multiplier = cfg_.client_retry_multiplier;
@@ -262,9 +283,14 @@ void SimCluster::crash_server(ProcessId p) {
   node.up = false;
   server_net_->disable(node.ring_nic);
   if (!cfg_.shared_network) client_net_->disable(node.client_nic);
-  sim_.schedule(cfg_.detection_delay_s, [this, p] {
+  // Failure detection is a ring-local concern: only the crashed server's
+  // ring peers learn of it (and they are notified of its local id — the id
+  // their protocol instance knows it by). Other shards never notice.
+  const RingId ring = topo_.ring_of_server(p);
+  const ProcessId local = topo_.local_id(p);
+  sim_.schedule(cfg_.detection_delay_s, [this, ring, local] {
     for (auto& s : servers_) {
-      if (s->up) s->peer_crashed(p);
+      if (s->up && s->ring == ring) s->peer_crashed(local);
     }
   });
 }
@@ -286,5 +312,27 @@ core::ClientSession& SimCluster::client(ClientId id) {
 ClientPort& SimCluster::port(ClientId id) { return *clients_[id]; }
 
 std::size_t SimCluster::client_count() const { return clients_.size(); }
+
+RingTraffic SimCluster::ring_traffic(RingId r) const {
+  assert(r < topo_.n_rings);
+  RingTraffic t;
+  for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
+    const ServerNode& node = *servers_[topo_.global_id(r, local)];
+    t.transmissions += server_net_->nic_messages_sent(node.ring_nic);
+    t.bytes += server_net_->nic_bytes_sent(node.ring_nic);
+    t.ring_messages += node.server.stats().ring_messages_out;
+    t.batches += node.server.stats().batches_out;
+  }
+  return t;
+}
+
+std::vector<RingTraffic> SimCluster::traffic_per_ring() const {
+  std::vector<RingTraffic> v;
+  v.reserve(topo_.n_rings);
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+    v.push_back(ring_traffic(r));
+  }
+  return v;
+}
 
 }  // namespace hts::harness

@@ -1,20 +1,31 @@
 // SimCluster — hosts the core ring protocol on the discrete-event simulator.
 //
-// Topology mirrors the paper's testbed: every server has a NIC on the server
-// network (ring traffic) and a NIC on the client network; client *machines*
-// (each with its own NIC) host many logical clients, the paper's trick for
-// saturating servers without hundreds of physical nodes. With
+// Node layout mirrors the paper's testbed: every server has a NIC on the
+// server network (ring traffic) and a NIC on the client network; client
+// *machines* (each with its own NIC) host many logical clients, the paper's
+// trick for saturating servers without hundreds of physical nodes. With
 // `shared_network = true` the two networks collapse into one and each server
 // uses a single NIC for everything — the paper's bottom-most experiment.
+//
+// A cluster is constructed from a core::Topology: R independent rings of
+// equal size behind a deterministic shard map (DESIGN.md §Sharding). Servers
+// are addressed by global id (ring-major: ring * servers_per_ring + local);
+// each ring runs its own instance of the paper's protocol, client sessions
+// route each op to its object's ring, and traffic/metrics are reported both
+// per ring and in aggregate. The default (no topology set) is the
+// single-ring deployment, bit-for-bit the pre-sharding cluster.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
 #include "core/client.h"
 #include "core/server.h"
+#include "core/topology.h"
+#include "harness/ring_traffic.h"
 #include "harness/workload.h"
 #include "net/payload.h"
 #include "sim/network.h"
@@ -43,7 +54,11 @@ struct ClientEnvelope final : net::Payload {
 };
 
 struct SimClusterConfig {
+  /// Single-ring facade: size of the one ring when `topology` is unset.
   std::size_t n_servers = 3;
+  /// Deployment shape: R rings of servers_per_ring servers each. Unset =
+  /// Topology::single(n_servers), the pre-sharding single-ring cluster.
+  std::optional<core::Topology> topology;
   sim::NetConfig net;            ///< link model for both networks
   bool shared_network = false;   ///< one NIC per server for all traffic
   double detection_delay_s = 2e-3;
@@ -54,6 +69,11 @@ struct SimClusterConfig {
   double client_retry_cap = 8.0;
   std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
+
+  /// The deployment this config describes (single ring unless set).
+  [[nodiscard]] core::Topology resolved_topology() const {
+    return topology.value_or(core::Topology::single(n_servers));
+  }
 };
 
 class SimCluster {
@@ -68,24 +88,36 @@ class SimCluster {
   std::size_t add_client_machine();
 
   /// Adds a logical client session on `machine`, initially contacting
-  /// `server`; pipelining width and backoff follow the cluster config.
+  /// `server` (a global id); the session routes ops across every ring of the
+  /// topology; pipelining width and backoff follow the cluster config.
   core::ClientSession& add_client(std::size_t machine, ProcessId server);
 
-  /// Crashes a server now: NICs go down, in-flight deliveries to it are
-  /// dropped, survivors' failure detectors fire after detection_delay.
+  /// Crashes a server (global id) now: NICs go down, in-flight deliveries to
+  /// it are dropped, and the failure detectors of its ring peers fire after
+  /// detection_delay (other rings are untouched — shards fail independently).
   void crash_server(ProcessId p);
   void schedule_crash(double at, ProcessId p);
 
   [[nodiscard]] bool server_up(ProcessId p) const;
+  /// Server by global id; RingServer::id() is its local (in-ring) index.
   [[nodiscard]] core::RingServer& server(ProcessId p);
   [[nodiscard]] core::ClientSession& client(ClientId id);
   /// Issue/complete surface for workload drivers.
   [[nodiscard]] ClientPort& port(ClientId id);
   [[nodiscard]] std::size_t client_count() const;
+  [[nodiscard]] std::size_t n_servers() const { return servers_.size(); }
+  [[nodiscard]] const core::Topology& topology() const { return topo_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] sim::Network& server_network() { return *server_net_; }
   [[nodiscard]] sim::Network& client_network() { return *client_net_; }
   [[nodiscard]] const SimClusterConfig& config() const { return cfg_; }
+
+  /// Wire traffic ring `r`'s servers emitted, from the per-NIC counters plus
+  /// the servers' protocol stats. With shared_network the ring NIC also
+  /// carries client replies, so transmissions/bytes include them there.
+  [[nodiscard]] RingTraffic ring_traffic(RingId r) const;
+  /// ring_traffic for every ring of the topology, in ring order.
+  [[nodiscard]] std::vector<RingTraffic> traffic_per_ring() const;
 
  private:
   struct ServerNode;
@@ -96,6 +128,7 @@ class SimCluster {
 
   sim::Simulator& sim_;
   SimClusterConfig cfg_;
+  core::Topology topo_;
   std::unique_ptr<sim::Network> server_net_;
   std::unique_ptr<sim::Network> client_net_owned_;  // null when shared
   sim::Network* client_net_ = nullptr;

@@ -36,11 +36,22 @@ constexpr double kOpTimeoutSeconds = 30.0;
 
 struct ThreadedCluster::ServerHost final : core::ServerContext {
   ThreadedCluster* cluster = nullptr;
-  core::RingServer server;
+  core::RingServer server;           // runs on local (in-ring) ids
+  RingId ring = kDefaultRing;
+  ProcessId global = 0;              // ring-major global id
+  ProcessId ring_base = 0;
+  // Ring egress accounting (written on this host's delivery thread, read by
+  // the harness after quiescence — atomics keep the access well-defined).
+  std::atomic<std::uint64_t> ring_transmissions{0};
+  std::atomic<std::uint64_t> ring_bytes{0};
 
-  ServerHost(ThreadedCluster* cl, ProcessId self, std::size_t n,
-             core::ServerOptions opts)
-      : cluster(cl), server(self, n, opts) {}
+  ServerHost(ThreadedCluster* cl, RingId r, ProcessId local,
+             std::size_t n_per_ring, core::ServerOptions opts)
+      : cluster(cl),
+        server(local, n_per_ring, opts),
+        ring(r),
+        global(cl->topo_.global_id(r, local)),
+        ring_base(cl->topo_.ring_base(r)) {}
 
   void on_message(net::NodeAddress from, net::PayloadPtr msg) {
     (void)from;
@@ -68,7 +79,11 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
   }
 
   void on_crash(ProcessId p) {
-    server.on_peer_crash(p, *this);
+    // The transport broadcasts crashes by global id; failure detection is a
+    // ring-local concern, so other shards' notifications are dropped here
+    // and a ring peer is handed the local id its protocol instance knows.
+    if (cluster->topo_.ring_of_server(p) != ring || p == global) return;
+    server.on_peer_crash(cluster->topo_.local_id(p), *this);
     drain();
   }
 
@@ -79,15 +94,19 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
   /// exactly like the simulator.
   void drain() {
     while (auto batch = server.next_ring_batch()) {
-      const ProcessId to = batch->to;
-      cluster->transport_.send(net::NodeAddress::server(server.id()),
-                               net::NodeAddress::server(to),
-                               std::move(*batch).into_wire());
+      const ProcessId to_global =
+          static_cast<ProcessId>(ring_base + batch->to);
+      auto wire = std::move(*batch).into_wire();
+      ring_transmissions.fetch_add(1, std::memory_order_relaxed);
+      ring_bytes.fetch_add(wire->wire_size(), std::memory_order_relaxed);
+      cluster->transport_.send(net::NodeAddress::server(global),
+                               net::NodeAddress::server(to_global),
+                               std::move(wire));
     }
   }
 
   void send_client(ClientId client, net::PayloadPtr msg) override {
-    cluster->transport_.send(net::NodeAddress::server(server.id()),
+    cluster->transport_.send(net::NodeAddress::server(global),
                              net::NodeAddress::client(client), std::move(msg));
   }
 };
@@ -131,18 +150,21 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
   void finish(const core::OpResult& r) {
     auto it = pending.find(r.req);
     if (cluster->cfg_.record_history) {
+      // OpResult::ring already names the ring of the server that replied
+      // (the session derives it from served_by).
+      const RingId ring = r.ring;
       const std::scoped_lock lock(cluster->history_mu_);
       if (r.is_read) {
         const std::uint64_t seen = r.value.empty()
                                        ? lincheck::kInitialValueId
                                        : r.value.synthetic_seed();
         cluster->history_.record_read(client.id(), seen, r.invoked_at,
-                                      r.completed_at, r.tag, r.object);
+                                      r.completed_at, r.tag, r.object, ring);
       } else {
         const std::uint64_t seed =
             it != pending.end() ? it->second.value_seed : 0;
         cluster->history_.record_write(client.id(), seed, r.invoked_at,
-                                       r.completed_at, r.object);
+                                       r.completed_at, r.object, ring);
       }
     }
     if (it != pending.end()) {
@@ -167,19 +189,24 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
 
 ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
     : cfg_(cfg),
+      topo_(cfg.resolved_topology()),
       transport_(cfg.detection_delay_s),
       epoch_(std::chrono::steady_clock::now()) {
-  for (ProcessId p = 0; p < cfg_.n_servers; ++p) {
-    auto host = std::make_unique<ServerHost>(this, p, cfg_.n_servers,
-                                             cfg_.server_options);
-    ServerHost* raw = host.get();
-    transport_.register_node(
-        net::NodeAddress::server(p),
-        [raw](net::NodeAddress from, net::PayloadPtr m) {
-          raw->on_message(from, std::move(m));
-        },
-        [raw](ProcessId crashed) { raw->on_crash(crashed); });
-    servers_.push_back(std::move(host));
+  assert(topo_.valid());
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+    for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
+      auto host = std::make_unique<ServerHost>(this, r, local,
+                                               topo_.servers_per_ring,
+                                               cfg_.server_options);
+      ServerHost* raw = host.get();
+      transport_.register_node(
+          net::NodeAddress::server(raw->global),
+          [raw](net::NodeAddress from, net::PayloadPtr m) {
+            raw->on_message(from, std::move(m));
+          },
+          [raw](ProcessId crashed) { raw->on_crash(crashed); });
+      servers_.push_back(std::move(host));
+    }
   }
 }
 
@@ -194,7 +221,8 @@ double ThreadedCluster::elapsed() const {
 ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
     ProcessId preferred_server) {
   core::ClientOptions opts;
-  opts.n_servers = cfg_.n_servers;
+  opts.n_servers = topo_.total_servers();
+  opts.topology = topo_;
   opts.preferred_server = preferred_server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
   opts.retry_multiplier = cfg_.client_retry_multiplier;
@@ -238,6 +266,29 @@ core::RingServer& ThreadedCluster::server(ProcessId p) {
 lincheck::History ThreadedCluster::history() const {
   const std::scoped_lock lock(history_mu_);
   return history_;
+}
+
+RingTraffic ThreadedCluster::ring_traffic(RingId r) const {
+  assert(r < topo_.n_rings);
+  RingTraffic t;
+  for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
+    const ServerHost& host = *servers_[topo_.global_id(r, local)];
+    t.transmissions +=
+        host.ring_transmissions.load(std::memory_order_relaxed);
+    t.bytes += host.ring_bytes.load(std::memory_order_relaxed);
+    t.ring_messages += host.server.stats().ring_messages_out;
+    t.batches += host.server.stats().batches_out;
+  }
+  return t;
+}
+
+std::vector<RingTraffic> ThreadedCluster::traffic_per_ring() const {
+  std::vector<RingTraffic> v;
+  v.reserve(topo_.n_rings);
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+    v.push_back(ring_traffic(r));
+  }
+  return v;
 }
 
 // ---------------------------------------------------------------- client

@@ -3,25 +3,39 @@
 // one protocol event at a time, with reliable FIFO links. This is the fabric
 // for integration/stress tests under real concurrency and for the runnable
 // examples (it offers a blocking client API).
+//
+// Like SimCluster, the cluster is constructed from a core::Topology — R
+// independent rings behind the deterministic shard map. Servers are
+// addressed by global id (ring-major); crash notifications stay inside the
+// crashed server's ring; recorded histories tag every op with the ring that
+// served it so the checkers can verify no object's history crosses rings.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
 #include "common/value.h"
 #include "core/client.h"
 #include "core/server.h"
+#include "core/topology.h"
+#include "harness/ring_traffic.h"
 #include "lincheck/history.h"
 #include "net/inmem_transport.h"
 
 namespace hts::harness {
 
 struct ThreadedClusterConfig {
+  /// Single-ring facade: size of the one ring when `topology` is unset.
   std::size_t n_servers = 3;
+  /// Deployment shape: R rings of servers_per_ring servers each. Unset =
+  /// Topology::single(n_servers), the pre-sharding single-ring cluster.
+  std::optional<core::Topology> topology;
   double detection_delay_s = 0.005;
   double client_retry_timeout_s = 0.1;
   /// Session pipelining/backoff knobs (core::ClientOptions pass-through).
@@ -31,6 +45,11 @@ struct ThreadedClusterConfig {
   std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
   bool record_history = true;  ///< collect a lincheck history of all ops
+
+  /// The deployment this config describes (single ring unless set).
+  [[nodiscard]] core::Topology resolved_topology() const {
+    return topology.value_or(core::Topology::single(n_servers));
+  }
 };
 
 class ThreadedCluster {
@@ -80,7 +99,8 @@ class ThreadedCluster {
 
   void start();
 
-  /// Crash-stops a server; survivors are notified after the detection delay.
+  /// Crash-stops a server (global id); its ring peers are notified after the
+  /// detection delay. Other rings never notice — shards fail independently.
   void crash_server(ProcessId p);
 
   [[nodiscard]] bool server_up(ProcessId p) const;
@@ -88,13 +108,22 @@ class ThreadedCluster {
   /// Blocks until all queues drain (no protocol work left).
   bool wait_quiescent(double timeout_s);
 
-  /// Server introspection — only meaningful while quiescent.
+  /// Server introspection by global id — only meaningful while quiescent.
+  /// RingServer::id() is the server's local (in-ring) index.
   [[nodiscard]] core::RingServer& server(ProcessId p);
 
-  /// Snapshot of the recorded operation history.
+  /// Snapshot of the recorded operation history. Ops carry the ring that
+  /// served them (from the replying server's global id).
   [[nodiscard]] lincheck::History history() const;
 
-  [[nodiscard]] std::size_t n_servers() const { return cfg_.n_servers; }
+  [[nodiscard]] std::size_t n_servers() const { return servers_.size(); }
+  [[nodiscard]] const core::Topology& topology() const { return topo_; }
+
+  /// Ring egress of shard `r`: transmissions/bytes the ring's servers handed
+  /// to the transport, plus their protocol message/batch stats. Read while
+  /// quiescent.
+  [[nodiscard]] RingTraffic ring_traffic(RingId r) const;
+  [[nodiscard]] std::vector<RingTraffic> traffic_per_ring() const;
 
  private:
   struct ServerHost;
@@ -103,6 +132,7 @@ class ThreadedCluster {
   double elapsed() const;
 
   ThreadedClusterConfig cfg_;
+  core::Topology topo_;
   net::InMemTransport transport_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<ServerHost>> servers_;

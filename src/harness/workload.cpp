@@ -35,7 +35,8 @@ void ClosedLoopDriver::issue() {
     if (cfg_.n_objects <= 1) {
       op.object = kDefaultObject;
     } else if (cfg_.round_robin_objects) {
-      op.object = static_cast<ObjectId>(issued_ % cfg_.n_objects);
+      op.object = static_cast<ObjectId>((issued_ + cfg_.object_offset) %
+                                        cfg_.n_objects);
     } else {
       op.object = static_cast<ObjectId>(rng_.below(cfg_.n_objects));
     }
@@ -71,7 +72,7 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
       const std::uint64_t seen =
           r.value.empty() ? lincheck::kInitialValueId : r.value.synthetic_seed();
       history_->record_read(client_id_, seen, op.invoked_at, r.completed_at,
-                            r.tag, op.object);
+                            r.tag, op.object, r.ring);
     }
   } else {
     if (in_window) {
@@ -80,7 +81,7 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
     }
     if (history_ != nullptr) {
       history_->record_write(client_id_, op.value_seed, op.invoked_at,
-                             r.completed_at, op.object);
+                             r.completed_at, op.object, r.ring);
     }
   }
   issue();

@@ -61,10 +61,12 @@ struct WorkloadConfig {
   std::uint64_t seed = 1;       ///< rng for the read/write and object coins
   std::size_t n_objects = 1;    ///< registers addressed (uniformly at random)
   std::size_t pipeline = 1;     ///< concurrent ops kept in flight (1=closed)
-  /// Cycle objects round-robin (op i → object i mod n_objects) instead of
-  /// uniformly at random — deterministic coverage (e.g. preloading every
-  /// register exactly once with pipeline = n_objects).
+  /// Cycle objects round-robin (op i → object (i + object_offset) mod
+  /// n_objects) instead of uniformly at random — deterministic coverage
+  /// (e.g. preloading every register exactly once with pipeline =
+  /// n_objects, or one register per single-op client via object_offset).
   bool round_robin_objects = false;
+  std::size_t object_offset = 0;  ///< round-robin phase (see above)
 };
 
 /// Keeps up to `pipeline` operations in flight until stop_at (1 = the

@@ -55,7 +55,29 @@ std::string Op::describe() const {
   s += " [" + fmt(invoked_at) + "," + fmt(responded_at) + ") client " +
        std::to_string(client);
   if (object != kDefaultObject) s += " object " + std::to_string(object);
+  if (ring != kNoRing) s += " ring " + std::to_string(ring);
   return s;
+}
+
+// --------------------------------------------------------- ring assignment
+
+CheckResult check_ring_assignment(const History& h) {
+  // Every object lives on exactly one ring (the shard map is deterministic),
+  // so two ops of one object served by different rings is a routing bug —
+  // each ring would hold an independent copy of the register and per-ring
+  // protocol correctness could never notice. Ops whose serving ring is
+  // unknown (kNoRing) constrain nothing.
+  std::unordered_map<ObjectId, const Op*> first_served;
+  for (const Op& op : h.ops()) {
+    if (op.ring == kNoRing) continue;
+    auto [it, fresh] = first_served.emplace(op.object, &op);
+    if (!fresh && it->second->ring != op.ring) {
+      return {false, "object " + std::to_string(op.object) +
+                         " served by two rings: " + it->second->describe() +
+                         " vs " + op.describe()};
+    }
+  }
+  return {true, ""};
 }
 
 // ------------------------------------------------------------- fast checker
@@ -205,6 +227,9 @@ CheckResult check_register_single(const History& h) {
 }  // namespace
 
 CheckResult check_register(const History& h) {
+  if (CheckResult rings = check_ring_assignment(h); !rings.linearizable) {
+    return rings;
+  }
   return per_object(h, check_register_single);
 }
 
@@ -340,6 +365,9 @@ CheckResult check_register_brute_single(const History& h) {
 }  // namespace
 
 CheckResult check_register_brute(const History& h) {
+  if (CheckResult rings = check_ring_assignment(h); !rings.linearizable) {
+    return rings;
+  }
   return per_object(h, check_register_brute_single);
 }
 

@@ -45,12 +45,19 @@ struct CheckResult {
 
 /// Exact, fast checker (unique write values required across the history).
 /// Partitions by object; a multi-object history passes iff every register's
-/// projection is linearizable.
+/// projection is linearizable. Also enforces the sharding invariant
+/// (check_ring_assignment) when ops carry serving-ring tags.
 CheckResult check_register(const History& h);
 
 /// Exponential reference checker for cross-validation on tiny histories.
-/// Also partitioned per object.
+/// Also partitioned per object and ring-checked.
 CheckResult check_register_brute(const History& h);
+
+/// Sharding invariant: every object's ops were served by a single ring. Ops
+/// with ring == kNoRing (fabric never identified the server) are ignored. A
+/// violation means the router or fabric sent one register's traffic to two
+/// protocol instances — something per-ring linearizability cannot detect.
+CheckResult check_ring_assignment(const History& h);
 
 /// White-box: verifies tags are consistent with real time (requires reads to
 /// carry tags; writes may omit them). Tag spaces are per object, so the

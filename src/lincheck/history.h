@@ -32,6 +32,12 @@ struct Op {
   /// Which register the operation addressed. Checkers partition by object:
   /// atomicity is per register, histories span the namespace.
   ObjectId object = kDefaultObject;
+  /// Which ring (shard) served the operation — kNoRing when the fabric did
+  /// not identify the server. In a sharded deployment every object lives on
+  /// exactly one ring, so checkers reject any object whose ops were served
+  /// by two different rings (a routing violation that per-ring protocol
+  /// correctness cannot catch).
+  RingId ring = kNoRing;
 
   [[nodiscard]] bool pending() const { return responded_at == kPending; }
 
@@ -46,13 +52,14 @@ struct Op {
 class History {
  public:
   void record_write(ClientId c, std::uint64_t value, double inv, double resp,
-                    ObjectId object = kDefaultObject) {
-    ops_.push_back(Op{c, false, value, inv, resp, kInitialTag, object});
+                    ObjectId object = kDefaultObject, RingId ring = kNoRing) {
+    ops_.push_back(Op{c, false, value, inv, resp, kInitialTag, object, ring});
   }
 
   void record_read(ClientId c, std::uint64_t value, double inv, double resp,
-                   Tag tag = kInitialTag, ObjectId object = kDefaultObject) {
-    ops_.push_back(Op{c, true, value, inv, resp, tag, object});
+                   Tag tag = kInitialTag, ObjectId object = kDefaultObject,
+                   RingId ring = kNoRing) {
+    ops_.push_back(Op{c, true, value, inv, resp, tag, object, ring});
   }
 
   void record(Op op) { ops_.push_back(op); }

@@ -97,8 +97,11 @@ class Network {
     const double xmit_start = start + cfg_.per_message_cpu_s;
     const double depart = xmit_start + wire;
     src.tx_free = depart;
-    bytes_sent_ += cfg_.wire_bytes(msg->wire_size());
+    const std::uint64_t wire_bytes = cfg_.wire_bytes(msg->wire_size());
+    bytes_sent_ += wire_bytes;
     ++messages_sent_;
+    src.tx_bytes += wire_bytes;
+    ++src.tx_messages;
 
     // Receiver side: bits start arriving one hop after they start flowing.
     // A free receiver link streams them through (delivery = depart+latency);
@@ -121,6 +124,15 @@ class Network {
     return messages_sent_;
   }
 
+  /// Per-NIC transmit accounting — what lets a sharded harness break the
+  /// global totals out per ring (sum over the ring's server NICs).
+  [[nodiscard]] std::uint64_t nic_messages_sent(NicId n) const {
+    return nics_[n].tx_messages;
+  }
+  [[nodiscard]] std::uint64_t nic_bytes_sent(NicId n) const {
+    return nics_[n].tx_bytes;
+  }
+
  private:
   struct Nic {
     std::string label;
@@ -128,6 +140,8 @@ class Network {
     double tx_free = 0.0;
     double rx_free = 0.0;
     bool up = true;
+    std::uint64_t tx_messages = 0;
+    std::uint64_t tx_bytes = 0;
   };
 
   Simulator& sim_;

@@ -58,6 +58,35 @@ TEST(AbdServerUnit, StoreAppliesOnlyNewerTags) {
   EXPECT_EQ(ctx.client.size(), 2u);  // but it is still acknowledged
 }
 
+TEST(AbdServerUnit, KeepsIndependentStatePerObject) {
+  AbdServer s(0, 3);
+  MockPeerCtx ctx;
+  // Store under object 4; object 0 and any untouched object stay initial.
+  s.on_client_message(AbdStore(/*c=*/1, /*r=*/1, /*ph=*/1, Tag{3, 2},
+                               Value::synthetic(9, 16), /*obj=*/4),
+                      ctx);
+  EXPECT_EQ(s.current_tag(4), (Tag{3, 2}));
+  EXPECT_EQ(s.current_value(4), Value::synthetic(9, 16));
+  EXPECT_EQ(s.current_tag(), kInitialTag);
+  EXPECT_EQ(s.current_tag(7), kInitialTag);
+  EXPECT_EQ(s.object_count(), 1u) << "reads must not materialise registers";
+
+  // Tag spaces are per object: a lower tag on another object still applies.
+  s.on_client_message(AbdStore(1, 2, 2, Tag{1, 0},
+                               Value::synthetic(5, 16), /*obj=*/0),
+                      ctx);
+  EXPECT_EQ(s.current_tag(0), (Tag{1, 0}));
+  EXPECT_EQ(s.current_tag(4), (Tag{3, 2}));
+
+  // Queries answer per object.
+  ctx.client.clear();
+  s.on_client_message(AbdGet(1, 3, 3, /*obj=*/4), ctx);
+  ASSERT_EQ(ctx.client.size(), 1u);
+  const auto& ack = static_cast<const AbdGetAck&>(*ctx.client[0].msg);
+  EXPECT_EQ(ack.tag, (Tag{3, 2}));
+  EXPECT_EQ(ack.value, Value::synthetic(9, 16));
+}
+
 TEST(AbdServerUnit, GetReturnsTagAndValue) {
   AbdServer s(0, 3);
   MockPeerCtx ctx;
