@@ -11,6 +11,12 @@ ChainServer::ChainServer(ProcessId self, std::size_t n_servers)
   assert(self < n_servers);
 }
 
+const Value& ChainServer::current_value(ObjectId object) const {
+  static const Value empty;
+  auto it = regs_.find(object);
+  return it == regs_.end() ? empty : it->second.value;
+}
+
 bool ChainServer::is_head() const { return head() == self_; }
 bool ChainServer::is_tail() const { return tail() == self_; }
 
@@ -43,15 +49,25 @@ void ChainServer::on_client_message(const net::Payload& msg, Context& ctx) {
       // atomicity); the in-flight copy will produce the ack.
       auto it = sequenced_.find(m.client);
       if (it != sequenced_.end() && it->second >= m.req) return;
-      const ChainUpdate update(next_seq_++, m.client, m.req, m.value);
+      const ChainUpdate update(next_seq_++, m.client, m.req, m.value,
+                               m.object);
       apply_update(update, ctx);
       break;
     }
     case kChainRead: {
       const auto& m = static_cast<const ChainRead&>(msg);
       if (!is_tail()) return;  // queries are tail-only
-      ctx.send_client(m.client, net::make_payload<ChainReadAck>(
-                                    m.req, value_, Tag{applied_seq_, 0}));
+      auto it = regs_.find(m.object);
+      if (it == regs_.end()) {
+        // Untouched register: initial state (empty value, initial tag).
+        ctx.send_client(m.client, net::make_payload<ChainReadAck>(
+                                      m.req, Value{}, kInitialTag));
+      } else {
+        ctx.send_client(m.client,
+                        net::make_payload<ChainReadAck>(
+                            m.req, it->second.value,
+                            Tag{it->second.seq, 0}));
+      }
       break;
     }
     default:
@@ -62,11 +78,14 @@ void ChainServer::on_client_message(const net::Payload& msg, Context& ctx) {
 void ChainServer::apply_update(const ChainUpdate& u, Context& ctx) {
   if (u.seq <= applied_seq_) return;  // duplicate after a splice
   applied_seq_ = u.seq;
-  value_ = u.value;
+  Register& reg = regs_[u.object];
+  reg.value = u.value;
+  reg.seq = u.seq;
   auto& best = sequenced_[u.client];
   best = std::max(best, u.req);
   if (auto succ = chain_successor()) {
-    auto msg = net::make_payload<ChainUpdate>(u.seq, u.client, u.req, u.value);
+    auto msg = net::make_payload<ChainUpdate>(u.seq, u.client, u.req, u.value,
+                                              u.object);
     sent_unacked_[u.seq] = msg;
     to_ack_[u.seq] = {u.client, u.req};  // remembered in case we become tail
     ctx.send_peer(*succ, std::move(msg));
@@ -126,16 +145,19 @@ ChainClient::ChainClient(ClientId id, Options opts)
       opts_(opts),
       tail_guess_(static_cast<ProcessId>(opts.n_servers - 1)) {}
 
-RequestId ChainClient::begin_write(Value v, core::ClientContext& ctx) {
+RequestId ChainClient::begin_write(ObjectId object, Value v,
+                                   core::ClientContext& ctx) {
   assert(idle());
-  outstanding_ = Outstanding{false, next_req_++, std::move(v), ctx.now(), 1};
+  outstanding_ =
+      Outstanding{false, next_req_++, std::move(v), ctx.now(), 1, object};
   transmit(ctx);
   return outstanding_->req;
 }
 
-RequestId ChainClient::begin_read(core::ClientContext& ctx) {
+RequestId ChainClient::begin_read(ObjectId object, core::ClientContext& ctx) {
   assert(idle());
-  outstanding_ = Outstanding{true, next_req_++, Value{}, ctx.now(), 1};
+  outstanding_ =
+      Outstanding{true, next_req_++, Value{}, ctx.now(), 1, object};
   transmit(ctx);
   return outstanding_->req;
 }
@@ -143,10 +165,11 @@ RequestId ChainClient::begin_read(core::ClientContext& ctx) {
 void ChainClient::transmit(core::ClientContext& ctx) {
   const Outstanding& op = *outstanding_;
   if (op.is_read) {
-    ctx.send_server(tail_guess_, net::make_payload<ChainRead>(id_, op.req));
+    ctx.send_server(tail_guess_,
+                    net::make_payload<ChainRead>(id_, op.req, op.object));
   } else {
-    ctx.send_server(head_guess_,
-                    net::make_payload<ChainWrite>(id_, op.req, op.value));
+    ctx.send_server(head_guess_, net::make_payload<ChainWrite>(
+                                     id_, op.req, op.value, op.object));
   }
   ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
 }
@@ -173,6 +196,7 @@ void ChainClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
       return;
   }
   r.req = outstanding_->req;
+  r.object = outstanding_->object;
   r.invoked_at = outstanding_->invoked_at;
   r.completed_at = ctx.now();
   r.attempts = outstanding_->attempts;

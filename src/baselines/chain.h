@@ -11,6 +11,15 @@
 // splices it out and re-sends its unacknowledged updates; head/tail roles
 // shift to the surviving ends (perfect failure detector, as in the paper's
 // cluster model).
+//
+// Object namespace: the chain serves a keyed namespace of independent
+// registers — one chain carries every register's updates in a single head
+// sequence; each node keeps one (value, last-applied-seq) per ObjectId, and
+// reads return the per-register state with tag {per-object seq, 0}
+// (monotone per register, which is all the white-box tag checker needs).
+// Client→server and head→successor messages name their register (default
+// object costs no wire bytes, every other object 8, mirroring the core
+// framing); acks identify the op by request id alone.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "core/client.h"
+#include "core/messages.h"  // core::object_wire
 #include "core/ring.h"  // RingView doubles as the chain membership view
 #include "net/payload.h"
 
@@ -38,13 +48,15 @@ enum ChainMsgKind : std::uint16_t {
 };
 
 struct ChainWrite final : net::Payload {
-  ChainWrite(ClientId c, RequestId r, Value v)
-      : Payload(kChainWrite), client(c), req(r), value(std::move(v)) {}
+  ChainWrite(ClientId c, RequestId r, Value v, ObjectId obj = kDefaultObject)
+      : Payload(kChainWrite), client(c), req(r), value(std::move(v)),
+        object(obj) {}
   ClientId client;
   RequestId req;
   Value value;
+  ObjectId object;
   [[nodiscard]] std::size_t wire_size() const override {
-    return 2 + 8 + 8 + 4 + value.size();
+    return 2 + 8 + 8 + 4 + value.size() + core::object_wire(object);
   }
   [[nodiscard]] std::string describe() const override { return "ChainWrite"; }
 };
@@ -59,10 +71,14 @@ struct ChainWriteAck final : net::Payload {
 };
 
 struct ChainRead final : net::Payload {
-  ChainRead(ClientId c, RequestId r) : Payload(kChainRead), client(c), req(r) {}
+  ChainRead(ClientId c, RequestId r, ObjectId obj = kDefaultObject)
+      : Payload(kChainRead), client(c), req(r), object(obj) {}
   ClientId client;
   RequestId req;
-  [[nodiscard]] std::size_t wire_size() const override { return 2 + 8 + 8; }
+  ObjectId object;
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 2 + 8 + 8 + core::object_wire(object);
+  }
   [[nodiscard]] std::string describe() const override { return "ChainRead"; }
 };
 
@@ -79,16 +95,20 @@ struct ChainReadAck final : net::Payload {
 };
 
 /// Update propagating down the chain. `seq` is assigned by the head and is
-/// the total order of all writes (tag = {seq, head-id} toward clients).
+/// the total order of all writes across every register; per register the
+/// subsequence is monotone, which is what read tags expose.
 struct ChainUpdate final : net::Payload {
-  ChainUpdate(std::uint64_t s, ClientId c, RequestId r, Value v)
-      : Payload(kChainUpdate), seq(s), client(c), req(r), value(std::move(v)) {}
+  ChainUpdate(std::uint64_t s, ClientId c, RequestId r, Value v,
+              ObjectId obj = kDefaultObject)
+      : Payload(kChainUpdate), seq(s), client(c), req(r), value(std::move(v)),
+        object(obj) {}
   std::uint64_t seq;
   ClientId client;
   RequestId req;
   Value value;
+  ObjectId object;
   [[nodiscard]] std::size_t wire_size() const override {
-    return 2 + 8 + 8 + 8 + 4 + value.size();
+    return 2 + 8 + 8 + 8 + 4 + value.size() + core::object_wire(object);
   }
   [[nodiscard]] std::string describe() const override { return "ChainUpdate"; }
 };
@@ -116,11 +136,20 @@ class ChainServer {
   [[nodiscard]] bool is_tail() const;
   [[nodiscard]] ProcessId head() const;
   [[nodiscard]] ProcessId tail() const;
-  [[nodiscard]] const Value& current_value() const { return value_; }
+  [[nodiscard]] const Value& current_value(
+      ObjectId object = kDefaultObject) const;
   [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
   [[nodiscard]] std::size_t unacked() const { return sent_unacked_.size(); }
+  [[nodiscard]] std::size_t object_count() const { return regs_.size(); }
 
  private:
+  /// Per-register state: the value and the head sequence number of the last
+  /// update applied to it (the read tag's timestamp — per-object monotone).
+  struct Register {
+    Value value;
+    std::uint64_t seq = 0;
+  };
+
   void apply_update(const ChainUpdate& u, Context& ctx);
   [[nodiscard]] std::optional<ProcessId> chain_successor() const;
   [[nodiscard]] std::optional<ProcessId> chain_predecessor() const;
@@ -128,8 +157,8 @@ class ChainServer {
   ProcessId self_;
   core::RingView view_;  // alive set; chain order = ascending alive ids
 
-  Value value_;
-  std::uint64_t applied_seq_ = 0;
+  std::map<ObjectId, Register> regs_;  // created on first update
+  std::uint64_t applied_seq_ = 0;      // highest seq applied (all objects)
   std::uint64_t next_seq_ = 1;  // head's sequence counter
 
   // Updates forwarded to the successor but not yet acknowledged by the tail
@@ -153,8 +182,17 @@ class ChainClient {
 
   ChainClient(ClientId id, Options opts);
 
-  RequestId begin_write(Value v, core::ClientContext& ctx);
-  RequestId begin_read(core::ClientContext& ctx);
+  /// Starts a write/read of `object`. Strictly one op outstanding.
+  RequestId begin_write(ObjectId object, Value v, core::ClientContext& ctx);
+  RequestId begin_read(ObjectId object, core::ClientContext& ctx);
+
+  /// Single-register facade (the pre-namespace API, object 0).
+  RequestId begin_write(Value v, core::ClientContext& ctx) {
+    return begin_write(kDefaultObject, std::move(v), ctx);
+  }
+  RequestId begin_read(core::ClientContext& ctx) {
+    return begin_read(kDefaultObject, ctx);
+  }
   void on_reply(const net::Payload& msg, core::ClientContext& ctx);
   void on_timer(std::uint64_t token, core::ClientContext& ctx);
 
@@ -170,6 +208,7 @@ class ChainClient {
     Value value;
     double invoked_at;
     std::uint32_t attempts = 1;
+    ObjectId object = kDefaultObject;
   };
 
   void transmit(core::ClientContext& ctx);

@@ -23,12 +23,14 @@ void TobServer::on_client_message(const net::Payload& msg, Context& ctx) {
         ctx.send_client(m.client, net::make_payload<TobWriteAck>(m.req));
         return;
       }
-      enqueue_client_op(QueuedOp{m.client, m.req, false, m.value}, ctx);
+      enqueue_client_op(QueuedOp{m.client, m.req, false, m.value, m.object},
+                        ctx);
       break;
     }
     case kTobRead: {
       const auto& m = static_cast<const TobRead&>(msg);
-      enqueue_client_op(QueuedOp{m.client, m.req, true, Value{}}, ctx);
+      enqueue_client_op(QueuedOp{m.client, m.req, true, Value{}, m.object},
+                        ctx);
       break;
     }
     default:
@@ -60,7 +62,8 @@ void TobServer::stamp_queue_and_release(std::uint64_t next_seq,
     QueuedOp op = std::move(queue_.front());
     queue_.pop_front();
     auto msg = net::make_payload<TobOp>(next_seq++, self_, op.client, op.req,
-                                        op.is_read, std::move(op.value));
+                                        op.is_read, std::move(op.value),
+                                        op.object);
     // Deliver locally first (we have everything below next_seq by FIFO),
     // then circulate.
     apply(static_cast<const TobOp&>(*msg), ctx);
@@ -141,11 +144,19 @@ void TobServer::deliver_in_order(Context& ctx) {
   }
 }
 
+const Value& TobServer::current_value(ObjectId object) const {
+  static const Value empty;
+  auto it = regs_.find(object);
+  return it == regs_.end() ? empty : it->second.value;
+}
+
 void TobServer::apply(const TobOp& op, Context& ctx) {
   assert(op.seq == applied_seq_ + 1);
   applied_seq_ = op.seq;
   if (!op.is_read) {
-    value_ = op.value;
+    Register& reg = regs_[op.object];
+    reg.value = op.value;
+    reg.seq = op.seq;
     auto& best = sequenced_[op.client];
     best = std::max(best, op.req);
   }
@@ -153,9 +164,13 @@ void TobServer::apply(const TobOp& op, Context& ctx) {
     // Our client's operation reached its place in the total order. With one
     // server it is already stable; otherwise the reply waits until the op
     // returns from its circulation (see on_peer_message), with the read's
-    // value snapshotted at its sequence point.
-    DeferredReply r{op.client, op.req, op.is_read, value_,
-                    Tag{applied_seq_, 0}};
+    // value snapshotted at its sequence point (per register: its value and
+    // the seq of the last write it absorbed).
+    auto it = regs_.find(op.object);
+    DeferredReply r{op.client, op.req, op.is_read,
+                    it == regs_.end() ? Value{} : it->second.value,
+                    it == regs_.end() ? kInitialTag
+                                      : Tag{it->second.seq, 0}};
     if (n_ == 1) {
       if (r.is_read) {
         ctx.send_client(r.client, net::make_payload<TobReadAck>(
@@ -174,16 +189,19 @@ void TobServer::apply(const TobOp& op, Context& ctx) {
 TobClient::TobClient(ClientId id, Options opts)
     : id_(id), opts_(opts), target_(opts.preferred_server) {}
 
-RequestId TobClient::begin_write(Value v, core::ClientContext& ctx) {
+RequestId TobClient::begin_write(ObjectId object, Value v,
+                                 core::ClientContext& ctx) {
   assert(idle());
-  outstanding_ = Outstanding{false, next_req_++, std::move(v), ctx.now(), 1};
+  outstanding_ =
+      Outstanding{false, next_req_++, std::move(v), ctx.now(), 1, object};
   transmit(ctx);
   return outstanding_->req;
 }
 
-RequestId TobClient::begin_read(core::ClientContext& ctx) {
+RequestId TobClient::begin_read(ObjectId object, core::ClientContext& ctx) {
   assert(idle());
-  outstanding_ = Outstanding{true, next_req_++, Value{}, ctx.now(), 1};
+  outstanding_ =
+      Outstanding{true, next_req_++, Value{}, ctx.now(), 1, object};
   transmit(ctx);
   return outstanding_->req;
 }
@@ -191,9 +209,11 @@ RequestId TobClient::begin_read(core::ClientContext& ctx) {
 void TobClient::transmit(core::ClientContext& ctx) {
   const Outstanding& op = *outstanding_;
   if (op.is_read) {
-    ctx.send_server(target_, net::make_payload<TobRead>(id_, op.req));
+    ctx.send_server(target_,
+                    net::make_payload<TobRead>(id_, op.req, op.object));
   } else {
-    ctx.send_server(target_, net::make_payload<TobWrite>(id_, op.req, op.value));
+    ctx.send_server(target_, net::make_payload<TobWrite>(id_, op.req,
+                                                         op.value, op.object));
   }
   ctx.arm_timer(opts_.retry_timeout, ++timer_epoch_);
 }
@@ -220,6 +240,7 @@ void TobClient::on_reply(const net::Payload& msg, core::ClientContext& ctx) {
       return;
   }
   r.req = outstanding_->req;
+  r.object = outstanding_->object;
   r.invoked_at = outstanding_->invoked_at;
   r.completed_at = ctx.now();
   r.attempts = outstanding_->attempts;

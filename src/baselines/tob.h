@@ -11,6 +11,12 @@
 // by a nudge message, so an idle system is quiescent (a simulator must
 // terminate). Crash recovery for the token protocol is out of scope
 // (documented in DESIGN.md): benchmarks and tests run it failure-free.
+//
+// Object namespace: one token ring totally orders the operations of every
+// register; each server keeps one (value, last-applied-seq) per ObjectId and
+// reads snapshot their register at their place in the total order with tag
+// {per-object seq, 0}. Client→server and ring TobOp messages name their
+// register (default object free, others 8 bytes, as in the core framing).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "core/client.h"
+#include "core/messages.h"  // core::object_wire
 #include "net/payload.h"
 
 namespace hts::baselines {
@@ -38,13 +45,15 @@ enum TobMsgKind : std::uint16_t {
 };
 
 struct TobWrite final : net::Payload {
-  TobWrite(ClientId c, RequestId r, Value v)
-      : Payload(kTobWrite), client(c), req(r), value(std::move(v)) {}
+  TobWrite(ClientId c, RequestId r, Value v, ObjectId obj = kDefaultObject)
+      : Payload(kTobWrite), client(c), req(r), value(std::move(v)),
+        object(obj) {}
   ClientId client;
   RequestId req;
   Value value;
+  ObjectId object;
   [[nodiscard]] std::size_t wire_size() const override {
-    return 2 + 8 + 8 + 4 + value.size();
+    return 2 + 8 + 8 + 4 + value.size() + core::object_wire(object);
   }
   [[nodiscard]] std::string describe() const override { return "TobWrite"; }
 };
@@ -57,10 +66,14 @@ struct TobWriteAck final : net::Payload {
 };
 
 struct TobRead final : net::Payload {
-  TobRead(ClientId c, RequestId r) : Payload(kTobRead), client(c), req(r) {}
+  TobRead(ClientId c, RequestId r, ObjectId obj = kDefaultObject)
+      : Payload(kTobRead), client(c), req(r), object(obj) {}
   ClientId client;
   RequestId req;
-  [[nodiscard]] std::size_t wire_size() const override { return 2 + 8 + 8; }
+  ObjectId object;
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 2 + 8 + 8 + core::object_wire(object);
+  }
   [[nodiscard]] std::string describe() const override { return "TobRead"; }
 };
 
@@ -78,17 +91,19 @@ struct TobReadAck final : net::Payload {
 
 struct TobOp final : net::Payload {
   TobOp(std::uint64_t s, ProcessId o, ClientId c, RequestId r, bool rd,
-        Value v)
+        Value v, ObjectId obj = kDefaultObject)
       : Payload(kTobOp), seq(s), origin(o), client(c), req(r), is_read(rd),
-        value(std::move(v)) {}
+        value(std::move(v)), object(obj) {}
   std::uint64_t seq;
   ProcessId origin;
   ClientId client;
   RequestId req;
   bool is_read;
   Value value;
+  ObjectId object;
   [[nodiscard]] std::size_t wire_size() const override {
-    return 2 + 8 + 4 + 8 + 8 + 1 + 4 + value.size();
+    return 2 + 8 + 4 + 8 + 8 + 1 + 4 + value.size() +
+           core::object_wire(object);
   }
   [[nodiscard]] std::string describe() const override {
     return "TobOp{seq=" + std::to_string(seq) + "}";
@@ -122,9 +137,11 @@ class TobServer {
   void on_peer_message(net::PayloadPtr msg, Context& ctx);
 
   [[nodiscard]] ProcessId id() const { return self_; }
-  [[nodiscard]] const Value& current_value() const { return value_; }
+  [[nodiscard]] const Value& current_value(
+      ObjectId object = kDefaultObject) const;
   [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
   [[nodiscard]] bool holds_token() const { return token_held_; }
+  [[nodiscard]] std::size_t object_count() const { return regs_.size(); }
 
  private:
   struct QueuedOp {
@@ -132,6 +149,13 @@ class TobServer {
     RequestId req;
     bool is_read;
     Value value;
+    ObjectId object = kDefaultObject;
+  };
+  /// Per-register state; `seq` is the total-order position of the last
+  /// write applied to this register (the read tag's timestamp).
+  struct Register {
+    Value value;
+    std::uint64_t seq = 0;
   };
 
   [[nodiscard]] ProcessId successor() const {
@@ -147,7 +171,7 @@ class TobServer {
   ProcessId self_;
   std::size_t n_;
 
-  Value value_;
+  std::map<ObjectId, Register> regs_;  // created on first write
   std::uint64_t applied_seq_ = 0;
 
   bool token_held_ = false;
@@ -181,8 +205,17 @@ class TobClient {
 
   TobClient(ClientId id, Options opts);
 
-  RequestId begin_write(Value v, core::ClientContext& ctx);
-  RequestId begin_read(core::ClientContext& ctx);
+  /// Starts a write/read of `object`. Strictly one op outstanding.
+  RequestId begin_write(ObjectId object, Value v, core::ClientContext& ctx);
+  RequestId begin_read(ObjectId object, core::ClientContext& ctx);
+
+  /// Single-register facade (the pre-namespace API, object 0).
+  RequestId begin_write(Value v, core::ClientContext& ctx) {
+    return begin_write(kDefaultObject, std::move(v), ctx);
+  }
+  RequestId begin_read(core::ClientContext& ctx) {
+    return begin_read(kDefaultObject, ctx);
+  }
   void on_reply(const net::Payload& msg, core::ClientContext& ctx);
   void on_timer(std::uint64_t token, core::ClientContext& ctx);
 
@@ -198,6 +231,7 @@ class TobClient {
     Value value;
     double invoked_at;
     std::uint32_t attempts = 1;
+    ObjectId object = kDefaultObject;
   };
 
   void transmit(core::ClientContext& ctx);

@@ -38,6 +38,13 @@ using ObjectId = std::uint64_t;
 /// composes across rings for free (DESIGN.md D7).
 using RingId = std::uint32_t;
 
+/// Version of the cluster view (membership + shard map). Epoch 0 is the
+/// deployment a cluster boots with; every reconfiguration (ring add/remove
+/// with object migration, DESIGN.md §Reconfiguration, D8) produces the next
+/// epoch. Object ownership is a pure function of the epoch's topology, so an
+/// epoch number pins exactly which ring must serve which register.
+using Epoch = std::uint32_t;
+
 /// The ring of a single-ring deployment, and the default shard.
 inline constexpr RingId kDefaultRing = 0;
 
@@ -64,8 +71,15 @@ struct Tag {
   [[nodiscard]] constexpr bool is_initial() const { return ts == 0; }
 
   [[nodiscard]] std::string to_string() const {
-    return "[" + std::to_string(ts) + "," +
-           (id == kNoProcess ? std::string("-") : std::to_string(id)) + "]";
+    // Built by append (not operator+ chains): GCC 12's -Wrestrict misfires
+    // on `literal + std::to_string(...)` chains inlined into larger
+    // concatenations.
+    std::string s = "[";
+    s += std::to_string(ts);
+    s += ",";
+    s += id == kNoProcess ? std::string("-") : std::to_string(id);
+    s += "]";
+    return s;
   }
 };
 

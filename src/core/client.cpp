@@ -21,7 +21,8 @@ ClientSession::ClientSession(ClientId id, ClientOptions opts)
       opts_(opts),
       jitter_(mix_seed(opts.seed, id)),
       router_(opts.topology.value_or(Topology::single(opts.n_servers)),
-              opts.preferred_server) {
+              opts.preferred_server),
+      epoch_(opts.epoch) {
   assert(opts_.max_inflight > 0);
   assert(opts_.retry_multiplier >= 1.0);
 }
@@ -87,14 +88,29 @@ double ClientSession::retry_delay(std::uint32_t attempt) const {
   return std::min(delay, opts_.retry_cap);
 }
 
+bool ClientSession::refresh_view() {
+  if (!view_provider_) return false;
+  ClusterView latest = view_provider_();
+  if (latest.epoch <= epoch_) return false;
+  epoch_ = latest.epoch;
+  router_.set_topology(latest.topology);
+  ++view_refreshes_;
+  return true;
+}
+
+void ClientSession::reroute(Op& op) {
+  op.ring = router_.ring_of(op.object);
+  op.target = router_.target_of(op.ring);
+}
+
 void ClientSession::transmit(Op& op, ClientContext& ctx) {
   ++op.attempts;
   if (op.is_read) {
-    ctx.send_server(op.target,
-                    net::make_payload<ClientRead>(id_, op.req, op.object));
+    ctx.send_server(op.target, net::make_payload<ClientRead>(
+                                   id_, op.req, op.object, epoch_));
   } else {
     ctx.send_server(op.target, net::make_payload<ClientWrite>(
-                                   id_, op.req, op.value, op.object));
+                                   id_, op.req, op.value, op.object, epoch_));
   }
   double delay = retry_delay(op.attempts);
   if (opts_.retry_multiplier != 1.0) {
@@ -115,14 +131,43 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
                              ClientContext& ctx) {
   RequestId req = 0;
   bool is_read = false;
+  Epoch served_epoch = 0;
   switch (msg.kind()) {
-    case kClientWriteAck:
-      req = static_cast<const ClientWriteAck&>(msg).req;
+    case kClientWriteAck: {
+      const auto& m = static_cast<const ClientWriteAck&>(msg);
+      req = m.req;
+      served_epoch = m.epoch;
       break;
-    case kClientReadAck:
-      req = static_cast<const ClientReadAck&>(msg).req;
+    }
+    case kClientReadAck: {
+      const auto& m = static_cast<const ClientReadAck&>(msg);
+      req = m.req;
+      served_epoch = m.epoch;
       is_read = true;
       break;
+    }
+    case kEpochNack: {
+      // The target does not own the op's register under the hinted epoch:
+      // refresh the view and re-route. If the registry has caught up to the
+      // hint, retransmit right away; otherwise leave the op armed — its
+      // retry timer re-checks the view, so progress resumes as soon as the
+      // flip publishes (no immediate retransmit = no NACK ping-pong).
+      const auto& m = static_cast<const EpochNack&>(msg);
+      auto nacked = inflight_.find(m.req);
+      if (nacked == inflight_.end()) return;  // late, op already completed
+      ++epoch_nacks_;
+      const bool refreshed = refresh_view();
+      Op& op = nacked->second;
+      const ProcessId before = op.target;
+      reroute(op);
+      // Retransmit only when something actually changed (the view advanced
+      // to the hint, or the route did): a NACK that changes nothing waits
+      // for the retry timer instead of ping-ponging at network rate.
+      if (epoch_ >= m.epoch && (refreshed || op.target != before)) {
+        transmit(op, ctx);
+      }
+      return;
+    }
     default:
       return;  // not addressed to this protocol role
   }
@@ -137,9 +182,19 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
   // The serving ring comes from the server that actually replied — the
   // evidence the cross-ring checker needs; a misrouting bug would make it
   // differ from the router's choice. Routed ring only when the fabric did
-  // not identify the sender.
-  result.ring = from != kNoProcess ? router_.topology().ring_of_server(from)
-                                   : op.ring;
+  // not identify the sender. A sender beyond this view's server range is a
+  // retired ring's straggler: its ring has no id under the current
+  // topology, and op.ring may already be the *re-routed* ring (wrong for
+  // the reply's old epoch) — record "unknown" so the epoch-aware checker
+  // is not fed a false (ring, epoch) pair.
+  if (from == kNoProcess) {
+    result.ring = op.ring;
+  } else if (from < router_.topology().total_servers()) {
+    result.ring = router_.topology().ring_of_server(from);
+  } else {
+    result.ring = kNoRing;
+  }
+  result.epoch = served_epoch;
   result.req = op.req;
   if (is_read) {
     const auto& m = static_cast<const ClientReadAck&>(msg);
@@ -168,8 +223,21 @@ void ClientSession::on_timer(std::uint64_t token, ClientContext& ctx) {
   // Rotation stays inside the op's ring, and later dispatches to that ring
   // start at the rotated-to server: one crashed preferred server must not
   // cost every subsequent op of its shard a timeout.
+  //
+  // A retry is also the moment to notice a reconfiguration the session has
+  // not heard about (e.g. the op's whole ring was retired and nobody is
+  // left to NACK): adopt the latest view and re-route before re-sending.
   Op& op = it->second;
-  op.target = router_.rotate(op.ring, op.target);
+  if (refresh_view() || op.ring >= router_.topology().n_rings() ||
+      router_.ring_of(op.object) != op.ring) {
+    // The view advanced — now, or earlier via another op's EpochNack while
+    // this op was already in flight. Either way this op's route is stale
+    // (its ring may not even exist any more): re-derive it instead of
+    // rotating inside the old ring.
+    reroute(op);
+  } else {
+    op.target = router_.rotate(op.ring, op.target);
+  }
   ++total_retries_;
   transmit(op, ctx);
 }

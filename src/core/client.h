@@ -34,6 +34,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "core/messages.h"
+#include "core/reconfig.h"
 #include "core/topology.h"
 #include "net/payload.h"
 
@@ -80,6 +81,11 @@ struct ClientOptions {
   /// Seed for the retry-jitter rng (mixed with the client id so equal
   /// configs on different clients do not retry in lockstep).
   std::uint64_t seed = 0;
+
+  /// Epoch of the view `topology` describes (0 = the boot view). Sessions
+  /// created after a reconfiguration start at the deployment's current
+  /// epoch so their first EpochNack is not a spurious refresh.
+  Epoch epoch = 0;
 };
 
 /// Completion record handed to the callbacks.
@@ -89,6 +95,10 @@ struct OpResult {
   /// Shard that served the op: the ring of the replying server when the
   /// fabric identified it (served_by), else the ring the op was routed to.
   RingId ring = kDefaultRing;
+  /// Epoch the serving ring completed the op in (from the reply frame; 0
+  /// for a never-reconfigured deployment). The epoch-aware lincheck pass
+  /// verifies `ring` owns `object` under this epoch.
+  Epoch epoch = 0;
   RequestId req = 0;
   Value value;          // read result (empty for writes)
   Tag tag;              // tag of the read value (white-box, for checking)
@@ -140,6 +150,25 @@ class ClientSession {
   /// A completion callback; invoked exactly once per begin_*.
   std::function<void(const OpResult&)> on_complete;
 
+  /// Where the session fetches the latest ClusterView (epoch + topology) —
+  /// typically a fabric's core::ViewRegistry (a configuration service in a
+  /// real deployment). Consulted on an EpochNack and before every timeout
+  /// retry; never consulted while the view keeps answering, so a session
+  /// with no provider (or a static registry) behaves bit-for-bit like the
+  /// fixed-topology client. Adopt a new view re-routes queued and retried
+  /// ops through the new epoch's shard map.
+  using ViewProvider = std::function<ClusterView()>;
+  void set_view_provider(ViewProvider provider) {
+    view_provider_ = std::move(provider);
+  }
+
+  /// The epoch of the session's current view (0 until a refresh advances it).
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t epoch_nacks() const { return epoch_nacks_; }
+  [[nodiscard]] std::uint64_t view_refreshes() const {
+    return view_refreshes_;
+  }
+
   [[nodiscard]] bool idle() const {
     return inflight_.empty() && backlog_.empty();
   }
@@ -177,6 +206,14 @@ class ClientSession {
   /// (Re)transmits an in-flight op and arms its retry timer.
   void transmit(Op& op, ClientContext& ctx);
 
+  /// Pulls the latest view from the provider; on an epoch advance, adopts
+  /// the new topology into the router and returns true.
+  bool refresh_view();
+
+  /// Re-derives `op`'s ring and target from the current view (after a
+  /// refresh moved its object, or its ring disappeared).
+  void reroute(Op& op);
+
   ClientId id_;
   ClientOptions opts_;
   Rng jitter_;
@@ -189,8 +226,12 @@ class ClientSession {
   /// session-level target, generalised to many in-flight ops and many
   /// rings).
   ShardRouter router_;
+  Epoch epoch_ = 0;  ///< epoch of the view router_ was built from
+  ViewProvider view_provider_;
   std::uint64_t timer_seq_ = 0;
   std::uint64_t total_retries_ = 0;
+  std::uint64_t epoch_nacks_ = 0;
+  std::uint64_t view_refreshes_ = 0;
 
   std::map<RequestId, Op> inflight_;           // issue-ordered
   std::deque<Op> backlog_;                     // waiting for a slot

@@ -24,31 +24,49 @@ bool is_ring_kind(std::uint16_t k) {
   return k == kPreWrite || k == kWriteCommit || k == kSyncState;
 }
 
-/// Writes the frame header. The version byte is 0 (the original protocol's
-/// reserved byte) unless an object field follows — so default-object frames
-/// are byte-identical to the pre-namespace wire format.
-void put_header(Encoder& e, std::uint16_t kind, ObjectId object) {
+/// Header flags byte (the original protocol's reserved byte).
+constexpr std::uint8_t kFlagObject = 0x1;  // u64 ObjectId follows
+constexpr std::uint8_t kFlagEpoch = 0x2;   // u32 Epoch follows
+
+/// Writes the frame header. The flags byte is 0 (the original protocol's
+/// reserved byte) unless optional fields follow — so default-object epoch-0
+/// frames are byte-identical to the pre-namespace wire format, and PR 4's
+/// "version 1" object frames are exactly flags == kFlagObject.
+void put_header(Encoder& e, std::uint16_t kind, ObjectId object, Epoch epoch) {
   e.u8(static_cast<std::uint8_t>(kind));
-  if (object == kDefaultObject) {
-    e.u8(0);
-  } else {
-    e.u8(1);
-    e.u64(object);
-  }
+  std::uint8_t flags = 0;
+  if (object != kDefaultObject) flags |= kFlagObject;
+  if (epoch != 0) flags |= kFlagEpoch;
+  e.u8(flags);
+  if (flags & kFlagObject) e.u64(object);
+  if (flags & kFlagEpoch) e.u32(epoch);
 }
 
-/// Reads the post-kind header remainder: version byte, then the object field
-/// when present. Unknown versions are wire garbage.
-ObjectId get_object(Decoder& d) {
-  const std::uint8_t version = d.u8();
-  if (version == 0) return kDefaultObject;
-  if (version == 1) return d.u64();
-  throw DecodeError("decode_message: unsupported frame version " +
-                    std::to_string(version));
+struct HeaderFields {
+  ObjectId object = kDefaultObject;
+  Epoch epoch = 0;
+};
+
+/// Reads the post-kind header remainder: flags byte, then the optional
+/// fields it announces. Unknown flag bits are wire garbage.
+HeaderFields get_header(Decoder& d) {
+  const std::uint8_t flags = d.u8();
+  if ((flags & ~(kFlagObject | kFlagEpoch)) != 0) {
+    throw DecodeError("decode_message: unsupported header flags " +
+                      std::to_string(flags));
+  }
+  HeaderFields h;
+  if (flags & kFlagObject) h.object = d.u64();
+  if (flags & kFlagEpoch) h.epoch = d.u32();
+  return h;
 }
 
 std::string object_suffix(ObjectId object) {
   return object == kDefaultObject ? "" : ",o=" + std::to_string(object);
+}
+
+std::string epoch_suffix(Epoch epoch) {
+  return epoch == 0 ? "" : ",e=" + std::to_string(epoch);
 }
 
 }  // namespace
@@ -56,38 +74,57 @@ std::string object_suffix(ObjectId object) {
 std::string ClientWrite::describe() const {
   return "ClientWrite{c=" + std::to_string(client) +
          ",r=" + std::to_string(req) + ",|v|=" + std::to_string(value.size()) +
-         object_suffix(object) + "}";
+         object_suffix(object) + epoch_suffix(epoch) + "}";
 }
 
 std::string ClientWriteAck::describe() const {
   return "ClientWriteAck{r=" + std::to_string(req) + object_suffix(object) +
-         "}";
+         epoch_suffix(epoch) + "}";
 }
 
 std::string ClientRead::describe() const {
   return "ClientRead{c=" + std::to_string(client) + ",r=" + std::to_string(req) +
-         object_suffix(object) + "}";
+         object_suffix(object) + epoch_suffix(epoch) + "}";
 }
 
 std::string ClientReadAck::describe() const {
   return "ClientReadAck{r=" + std::to_string(req) + ",tag=" + tag.to_string() +
-         ",|v|=" + std::to_string(value.size()) + object_suffix(object) + "}";
+         ",|v|=" + std::to_string(value.size()) + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
+std::string EpochNack::describe() const {
+  return "EpochNack{r=" + std::to_string(req) + object_suffix(object) +
+         ",hint e=" + std::to_string(epoch) + "}";
 }
 
 std::string PreWrite::describe() const {
   return "PreWrite{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
          ",r=" + std::to_string(req) + ",|v|=" + std::to_string(value.size()) +
-         object_suffix(object) + "}";
+         object_suffix(object) + epoch_suffix(epoch) + "}";
 }
 
 std::string WriteCommit::describe() const {
   return "WriteCommit{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
-         ",r=" + std::to_string(req) + object_suffix(object) + "}";
+         ",r=" + std::to_string(req) + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
 }
 
 std::string SyncState::describe() const {
   return "SyncState{tag=" + tag.to_string() + ",|v|=" +
-         std::to_string(value.size()) + object_suffix(object) + "}";
+         std::to_string(value.size()) + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
+std::string MigrateState::describe() const {
+  return "MigrateState{tag=" + tag.to_string() + ",|v|=" +
+         std::to_string(value.size()) + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
+std::string MigrateDedup::describe() const {
+  return "MigrateDedup{" + std::to_string(windows.size()) + " clients" +
+         epoch_suffix(epoch) + "}";
 }
 
 std::string RingBatch::describe() const {
@@ -105,7 +142,7 @@ std::string encode_message(const net::Payload& msg) {
   switch (msg.kind()) {
     case kClientWrite: {
       const auto& m = static_cast<const ClientWrite&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       e.u64(m.client);
       e.u64(m.req);
       e.value(m.value);
@@ -113,28 +150,34 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kClientWriteAck: {
       const auto& m = static_cast<const ClientWriteAck&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       e.u64(m.req);
       break;
     }
     case kClientRead: {
       const auto& m = static_cast<const ClientRead&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       e.u64(m.client);
       e.u64(m.req);
       break;
     }
     case kClientReadAck: {
       const auto& m = static_cast<const ClientReadAck&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       e.u64(m.req);
       e.value(m.value);
       put_tag(e, m.tag);
       break;
     }
+    case kEpochNack: {
+      const auto& m = static_cast<const EpochNack&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      e.u64(m.req);
+      break;
+    }
     case kPreWrite: {
       const auto& m = static_cast<const PreWrite&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       put_tag(e, m.tag);
       e.u64(m.client);
       e.u64(m.req);
@@ -143,7 +186,7 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kWriteCommit: {
       const auto& m = static_cast<const WriteCommit&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       put_tag(e, m.tag);
       e.u64(m.client);
       e.u64(m.req);
@@ -151,13 +194,32 @@ std::string encode_message(const net::Payload& msg) {
     }
     case kSyncState: {
       const auto& m = static_cast<const SyncState&>(msg);
-      put_header(e, m.kind(), m.object);
+      put_header(e, m.kind(), m.object, m.epoch);
       put_tag(e, m.tag);
       e.value(m.value);
       break;
     }
+    case kMigrateState: {
+      const auto& m = static_cast<const MigrateState&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      put_tag(e, m.tag);
+      e.value(m.value);
+      break;
+    }
+    case kMigrateDedup: {
+      const auto& m = static_cast<const MigrateDedup&>(msg);
+      put_header(e, m.kind(), kDefaultObject, m.epoch);
+      e.u32(static_cast<std::uint32_t>(m.windows.size()));
+      for (const MigrateDedup::Window& w : m.windows) {
+        e.u64(w.client);
+        e.u64(w.watermark);
+        e.u32(static_cast<std::uint32_t>(w.above.size()));
+        for (const RequestId r : w.above) e.u64(r);
+      }
+      break;
+    }
     case kRingBatch: {
-      put_header(e, msg.kind(), kDefaultObject);
+      put_header(e, msg.kind(), kDefaultObject, 0);
       // Building a bad batch is a caller bug, not an input error: keep it
       // distinguishable from wire garbage (DecodeError) for callers that
       // catch-and-drop malformed frames.
@@ -193,56 +255,93 @@ net::PayloadPtr decode_inner(Decoder& d, bool allow_batch) {
   auto kind = static_cast<MsgKind>(d.u8());
   switch (kind) {
     case kClientWrite: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
       Value v = d.value();
-      return net::make_payload<ClientWrite>(c, r, std::move(v), obj);
+      return net::make_payload<ClientWrite>(c, r, std::move(v), h.object,
+                                            h.epoch);
     }
     case kClientWriteAck: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       RequestId r = d.u64();
-      return net::make_payload<ClientWriteAck>(r, obj);
+      return net::make_payload<ClientWriteAck>(r, h.object, h.epoch);
     }
     case kClientRead: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
-      return net::make_payload<ClientRead>(c, r, obj);
+      return net::make_payload<ClientRead>(c, r, h.object, h.epoch);
     }
     case kClientReadAck: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       RequestId r = d.u64();
       Value v = d.value();
       Tag t = get_tag(d);
-      return net::make_payload<ClientReadAck>(r, std::move(v), t, obj);
+      return net::make_payload<ClientReadAck>(r, std::move(v), t, h.object,
+                                              h.epoch);
+    }
+    case kEpochNack: {
+      HeaderFields h = get_header(d);
+      RequestId r = d.u64();
+      return net::make_payload<EpochNack>(r, h.object, h.epoch);
     }
     case kPreWrite: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       Tag t = get_tag(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
       Value v = d.value();
-      return net::make_payload<PreWrite>(t, std::move(v), c, r, obj);
+      return net::make_payload<PreWrite>(t, std::move(v), c, r, h.object,
+                                         h.epoch);
     }
     case kWriteCommit: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       Tag t = get_tag(d);
       ClientId c = d.u64();
       RequestId r = d.u64();
-      return net::make_payload<WriteCommit>(t, c, r, obj);
+      return net::make_payload<WriteCommit>(t, c, r, h.object, h.epoch);
     }
     case kSyncState: {
-      ObjectId obj = get_object(d);
+      HeaderFields h = get_header(d);
       Tag t = get_tag(d);
       Value v = d.value();
-      return net::make_payload<SyncState>(t, std::move(v), obj);
+      return net::make_payload<SyncState>(t, std::move(v), h.object, h.epoch);
+    }
+    case kMigrateState: {
+      HeaderFields h = get_header(d);
+      Tag t = get_tag(d);
+      Value v = d.value();
+      return net::make_payload<MigrateState>(t, std::move(v), h.object,
+                                             h.epoch);
+    }
+    case kMigrateDedup: {
+      HeaderFields h = get_header(d);
+      if (h.object != kDefaultObject) {
+        throw DecodeError("decode_message: MigrateDedup carries an object");
+      }
+      const std::uint32_t count = d.u32();
+      std::vector<MigrateDedup::Window> windows;
+      windows.reserve(count < 1024 ? count : 1024);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        MigrateDedup::Window w;
+        w.client = d.u64();
+        w.watermark = d.u64();
+        const std::uint32_t n_above = d.u32();
+        w.above.reserve(n_above < 4096 ? n_above : 4096);
+        for (std::uint32_t k = 0; k < n_above; ++k) w.above.push_back(d.u64());
+        windows.push_back(std::move(w));
+      }
+      return net::make_payload<MigrateDedup>(std::move(windows), h.epoch);
     }
     case kRingBatch: {
       if (!allow_batch) throw DecodeError("decode_message: nested RingBatch");
-      if (get_object(d) != kDefaultObject) {
-        // The train itself is object-neutral; parts carry their own objects.
-        throw DecodeError("decode_message: RingBatch frame carries an object");
+      HeaderFields h = get_header(d);
+      if (h.object != kDefaultObject || h.epoch != 0) {
+        // The train itself is object- and epoch-neutral; parts carry their
+        // own fields.
+        throw DecodeError(
+            "decode_message: RingBatch frame carries an object or epoch");
       }
       const std::uint32_t count = d.u32();
       if (count == 0) throw DecodeError("decode_message: empty RingBatch");

@@ -1,9 +1,13 @@
 // Wire messages of the ring storage protocol (paper §3 pseudo-code),
-// extended with a first-class object namespace.
+// extended with a first-class object namespace and epoch-versioned cluster
+// views.
 //
 // Two networks, two message families:
-//  * client ⇄ server: ClientWrite / ClientWriteAck / ClientRead / ClientReadAck
+//  * client ⇄ server: ClientWrite / ClientWriteAck / ClientRead /
+//    ClientReadAck / EpochNack
 //  * server → successor (ring): PreWrite / WriteCommit / SyncState
+//  * server → server (cross-ring, reconfiguration only): MigrateState /
+//    MigrateDedup
 //
 // A WriteCommit deliberately carries no value: every server cached the value
 // from the PreWrite in its pending set, so the write phase is metadata only.
@@ -11,19 +15,21 @@
 // throughput (the paper's 81 Mbit/s on 100 Mbit/s links would be impossible
 // if values crossed the ring twice) — see DESIGN.md §3.
 //
-// Object namespace framing (DESIGN.md §Multi-object): every message names the
-// register it operates on via an ObjectId. The second header byte — reserved
-// (always 0) in the original protocol — doubles as the frame version:
-//   version 0: no object field; the message addresses kDefaultObject (0).
-//   version 1: a u64 ObjectId follows the header, before all other fields.
-// Messages for object 0 are always emitted as version 0, which makes
-// single-register traffic byte-for-byte identical to the pre-namespace
-// protocol (pinned by tests), while every other object pays exactly 8 bytes.
+// Versioned header (DESIGN.md §Multi-object, §Reconfiguration): the second
+// header byte — reserved (always 0) in the original protocol — is a flags
+// byte describing which optional fields follow, in order:
+//   bit 0 (0x1): a u64 ObjectId follows (absent = kDefaultObject)
+//   bit 1 (0x2): a u32 Epoch follows (absent = epoch 0)
+// Messages for object 0 in epoch 0 are emitted with flags 0, byte-identical
+// to the pre-namespace protocol; an object costs exactly 8 bytes and a
+// non-zero epoch exactly 4 (both pinned by tests). The pre-epoch "version 1"
+// frames are flags == 0x1, so every PR 4 frame decodes unchanged.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.h"
@@ -42,65 +48,83 @@ enum MsgKind : std::uint16_t {
   kWriteCommit = 6,
   kSyncState = 7,
   kRingBatch = 8,
+  kMigrateState = 9,
+  kEpochNack = 10,
+  kMigrateDedup = 11,
 };
 
 // Fixed field widths on the wire.
 inline constexpr std::size_t kTagWire = 12;    // u64 ts + u32 id
-inline constexpr std::size_t kKindWire = 2;    // u16 discriminant (kind + ver)
+inline constexpr std::size_t kKindWire = 2;    // u16 discriminant (kind+flags)
 inline constexpr std::size_t kIdWire = 8;      // ClientId / RequestId
 inline constexpr std::size_t kLenWire = 4;     // value length prefix
-inline constexpr std::size_t kObjectWire = 8;  // u64 ObjectId (version 1 only)
+inline constexpr std::size_t kObjectWire = 8;  // u64 ObjectId (flag 0x1 only)
+inline constexpr std::size_t kEpochWire = 4;   // u32 Epoch (flag 0x2 only)
 
 /// Bytes the object field occupies for a given object: the default object is
-/// encoded implicitly (version-0 frame), every other object costs u64.
+/// encoded implicitly (flag clear), every other object costs u64.
 [[nodiscard]] constexpr std::size_t object_wire(ObjectId object) {
   return object == kDefaultObject ? 0 : kObjectWire;
 }
 
+/// Bytes the epoch field occupies: epoch 0 is encoded implicitly (flag
+/// clear) — which is what keeps a never-reconfigured deployment bit-for-bit
+/// on the PR 4 wire format — every later epoch costs u32.
+[[nodiscard]] constexpr std::size_t epoch_wire(Epoch epoch) {
+  return epoch == 0 ? 0 : kEpochWire;
+}
+
 /// Client → server: store `value` in register `object`. `req` makes retries
-/// idempotent.
+/// idempotent. `epoch` is the client's view of the deployment.
 struct ClientWrite final : net::Payload {
-  ClientWrite(ClientId c, RequestId r, Value v, ObjectId obj = kDefaultObject)
+  ClientWrite(ClientId c, RequestId r, Value v, ObjectId obj = kDefaultObject,
+              Epoch e = 0)
       : Payload(kClientWrite), client(c), req(r), value(std::move(v)),
-        object(obj) {}
+        object(obj), epoch(e) {}
 
   ClientId client;
   RequestId req;
   Value value;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + 2 * kIdWire + kLenWire +
-           value.size();
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + 2 * kIdWire +
+           kLenWire + value.size();
   }
   [[nodiscard]] std::string describe() const override;
 };
 
-/// Server → client: the write identified by `req` is complete.
+/// Server → client: the write identified by `req` is complete. `epoch` is
+/// the epoch the serving ring completed it in.
 struct ClientWriteAck final : net::Payload {
-  explicit ClientWriteAck(RequestId r, ObjectId obj = kDefaultObject)
-      : Payload(kClientWriteAck), req(r), object(obj) {}
+  explicit ClientWriteAck(RequestId r, ObjectId obj = kDefaultObject,
+                          Epoch e = 0)
+      : Payload(kClientWriteAck), req(r), object(obj), epoch(e) {}
 
   RequestId req;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + kIdWire;
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
 
 /// Client → server: read register `object`.
 struct ClientRead final : net::Payload {
-  ClientRead(ClientId c, RequestId r, ObjectId obj = kDefaultObject)
-      : Payload(kClientRead), client(c), req(r), object(obj) {}
+  ClientRead(ClientId c, RequestId r, ObjectId obj = kDefaultObject,
+             Epoch e = 0)
+      : Payload(kClientRead), client(c), req(r), object(obj), epoch(e) {}
 
   ClientId client;
   RequestId req;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + 2 * kIdWire;
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + 2 * kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
@@ -109,18 +133,39 @@ struct ClientRead final : net::Payload {
 /// verification (linearizability checking); a production deployment could
 /// strip it, it is 12 bytes.
 struct ClientReadAck final : net::Payload {
-  ClientReadAck(RequestId r, Value v, Tag t, ObjectId obj = kDefaultObject)
+  ClientReadAck(RequestId r, Value v, Tag t, ObjectId obj = kDefaultObject,
+                Epoch e = 0)
       : Payload(kClientReadAck), req(r), value(std::move(v)), tag(t),
-        object(obj) {}
+        object(obj), epoch(e) {}
 
   RequestId req;
   Value value;
   Tag tag;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + kIdWire + kLenWire +
-           value.size() + kTagWire;
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kIdWire +
+           kLenWire + value.size() + kTagWire;
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Server → client: this ring does not own `object` under epoch `epoch` —
+/// refresh your view (the epoch is the hint: the server's newest known
+/// epoch) and re-route. Sent instead of serving when a client op arrives
+/// for a register the server does not own, including during the freeze
+/// phase of a live migration (DESIGN.md D8).
+struct EpochNack final : net::Payload {
+  EpochNack(RequestId r, ObjectId obj, Epoch e)
+      : Payload(kEpochNack), req(r), object(obj), epoch(e) {}
+
+  RequestId req;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
@@ -130,19 +175,20 @@ struct ClientReadAck final : net::Payload {
 /// that completion can be recorded for retry deduplication everywhere.
 struct PreWrite final : net::Payload {
   PreWrite(Tag t, Value v, ClientId c, RequestId r,
-           ObjectId obj = kDefaultObject)
+           ObjectId obj = kDefaultObject, Epoch e = 0)
       : Payload(kPreWrite), tag(t), value(std::move(v)), client(c), req(r),
-        object(obj) {}
+        object(obj), epoch(e) {}
 
   Tag tag;
   Value value;
   ClientId client;
   RequestId req;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + kTagWire + 2 * kIdWire +
-           kLenWire + value.size();
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kTagWire +
+           2 * kIdWire + kLenWire + value.size();
   }
   [[nodiscard]] std::string describe() const override;
 };
@@ -150,16 +196,20 @@ struct PreWrite final : net::Payload {
 /// Ring phase 2: commit the pre-written `tag` of register `object`. Value
 /// intentionally omitted.
 struct WriteCommit final : net::Payload {
-  WriteCommit(Tag t, ClientId c, RequestId r, ObjectId obj = kDefaultObject)
-      : Payload(kWriteCommit), tag(t), client(c), req(r), object(obj) {}
+  WriteCommit(Tag t, ClientId c, RequestId r, ObjectId obj = kDefaultObject,
+              Epoch e = 0)
+      : Payload(kWriteCommit), tag(t), client(c), req(r), object(obj),
+        epoch(e) {}
 
   Tag tag;
   ClientId client;
   RequestId req;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + kTagWire + 2 * kIdWire;
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kTagWire +
+           2 * kIdWire;
   }
   [[nodiscard]] std::string describe() const override;
 };
@@ -168,16 +218,69 @@ struct WriteCommit final : net::Payload {
 /// state to its new successor so the splice point is at least as fresh as the
 /// sender (one SyncState per touched object). Never forwarded.
 struct SyncState final : net::Payload {
-  SyncState(Tag t, Value v, ObjectId obj = kDefaultObject)
-      : Payload(kSyncState), tag(t), value(std::move(v)), object(obj) {}
+  SyncState(Tag t, Value v, ObjectId obj = kDefaultObject, Epoch e = 0)
+      : Payload(kSyncState), tag(t), value(std::move(v)), object(obj),
+        epoch(e) {}
 
   Tag tag;
   Value value;
   ObjectId object;
+  Epoch epoch;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return kKindWire + object_wire(object) + kTagWire + kLenWire +
-           value.size();
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kTagWire +
+           kLenWire + value.size();
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Reconfiguration copy phase: the source ring hands one migrating
+/// register's highest committed (tag, value) to a destination server. The
+/// epoch is the epoch the register moves *into* — a destination applies it
+/// while still on the previous epoch (awaiting its flip) and marks the
+/// register migrated. Cross-ring server→server traffic; never batched.
+struct MigrateState final : net::Payload {
+  MigrateState(Tag t, Value v, ObjectId obj, Epoch e)
+      : Payload(kMigrateState), tag(t), value(std::move(v)), object(obj),
+        epoch(e) {}
+
+  Tag tag;
+  Value value;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kTagWire +
+           kLenWire + value.size();
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Reconfiguration copy phase: the source ring's completed-write windows
+/// (RingServer D5/D6 retry deduplication), so a write retried across the
+/// migration boundary can never re-apply on the destination ring. Merged
+/// into the destination's windows (watermark = max, out-of-order sets
+/// unioned) — a superset is safe: a completed request id names one specific
+/// operation forever.
+struct MigrateDedup final : net::Payload {
+  struct Window {
+    ClientId client = 0;
+    RequestId watermark = 0;
+    std::vector<RequestId> above;  ///< completed past a still-open gap
+  };
+
+  MigrateDedup(std::vector<Window> w, Epoch e)
+      : Payload(kMigrateDedup), windows(std::move(w)), epoch(e) {}
+
+  std::vector<Window> windows;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t s = kKindWire + epoch_wire(epoch) + kLenWire;
+    for (const Window& w : windows) {
+      s += 2 * kIdWire + kLenWire + w.above.size() * kIdWire;
+    }
+    return s;
   }
   [[nodiscard]] std::string describe() const override;
 };

@@ -1,0 +1,25 @@
+#include "core/reconfig.h"
+
+namespace hts::core {
+
+bool object_moves(ObjectId object, const ShardMap& from, const ShardMap& to) {
+  return from.ring_of(object) != to.ring_of(object);
+}
+
+std::vector<ObjectId> moved_objects(const std::vector<ObjectId>& objects,
+                                    const ShardMap& from, const ShardMap& to) {
+  std::vector<ObjectId> moved;
+  for (const ObjectId obj : objects) {
+    if (object_moves(obj, from, to)) moved.push_back(obj);
+  }
+  return moved;
+}
+
+double expected_move_fraction(std::size_t old_rings, std::size_t new_rings) {
+  const std::size_t lo = old_rings < new_rings ? old_rings : new_rings;
+  const std::size_t hi = old_rings < new_rings ? new_rings : old_rings;
+  if (hi == 0) return 0.0;
+  return static_cast<double>(hi - lo) / static_cast<double>(hi);
+}
+
+}  // namespace hts::core

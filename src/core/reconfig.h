@@ -1,0 +1,132 @@
+// Epoch-versioned cluster views and live reconfiguration (DESIGN.md
+// §Reconfiguration, D8).
+//
+// A deployment is no longer a fixed Topology but a ClusterView{epoch,
+// topology}: epoch 0 is the boot shape, and every ring add/remove produces
+// the next epoch. The ShardMap is a pure function of the ring count, so a
+// view is all any participant needs to know who owns what — no per-object
+// directory, no coordination beyond learning the latest view.
+//
+// Reconfiguration migrates only the registers whose ShardMap assignment
+// changes (the consistent hash bounds that to ~1/(R+1) of the namespace on
+// a grow, and moves them only onto the new ring). Migration runs per
+// register as freeze → copy → flip:
+//
+//   freeze  every server is handed the next view (begin_view_change): a
+//           server that loses an object under the next view NACKs new
+//           client ops on it with an EpochNack carrying the next epoch,
+//           while its in-flight ring traffic for the object drains; a
+//           server that gains an object parks client ops on it until the
+//           flip (they arrive from clients that already refreshed).
+//   copy    once the source ring is quiescent for the register, the highest
+//           committed (tag, value) is handed to every destination server in
+//           an epoch-stamped MigrateState message, and the source ring's
+//           completed-request windows travel in a MigrateDedup so a retried
+//           write can never re-apply across the boundary.
+//   flip    every server promotes the next view to current
+//           (commit_view_change) and replays its parked ops; clients learn
+//           the new epoch from the registry on the next EpochNack or retry.
+//
+// The pieces here are fabric-agnostic: the view types, the thread-safe
+// registry clients refresh from, and the pure planning helpers (which
+// objects move, what fraction to expect). The drivers that sequence the
+// three phases live in the fabrics (SimCluster::add_ring and
+// ThreadedCluster::add_ring), because waiting for quiescence is inherently
+// a fabric concern — simulated time versus real threads.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "core/topology.h"
+
+namespace hts::core {
+
+/// One epoch of the deployment: the shape every participant must agree on.
+struct ClusterView {
+  Epoch epoch = 0;
+  Topology topology;
+
+  friend bool operator==(const ClusterView& a, const ClusterView& b) {
+    return a.epoch == b.epoch && a.topology == b.topology;
+  }
+};
+
+/// What one server knows about the deployment: which epoch it serves in,
+/// which ring it belongs to, and the epoch's shard map for ownership
+/// checks. A null map means "no view installed" — the legacy single-ring
+/// server that owns every register (and stamps epoch 0 on nothing).
+struct ServerView {
+  Epoch epoch = 0;
+  RingId ring = kDefaultRing;
+  std::shared_ptr<const ShardMap> map;
+
+  [[nodiscard]] bool owns(ObjectId object) const {
+    return map == nullptr || map->ring_of(object) == ring;
+  }
+};
+
+/// The authoritative latest view, shared by a fabric's coordinator and its
+/// client sessions (their view provider reads it on an EpochNack or retry).
+/// Thread-safe: the threaded fabric publishes from the coordinator thread
+/// while sessions read from their transport threads. A real deployment
+/// would back this with a configuration service; the registry is its
+/// in-process stand-in.
+class ViewRegistry {
+ public:
+  explicit ViewRegistry(ClusterView initial) : view_(std::move(initial)) {}
+
+  /// Copies the whole view. Only the refresh paths call this (an
+  /// EpochNack, a timeout retry) — failure/reconfig events, never the
+  /// per-op fast path — so the copy is cold by construction.
+  [[nodiscard]] ClusterView get() const {
+    const std::scoped_lock lock(mu_);
+    return view_;
+  }
+
+  /// Installs the next view. Epochs only ever advance, one at a time.
+  void publish(ClusterView v) {
+    const std::scoped_lock lock(mu_);
+    assert(v.epoch == view_.epoch + 1);
+    view_ = std::move(v);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ClusterView view_;
+};
+
+// ------------------------------------------------------- migration planning
+
+/// True iff `object` is served by different rings under the two maps —
+/// i.e. a reconfiguration between them must migrate the register.
+[[nodiscard]] bool object_moves(ObjectId object, const ShardMap& from,
+                                const ShardMap& to);
+
+/// The subset of `objects` that must migrate between the two maps. This is
+/// exactly the ShardMap churn — tested against a direct per-object recompute
+/// and against the ~1/(R+1) consistent-hash bound.
+[[nodiscard]] std::vector<ObjectId> moved_objects(
+    const std::vector<ObjectId>& objects, const ShardMap& from,
+    const ShardMap& to);
+
+/// Expected fraction of the namespace a grow from `old_rings` to `new_rings`
+/// reassigns (the consistent-hash bound): (new - old) / new for a grow,
+/// symmetric for a shrink.
+[[nodiscard]] double expected_move_fraction(std::size_t old_rings,
+                                            std::size_t new_rings);
+
+/// Bytes and object counts one reconfiguration moved — the fabric
+/// coordinators fill this and fig8 reports it against the expected bound.
+struct MigrationStats {
+  std::size_t reconfigs = 0;       ///< completed view changes
+  std::size_t objects_moved = 0;   ///< registers copied across rings
+  std::uint64_t bytes_moved = 0;   ///< MigrateState wire bytes (all copies)
+  std::uint64_t dedup_bytes = 0;   ///< MigrateDedup wire bytes
+};
+
+}  // namespace hts::core

@@ -38,16 +38,64 @@ const RingServer::ObjectState* RingServer::find_state(ObjectId id) const {
 
 // ---------------------------------------------------------------- clients
 
+bool RingServer::gate_client_op(bool is_read, ClientId client, RequestId req,
+                                Value* value, ObjectId object,
+                                ServerContext& ctx) {
+  if (view_.map == nullptr) return false;  // legacy server: owns everything
+  const bool owns_now = view_.owns(object);
+  if (!incoming_) {
+    if (owns_now) return false;
+    // Misrouted (stale client view): refuse with our newest epoch as the
+    // refresh hint.
+    ++stats_.epoch_nacks;
+    ctx.send_client(client,
+                    net::make_payload<EpochNack>(req, object, view_.epoch));
+    return true;
+  }
+  const bool owns_next = incoming_->owns(object);
+  if (owns_now && owns_next) return false;  // untouched by the change
+  if (!owns_now && owns_next) {
+    // The register is moving onto this server: the op comes from a client
+    // that already refreshed to the next view. Park it until the flip —
+    // serving before the migrated state lands would read/write a stale
+    // (initial) register. Duplicate retries of one write collapse to one
+    // parked copy, so the replay cannot double-apply.
+    if (!is_read) {
+      for (const TransitionOp& t : transition_parked_) {
+        if (!t.is_read && t.client == client && t.req == req) return true;
+      }
+    }
+    ++stats_.transition_parked;
+    transition_parked_.push_back(TransitionOp{
+        is_read, client, req, value ? std::move(*value) : Value{}, object});
+    return true;
+  }
+  // Moving away (the freeze half of freeze→copy→flip), or never ours: the
+  // next epoch is the hint the client needs.
+  ++stats_.epoch_nacks;
+  ctx.send_client(client,
+                  net::make_payload<EpochNack>(req, object, incoming_->epoch));
+  return true;
+}
+
 void RingServer::on_client_write(ClientId client, RequestId req, Value value,
                                  ServerContext& ctx, ObjectId object) {
-  if (opts_.dedup_retries && request_completed(client, req)) {
+  if (opts_.dedup_retries && (view_.map == nullptr || view_.owns(object)) &&
+      request_completed(client, req)) {
     // This request already completed somewhere (we learned via the commit
     // circulating); re-applying would risk the duplicate-write atomicity
-    // violation (D5). Just ack.
+    // violation (D5). Just ack — including mid-migration while the register
+    // is frozen (this server still owns it under the current view, so the
+    // (ring, epoch) stamp is truthful). Once the register has *left* this
+    // server — !owns under the current view — the gate below NACKs instead:
+    // the new owner dedup-acks from the merged MigrateDedup windows, so the
+    // history never records the old ring serving in the new epoch.
     ++stats_.dedup_acks;
-    ctx.send_client(client, net::make_payload<ClientWriteAck>(req, object));
+    ctx.send_client(client, net::make_payload<ClientWriteAck>(req, object,
+                                                              view_.epoch));
     return;
   }
+  if (gate_client_op(false, client, req, &value, object, ctx)) return;
   LocalWrite w{object, client, req, std::move(value)};
   if (solo()) {
     solo_write(w, ctx);
@@ -58,6 +106,7 @@ void RingServer::on_client_write(ClientId client, RequestId req, Value value,
 
 void RingServer::on_client_read(ClientId client, RequestId req,
                                 ServerContext& ctx, ObjectId object) {
+  if (gate_client_op(true, client, req, nullptr, object, ctx)) return;
   const ObjectState* obj = find_state(object);
   if (obj == nullptr || obj->pending.empty()) {  // line 77
     // A never-touched register is a register in its initial state — no
@@ -65,7 +114,8 @@ void RingServer::on_client_read(ClientId client, RequestId req,
     ++stats_.reads_immediate;
     ctx.send_client(client, net::make_payload<ClientReadAck>(
                                 req, obj ? obj->value : Value{},
-                                obj ? obj->tag : kInitialTag, object));
+                                obj ? obj->tag : kInitialTag, object,
+                                view_.epoch));
     return;
   }
   const Tag threshold = *obj->pending.max_tag();  // line 80
@@ -73,13 +123,120 @@ void RingServer::on_client_read(ClientId client, RequestId req,
     // Ablation: the locally applied value already dominates every pending
     // pre-write, so it is safe to return it (the paper always parks).
     ++stats_.reads_immediate;
-    ctx.send_client(client, net::make_payload<ClientReadAck>(req, obj->value,
-                                                             obj->tag, object));
+    ctx.send_client(client,
+                    net::make_payload<ClientReadAck>(req, obj->value, obj->tag,
+                                                     object, view_.epoch));
     return;
   }
   ++stats_.reads_parked;
   state_of(object).parked.push_back(
       ParkedRead{client, req, threshold});  // line 81
+}
+
+// ------------------------------------------------------- view changes (D8)
+
+void RingServer::begin_view_change(ServerView next) {
+  assert(!incoming_);
+  assert(next.epoch == view_.epoch + 1 || view_.map == nullptr);
+  incoming_ = std::move(next);
+  migrated_in_.clear();
+  transition_dedup_merges_ = 0;
+}
+
+void RingServer::commit_view_change(ServerContext& ctx) {
+  assert(incoming_);
+  view_ = std::move(*incoming_);
+  incoming_.reset();
+  migrated_in_.clear();
+  transition_dedup_merges_ = 0;
+  // Replay in arrival order through the normal handlers: the register's
+  // migrated state is installed, so writes tag past it and reads see it.
+  std::deque<TransitionOp> parked = std::move(transition_parked_);
+  transition_parked_.clear();
+  for (TransitionOp& op : parked) {
+    if (op.is_read) {
+      on_client_read(op.client, op.req, ctx, op.object);
+    } else {
+      on_client_write(op.client, op.req, std::move(op.value), ctx, op.object);
+    }
+  }
+}
+
+void RingServer::on_migrate_state(const MigrateState& m) {
+  apply(state_of(m.object), m.tag, m.value);
+  migrated_in_.insert(m.object);
+  ++stats_.migrations_in;
+}
+
+void RingServer::on_migrate_dedup(const MigrateDedup& m) {
+  for (const MigrateDedup::Window& in : m.windows) {
+    CompletedWindow& w = completed_req_[in.client];
+    w.watermark = std::max(w.watermark, in.watermark);
+    for (const RequestId r : in.above) {
+      if (r > w.watermark) w.above.insert(r);
+    }
+    while (!w.above.empty() && *w.above.begin() <= w.watermark + 1) {
+      w.watermark = std::max(w.watermark, *w.above.begin());
+      w.above.erase(w.above.begin());
+    }
+  }
+  ++stats_.dedup_merges;
+  ++transition_dedup_merges_;
+}
+
+std::vector<ObjectId> RingServer::object_ids() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) ids.push_back(id);
+  return ids;
+}
+
+bool RingServer::object_quiescent(ObjectId object) const {
+  if (const ObjectState* obj = find_state(object)) {
+    if (!obj->pending.empty() || !obj->outstanding.empty() ||
+        !obj->adopted.empty() || !obj->queued_tags.empty() ||
+        !obj->early_commits.empty() || !obj->parked.empty()) {
+      return false;
+    }
+  }
+  for (const LocalWrite& w : write_queue_) {
+    if (w.object == object) return false;
+  }
+  // Repair re-sends and write-phase starts wait in the urgent queue; the
+  // fairness queue holds transit traffic. Either may still reference the
+  // register.
+  auto references = [object](const net::Payload& msg) {
+    switch (msg.kind()) {
+      case kPreWrite:
+        return static_cast<const PreWrite&>(msg).object == object;
+      case kWriteCommit:
+        return static_cast<const WriteCommit&>(msg).object == object;
+      case kSyncState:
+        return static_cast<const SyncState&>(msg).object == object;
+      default:
+        return false;
+    }
+  };
+  for (const auto& msg : urgent_) {
+    if (references(*msg)) return false;
+  }
+  for (const ForwardItem& item : sched_.queue()) {
+    if (references(*item.msg)) return false;
+  }
+  return true;
+}
+
+std::vector<MigrateDedup::Window> RingServer::completed_windows() const {
+  std::vector<MigrateDedup::Window> out;
+  out.reserve(completed_req_.size());
+  for (const auto& [client, w] : completed_req_) {
+    MigrateDedup::Window win;
+    win.client = client;
+    win.watermark = w.watermark;
+    win.above.assign(w.above.begin(), w.above.end());
+    out.push_back(std::move(win));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------- ring in
@@ -127,15 +284,16 @@ void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
       // duplicate exists because of a crash re-send, so the commit may have
       // been lost too — re-issue it.
       push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
-                                                 it->second.req, m.object));
+                                                 it->second.req, m.object,
+                                                 view_.epoch));
       return;
     }
     it->second.write_phase = true;
     obj.pending.erase(m.tag);           // line 37
     apply(obj, m.tag, it->second.value);  // lines 33–36
     push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
-                                               it->second.req,
-                                               m.object));  // line 38
+                                               it->second.req, m.object,
+                                               view_.epoch));  // line 38
     return;
   }
 
@@ -176,16 +334,16 @@ void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
     if (obj.adopted.contains(m.tag)) {
       // Duplicate while our adoption commit circulates; re-issue the commit
       // in case it was lost with another crash.
-      push_urgent(
-          net::make_payload<WriteCommit>(m.tag, m.client, m.req, m.object));
+      push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req,
+                                                 m.object, view_.epoch));
       return;
     }
     ++stats_.adoptions;
     obj.pending.erase(m.tag);
     apply(obj, m.tag, m.value);
     obj.adopted[m.tag] = {m.client, m.req};
-    push_urgent(
-        net::make_payload<WriteCommit>(m.tag, m.client, m.req, m.object));
+    push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req,
+                                               m.object, view_.epoch));
     return;
   }
 
@@ -216,8 +374,9 @@ void RingServer::handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
       return;
     }
     note_completed(obj, m.tag, it->second.client, it->second.req);
-    ctx.send_client(it->second.client, net::make_payload<ClientWriteAck>(
-                                           it->second.req, m.object));
+    ctx.send_client(it->second.client,
+                    net::make_payload<ClientWriteAck>(
+                        it->second.req, m.object, view_.epoch));
     obj.outstanding.erase(it);
     unpark_up_to(obj, m.tag, ctx);
     return;
@@ -347,8 +506,9 @@ RingSend RingServer::initiate_write(LocalWrite w) {
   obj.outstanding[tag] = OutstandingWrite{w.client, w.req, w.value, false};
   sched_.count_sent(self_);  // line 26
   ++stats_.pre_writes_initiated;
-  return RingSend{successor_, net::make_payload<PreWrite>(
-                                  tag, w.value, w.client, w.req, w.object)};
+  return RingSend{successor_,
+                  net::make_payload<PreWrite>(tag, w.value, w.client, w.req,
+                                              w.object, view_.epoch)};
 }
 
 void RingServer::solo_write(const LocalWrite& w, ServerContext& ctx) {
@@ -358,8 +518,8 @@ void RingServer::solo_write(const LocalWrite& w, ServerContext& ctx) {
   const Tag tag{ts + 1, self_};
   apply(obj, tag, w.value);
   note_completed(obj, tag, w.client, w.req);
-  ctx.send_client(w.client,
-                  net::make_payload<ClientWriteAck>(w.req, w.object));
+  ctx.send_client(w.client, net::make_payload<ClientWriteAck>(
+                                w.req, w.object, view_.epoch));
   unpark_up_to(obj, tag, ctx);
 }
 
@@ -389,11 +549,12 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
     for (const auto& [id, obj] : objects_) {
       if (id == kDefaultObject || !obj.tag.is_initial()) {
         ++stats_.syncs_sent;
-        push_urgent(net::make_payload<SyncState>(obj.tag, obj.value, id));
+        push_urgent(net::make_payload<SyncState>(obj.tag, obj.value, id,
+                                                 view_.epoch));
       }
       for (const auto& e : obj.pending.snapshot()) {
-        push_urgent(
-            net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req, id));
+        push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client,
+                                                e.req, id, view_.epoch));
       }
     }
   }
@@ -404,11 +565,11 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
     // absorbed.
     for (auto& [tag, ow] : obj.outstanding) {
       if (ow.write_phase) {
-        push_urgent(
-            net::make_payload<WriteCommit>(tag, ow.client, ow.req, id));
+        push_urgent(net::make_payload<WriteCommit>(tag, ow.client, ow.req, id,
+                                                   view_.epoch));
       } else {
         push_urgent(net::make_payload<PreWrite>(tag, ow.value, ow.client,
-                                                ow.req, id));
+                                                ow.req, id, view_.epoch));
       }
     }
 
@@ -418,8 +579,8 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
     if (ring_.absorber(crashed) == self_) {
       for (const auto& e : obj.pending.entries_from(crashed)) {
         ++stats_.adoptions;
-        push_urgent(
-            net::make_payload<PreWrite>(e.tag, e.value, e.client, e.req, id));
+        push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client,
+                                                e.req, id, view_.epoch));
       }
     }
   }
@@ -439,8 +600,8 @@ void RingServer::resolve_everything_solo(ServerContext& ctx) {
     for (auto& [tag, ow] : obj.outstanding) {
       apply(obj, tag, ow.value);
       note_completed(obj, tag, ow.client, ow.req);
-      ctx.send_client(ow.client,
-                      net::make_payload<ClientWriteAck>(ow.req, id));
+      ctx.send_client(ow.client, net::make_payload<ClientWriteAck>(
+                                     ow.req, id, view_.epoch));
     }
     obj.outstanding.clear();
     obj.adopted.clear();
@@ -507,8 +668,10 @@ void RingServer::unpark_up_to(ObjectState& obj, const Tag& t,
     if (r.threshold <= t) {
       // D2: reply with the *current* local value — at least as new as the
       // threshold since the unblocking commit has been applied.
-      ctx.send_client(r.client, net::make_payload<ClientReadAck>(
-                                    r.req, obj.value, obj.tag, obj.id));
+      ctx.send_client(r.client,
+                      net::make_payload<ClientReadAck>(r.req, obj.value,
+                                                       obj.tag, obj.id,
+                                                       view_.epoch));
     } else {
       keep.push_back(std::move(r));
     }

@@ -37,6 +37,7 @@
 #include "core/fairness.h"
 #include "core/messages.h"
 #include "core/pending_set.h"
+#include "core/reconfig.h"
 #include "core/ring.h"
 #include "net/payload.h"
 
@@ -112,6 +113,11 @@ struct ServerStats {
   std::uint64_t dedup_acks = 0;
   std::uint64_t ring_messages_out = 0;  ///< protocol messages pulled
   std::uint64_t batches_out = 0;        ///< multi-message batches formed
+  // Reconfiguration (DESIGN.md D8):
+  std::uint64_t epoch_nacks = 0;        ///< client ops refused with a hint
+  std::uint64_t transition_parked = 0;  ///< client ops parked until the flip
+  std::uint64_t migrations_in = 0;      ///< registers installed from a copy
+  std::uint64_t dedup_merges = 0;       ///< MigrateDedup messages merged
 };
 
 class RingServer {
@@ -135,6 +141,76 @@ class RingServer {
 
   /// Perfect-failure-detector notification (lines 85–93 + adoption, D4).
   void on_peer_crash(ProcessId crashed, ServerContext& ctx);
+
+  // ---------- epoch-versioned views (DESIGN.md §Reconfiguration, D8) ----
+  //
+  // A server with no view installed owns every register and stamps epoch 0
+  // on nothing — the legacy single-ring server, bit-for-bit. A fabric that
+  // deploys a sharded topology installs a view (epoch, own ring, shard map)
+  // and from then on the server refuses client ops on registers it does not
+  // own (EpochNack with its newest known epoch as the refresh hint).
+  //
+  // A live reconfiguration hands every server the *next* view first
+  // (begin_view_change): ops on registers moving away are NACKed with the
+  // next epoch while their in-flight ring traffic drains; ops on registers
+  // moving *in* (stamped by already-refreshed clients) are parked and
+  // replayed when the fabric promotes the view (commit_view_change), after
+  // it has copied the migrating registers over (on_migrate_state) together
+  // with the source ring's retry-dedup windows (on_migrate_dedup).
+
+  /// Installs the server's current view (construction / spawn time).
+  void install_view(ServerView v) { view_ = std::move(v); }
+
+  /// Freeze phase: the next view arrives; gating switches to the transition
+  /// rules above.
+  void begin_view_change(ServerView next);
+
+  /// Flip phase: the next view becomes current; parked ops replay through
+  /// the normal client-op handlers.
+  void commit_view_change(ServerContext& ctx);
+
+  /// Copy phase, destination side: installs one migrated register's highest
+  /// committed (tag, value).
+  void on_migrate_state(const MigrateState& m);
+
+  /// Copy phase, destination side: merges the source ring's completed-write
+  /// windows so retried writes dedup across the migration boundary.
+  void on_migrate_dedup(const MigrateDedup& m);
+
+  [[nodiscard]] Epoch epoch() const { return view_.epoch; }
+  [[nodiscard]] const ServerView& view() const { return view_; }
+  [[nodiscard]] bool view_changing() const { return incoming_.has_value(); }
+  [[nodiscard]] std::size_t transition_backlog() const {
+    return transition_parked_.size();
+  }
+  /// True once `object` was installed by a MigrateState during the current
+  /// view change (coordinators poll this before flipping).
+  [[nodiscard]] bool has_migrated(ObjectId object) const {
+    return migrated_in_.contains(object);
+  }
+  /// MigrateDedup messages merged during the *current* view change — reset
+  /// at begin/commit like has_migrated(), so a coordinator's flip gate
+  /// never credits a previous reconfiguration's merges
+  /// (ServerStats::dedup_merges stays cumulative).
+  [[nodiscard]] std::uint64_t dedup_merges_in_change() const {
+    return transition_dedup_merges_;
+  }
+
+  /// Every register this server has materialised state for (coordinators
+  /// enumerate migration candidates from this).
+  [[nodiscard]] std::vector<ObjectId> object_ids() const;
+
+  /// True when no protocol work for `object` remains anywhere in this
+  /// server: no pending pre-writes, no in-flight own writes, no adopted
+  /// writes, no queued client writes, nothing for the register in the
+  /// urgent or forward queues, no parked reads. The migration copy phase
+  /// waits for this on every source-ring server — then the local (tag,
+  /// value) of the maximum-tag server is the register's final state.
+  [[nodiscard]] bool object_quiescent(ObjectId object) const;
+
+  /// Snapshot of the per-client completed-write windows (D5/D6) for a
+  /// MigrateDedup message.
+  [[nodiscard]] std::vector<MigrateDedup::Window> completed_windows() const;
 
   // ---------- ring egress (pulled by the fabric) ----------
 
@@ -191,6 +267,15 @@ class RingServer {
     Value value;
     bool write_phase = false;  // own PreWrite completed the loop
   };
+  /// A client op held back during a view change (register moving onto this
+  /// server); replayed in arrival order at commit_view_change.
+  struct TransitionOp {
+    bool is_read = false;
+    ClientId client = 0;
+    RequestId req = 0;
+    Value value;
+    ObjectId object = kDefaultObject;
+  };
 
   /// Everything the paper keeps per register. Tags of different objects live
   /// in disjoint spaces: each object counts its own timestamps.
@@ -229,6 +314,12 @@ class RingServer {
     RequestId watermark = 0;
     std::set<RequestId> above;
   };
+
+  /// Ownership gate for a client op (D8). Returns true when the op was
+  /// consumed here (NACKed with an epoch hint, or parked until the flip);
+  /// false means the server owns the register and must serve normally.
+  bool gate_client_op(bool is_read, ClientId client, RequestId req,
+                      Value* value, ObjectId object, ServerContext& ctx);
 
   void handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
                         ServerContext& ctx);
@@ -292,6 +383,14 @@ class RingServer {
 
   // Client-retry dedup (D5/D6): completed write requests per client.
   std::unordered_map<ClientId, CompletedWindow> completed_req_;
+
+  // Epoch-versioned view (D8). Default: no map — the legacy server that
+  // owns everything and stamps epoch 0 (encoded as no epoch field at all).
+  ServerView view_;
+  std::optional<ServerView> incoming_;     // next view during a transition
+  std::deque<TransitionOp> transition_parked_;
+  std::unordered_set<ObjectId> migrated_in_;  // installed during this change
+  std::uint64_t transition_dedup_merges_ = 0;  // merges during this change
 
   ServerStats stats_;
 };

@@ -1,5 +1,5 @@
 // Topology / ShardMap / ShardRouter — the deployment surface of a sharded
-// storage service (DESIGN.md §Sharding, D7).
+// storage service (DESIGN.md §Sharding, D7; §Reconfiguration, D8).
 //
 // A service is no longer "n servers on one ring" but a Topology of R
 // independent rings behind a deterministic ObjectId → ring map. Each ring
@@ -8,12 +8,15 @@
 // compose into one atomic namespace for free, and aggregate throughput
 // scales with R (bench/fig7_sharding.cpp).
 //
-// Addressing: a server is identified either by its global id (what fabrics,
-// crash injection and OpResult::served_by use) or by its ring coordinate
-// (ring, local index). Global ids are ring-major:
-//   global = ring * servers_per_ring + local.
+// Rings may have heterogeneous sizes: Topology holds one size per ring, with
+// the uniform `Topology{r, n}` constructor as the convenience spelling the
+// benchmarks use. Addressing: a server is identified either by its global id
+// (what fabrics, crash injection and OpResult::served_by use) or by its ring
+// coordinate (ring, local index). Global ids are ring-major:
+//   global = ring_base(ring) + local,   ring_base = sum of earlier sizes.
 // With one ring the two coincide, which is what keeps every pre-sharding
-// API call valid unchanged.
+// API call valid unchanged. Appending a ring never renumbers an existing
+// server — the property live reconfiguration (core/reconfig.h) leans on.
 #pragma once
 
 #include <algorithm>
@@ -27,45 +30,89 @@
 
 namespace hts::core {
 
-/// Shape of a deployment: R rings of equal size. Equal-size rings keep the
-/// global-id arithmetic closed-form; heterogeneous rings are a ROADMAP item.
-struct Topology {
-  std::size_t n_rings = 1;
-  std::size_t servers_per_ring = 1;
+/// Shape of a deployment: R rings, each with its own server count.
+class Topology {
+ public:
+  /// Default: one ring of one server (the smallest valid deployment).
+  Topology() : Topology(1, 1) {}
+
+  /// Uniform convenience constructor: R rings of equal size — the shape
+  /// every pre-heterogeneity call site (`Topology{r, n}`) still builds.
+  Topology(std::size_t n_rings, std::size_t servers_per_ring)
+      : Topology(std::vector<std::size_t>(n_rings, servers_per_ring)) {}
+
+  /// Heterogeneous shape: one entry per ring.
+  explicit Topology(std::vector<std::size_t> ring_sizes)
+      : sizes_(std::move(ring_sizes)) {
+    base_.reserve(sizes_.size() + 1);
+    base_.push_back(0);
+    for (const std::size_t s : sizes_) base_.push_back(base_.back() + s);
+  }
 
   /// The pre-sharding deployment: one ring of `n` servers. Pinned mode —
   /// every route resolves to ring 0 and the emitted wire traffic is
   /// byte-for-byte the single-ring protocol (tests/shard_test.cpp).
-  [[nodiscard]] static constexpr Topology single(std::size_t n) {
+  [[nodiscard]] static Topology single(std::size_t n) {
     return Topology{1, n};
   }
 
-  [[nodiscard]] constexpr std::size_t total_servers() const {
-    return n_rings * servers_per_ring;
+  [[nodiscard]] std::size_t n_rings() const { return sizes_.size(); }
+  [[nodiscard]] std::size_t ring_size(RingId ring) const {
+    return sizes_[ring];
   }
-  [[nodiscard]] constexpr bool valid() const {
-    return n_rings >= 1 && servers_per_ring >= 1;
+  [[nodiscard]] const std::vector<std::size_t>& ring_sizes() const {
+    return sizes_;
+  }
+  [[nodiscard]] std::size_t total_servers() const { return base_.back(); }
+  [[nodiscard]] bool valid() const {
+    return !sizes_.empty() &&
+           std::all_of(sizes_.begin(), sizes_.end(),
+                       [](std::size_t s) { return s >= 1; });
   }
 
   /// Ring coordinate → global server id.
-  [[nodiscard]] constexpr ProcessId global_id(RingId ring,
-                                              ProcessId local) const {
-    return static_cast<ProcessId>(ring * servers_per_ring + local);
+  [[nodiscard]] ProcessId global_id(RingId ring, ProcessId local) const {
+    return static_cast<ProcessId>(base_[ring] + local);
   }
   /// Global server id → ring it belongs to.
-  [[nodiscard]] constexpr RingId ring_of_server(ProcessId global) const {
-    return static_cast<RingId>(global / servers_per_ring);
+  [[nodiscard]] RingId ring_of_server(ProcessId global) const {
+    const auto it = std::upper_bound(base_.begin(), base_.end(),
+                                     static_cast<std::size_t>(global));
+    return static_cast<RingId>(it - base_.begin() - 1);
   }
   /// Global server id → index within its ring (the id RingServer sees).
-  [[nodiscard]] constexpr ProcessId local_id(ProcessId global) const {
-    return static_cast<ProcessId>(global % servers_per_ring);
+  [[nodiscard]] ProcessId local_id(ProcessId global) const {
+    return static_cast<ProcessId>(global - base_[ring_of_server(global)]);
   }
   /// Global id of the first server of `ring`.
-  [[nodiscard]] constexpr ProcessId ring_base(RingId ring) const {
-    return static_cast<ProcessId>(ring * servers_per_ring);
+  [[nodiscard]] ProcessId ring_base(RingId ring) const {
+    return static_cast<ProcessId>(base_[ring]);
   }
 
-  friend constexpr bool operator==(const Topology&, const Topology&) = default;
+  /// The topology one ring-add produces: this shape plus a ring of `n`
+  /// servers appended at the end. Existing global ids are unchanged.
+  [[nodiscard]] Topology with_ring(std::size_t n) const {
+    std::vector<std::size_t> sizes = sizes_;
+    sizes.push_back(n);
+    return Topology(std::move(sizes));
+  }
+  /// The topology one ring-remove produces: the last-added ring retired.
+  /// Only the last ring can be removed — the ShardMap keys ring points by
+  /// index, so dropping the tail is the only shrink with bounded churn.
+  [[nodiscard]] Topology without_last_ring() const {
+    assert(sizes_.size() >= 2);
+    std::vector<std::size_t> sizes = sizes_;
+    sizes.pop_back();
+    return Topology(std::move(sizes));
+  }
+
+  friend bool operator==(const Topology& a, const Topology& b) {
+    return a.sizes_ == b.sizes_;
+  }
+
+ private:
+  std::vector<std::size_t> sizes_;  ///< servers per ring
+  std::vector<std::size_t> base_;   ///< prefix sums; base_[r] = first global
 };
 
 /// Deterministic ObjectId → RingId routing, consistent-hash style: each ring
@@ -74,7 +121,9 @@ struct Topology {
 /// function of (n_rings, object) with a pinned mixing function, so the same
 /// object routes to the same ring across client restarts, across processes
 /// and across machines — no coordination, no state. Growing R by one moves
-/// only ~1/(R+1) of the namespace (tests pin both properties).
+/// only ~1/(R+1) of the namespace, and only onto the new ring (tests pin
+/// both properties — they are what bounds migration work on a live
+/// ring-add, DESIGN.md D8).
 ///
 /// Single-ring pin: with n_rings == 1 every object maps to ring 0 and no
 /// hashing happens at all — the pre-sharding behaviour, bit-for-bit.
@@ -135,17 +184,12 @@ class ShardMap {
 class ShardRouter {
  public:
   ShardRouter(Topology topo, ProcessId preferred_global)
-      : topo_(topo), map_(topo.n_rings) {
+      : topo_(std::move(topo)),
+        map_(topo_.n_rings()),
+        preferred_local_(topo_.local_id(preferred_global)) {
     assert(topo_.valid());
     assert(preferred_global < topo_.total_servers());
-    // Every ring starts at the preferred server's local index: a client
-    // that prefers server k of its home ring prefers server k of every
-    // ring, preserving the fabric's load spreading across shards.
-    const ProcessId local = topo_.local_id(preferred_global);
-    sticky_.reserve(topo_.n_rings);
-    for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
-      sticky_.push_back(topo_.global_id(r, local));
-    }
+    rebuild_sticky();
   }
 
   /// Which ring serves `object`.
@@ -162,17 +206,53 @@ class ShardRouter {
   /// of `ring`, stick to it, and return it.
   ProcessId rotate(RingId ring, ProcessId current) {
     const ProcessId local = static_cast<ProcessId>(
-        (topo_.local_id(current) + 1) % topo_.servers_per_ring);
+        (topo_.local_id(current) + 1) % topo_.ring_size(ring));
     sticky_[ring] = topo_.global_id(ring, local);
     return sticky_[ring];
+  }
+
+  /// Adopts a new deployment shape (view refresh after a reconfiguration).
+  /// Sticky targets of surviving rings are preserved where their local index
+  /// still exists; new rings start at the session's preferred local index.
+  void set_topology(const Topology& topo) {
+    assert(topo.valid());
+    std::vector<ProcessId> old_local(topo.n_rings(), kNoProcess);
+    for (RingId r = 0;
+         r < static_cast<RingId>(std::min(topo.n_rings(), topo_.n_rings()));
+         ++r) {
+      old_local[r] = topo_.local_id(sticky_[r]);
+    }
+    topo_ = topo;
+    map_ = ShardMap(topo_.n_rings());
+    rebuild_sticky();
+    for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
+      if (old_local[r] != kNoProcess && old_local[r] < topo_.ring_size(r)) {
+        sticky_[r] = topo_.global_id(r, old_local[r]);
+      }
+    }
   }
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] const ShardMap& shards() const { return map_; }
 
  private:
+  void rebuild_sticky() {
+    // Every ring starts at the preferred server's local index: a client
+    // that prefers server k of its home ring prefers server k of every
+    // ring, preserving the fabric's load spreading across shards. Rings
+    // smaller than the preferred index clamp to their own size.
+    sticky_.clear();
+    sticky_.reserve(topo_.n_rings());
+    for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
+      const ProcessId local = static_cast<ProcessId>(
+          preferred_local_ % topo_.ring_size(r));
+      sticky_.push_back(topo_.global_id(r, local));
+    }
+  }
+
   Topology topo_;
   ShardMap map_;
+  ProcessId preferred_local_;
   std::vector<ProcessId> sticky_;  ///< per-ring global target
 };
 

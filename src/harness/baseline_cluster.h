@@ -57,7 +57,8 @@ struct ChainProtocol {
   using Server = baselines::ChainServer;
   using Client = baselines::ChainClient;
   static constexpr const char* kName = "chain";
-  static constexpr bool kObjectNamespace = false;  ///< default register only
+  /// The chain serves the keyed namespace (per-register tail state).
+  static constexpr bool kObjectNamespace = true;
 
   static Server make_server(ProcessId p, std::size_t n) { return Server(p, n); }
   static Client make_client(ClientId id, std::size_t n, ProcessId preferred,
@@ -88,7 +89,8 @@ struct TobProtocol {
   using Server = baselines::TobServer;
   using Client = baselines::TobClient;
   static constexpr const char* kName = "tob";
-  static constexpr bool kObjectNamespace = false;  ///< default register only
+  /// TOB serves the keyed namespace (per-register total-order snapshots).
+  static constexpr bool kObjectNamespace = true;
 
   static Server make_server(ProcessId p, std::size_t n) { return Server(p, n); }
   static Client make_client(ClientId id, std::size_t n, ProcessId preferred,
@@ -245,11 +247,11 @@ class BaselineCluster {
 
     void deliver(const net::Payload& msg) { client.on_reply(msg, *this); }
 
-    // ClientPort. Namespace-capable baselines (ABD) route the object
-    // straight through. The rest serve a single register, and a non-default
-    // object must fail loudly in every build: silently collapsing the
-    // namespace onto one register would fabricate linearizability
-    // violations in per-object histories.
+    // ClientPort. Every baseline now serves the keyed namespace (ABD since
+    // PR 4, chain and TOB since PR 5) and routes the object straight
+    // through; the guard stays for any future single-register protocol —
+    // silently collapsing the namespace onto one register would fabricate
+    // linearizability violations in per-object histories.
     RequestId begin_write(ObjectId object, Value v) override {
       if constexpr (Protocol::kObjectNamespace) {
         return client.begin_write(object, std::move(v), *this);

@@ -203,6 +203,13 @@ ExperimentResult run_core_experiment(const ExperimentParams& p) {
                    cluster.add_client(machine, server);
                    return static_cast<ClientId>(cluster.client_count() - 1);
                  });
+  for (const ReconfigStep& step : p.reconfig) {
+    if (step.remove_last) {
+      cluster.schedule_remove_last_ring(step.at);
+    } else {
+      cluster.schedule_add_ring(step.at, step.add_ring_servers);
+    }
+  }
   return run_with(cluster, sim, p, set);
 }
 
@@ -210,16 +217,18 @@ template <typename Protocol>
 static ExperimentResult run_baseline(const ExperimentParams& p) {
   // The baseline clients are strictly one-outstanding-op (their begin_*
   // precondition is only an assert, stripped in Release), single-ring, and
-  // only ABD serves the object namespace: fail loudly in every build rather
-  // than silently corrupt their state.
-  if (p.pipeline > 1 || p.n_rings > 1 ||
-      (p.n_objects > 1 && !Protocol::kObjectNamespace)) {
+  // static-membership: fail loudly in every build rather than silently
+  // corrupt their state. All three baselines serve the object namespace
+  // (ABD since PR 4, chain and TOB since PR 5).
+  static_assert(Protocol::kObjectNamespace,
+                "baselines serve the object namespace");
+  if (p.pipeline > 1 || p.n_rings > 1 || !p.reconfig.empty()) {
     throw std::logic_error(
         std::string("baseline experiment (") + Protocol::kName +
         ") does not support this shape (pipeline = " +
         std::to_string(p.pipeline) + ", n_rings = " +
-        std::to_string(p.n_rings) + ", n_objects = " +
-        std::to_string(p.n_objects) + ")");
+        std::to_string(p.n_rings) +
+        ", reconfig steps = " + std::to_string(p.reconfig.size()) + ")");
   }
   sim::Simulator sim;
   BaselineCluster<Protocol> cluster(sim, cluster_config(p));

@@ -7,10 +7,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/server.h"
 
 namespace hts::harness {
+
+/// One scheduled live reconfiguration (core protocol only, DESIGN.md D8):
+/// at sim time `at`, grow the deployment by one ring of `add_ring_servers`
+/// servers — or retire the last ring when `remove_last` is set.
+struct ReconfigStep {
+  double at = 0;
+  std::size_t add_ring_servers = 0;
+  bool remove_last = false;
+};
 
 struct ExperimentParams {
   /// Servers per ring. With n_rings > 1 the cluster is a sharded topology
@@ -39,9 +49,13 @@ struct ExperimentParams {
 
   /// Object namespace: each operation addresses one of n_objects registers
   /// uniformly at random; each client keeps up to `pipeline` ops in flight
-  /// (core protocol only — baselines serve the single default register).
+  /// (pipelining is core-protocol only; all protocols serve the namespace).
   std::size_t n_objects = 1;
   std::size_t pipeline = 1;
+
+  /// Live reconfigurations to run during the experiment, in schedule order
+  /// (core protocol only; baselines are static-membership and reject this).
+  std::vector<ReconfigStep> reconfig;
 
   core::ServerOptions server_options;
 };

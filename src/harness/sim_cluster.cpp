@@ -1,6 +1,8 @@
 #include "harness/sim_cluster.h"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "core/messages.h"
@@ -16,19 +18,21 @@ struct SimCluster::ServerNode final : core::ServerContext {
   RingId ring = kDefaultRing;        // which shard this server belongs to
   ProcessId global = 0;              // ring-major global id
   ProcessId ring_base = 0;           // global id of the ring's server 0
+  std::size_t ring_size = 1;         // servers in this ring
   sim::NicId ring_nic = sim::kNoNic;
   sim::NicId client_nic = sim::kNoNic;
   bool up = true;
   bool pump_scheduled = false;
 
   ServerNode(SimCluster* cl, RingId r, ProcessId local, std::size_t n_per_ring,
-             core::ServerOptions opts)
+             ProcessId global_id, ProcessId base, core::ServerOptions opts)
       : cluster(cl),
         sim(&cl->sim_),
         server(local, n_per_ring, opts),
         ring(r),
-        global(cl->topo_.global_id(r, local)),
-        ring_base(cl->topo_.ring_base(r)) {}
+        global(global_id),
+        ring_base(base),
+        ring_size(n_per_ring) {}
 
   /// Single entry point for both NICs: routes by message family so the
   /// shared-network topology (one NIC for everything) works unchanged.
@@ -40,6 +44,12 @@ struct SimCluster::ServerNode final : core::ServerContext {
       case core::kWriteCommit:
       case core::kSyncState:
         server.on_ring_message(std::move(msg), *this);
+        break;
+      case core::kMigrateState:
+        server.on_migrate_state(static_cast<const core::MigrateState&>(*msg));
+        break;
+      case core::kMigrateDedup:
+        server.on_migrate_dedup(static_cast<const core::MigrateDedup&>(*msg));
         break;
       case core::kClientWrite: {
         const auto& m = static_cast<const core::ClientWrite&>(*msg);
@@ -210,6 +220,10 @@ void SimCluster::ServerNode::send_client(ClientId client,
 SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
     : sim_(sim), cfg_(cfg), topo_(cfg.resolved_topology()) {
   assert(topo_.valid());
+  view_ = core::ClusterView{0, topo_};
+  registry_ = std::make_shared<core::ViewRegistry>(view_);
+  map_ = std::make_shared<const core::ShardMap>(topo_.n_rings());
+  rings_by_epoch_.push_back(topo_.n_rings());
   server_net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
   if (cfg_.shared_network) {
     client_net_ = server_net_.get();
@@ -219,32 +233,57 @@ SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
   }
 
   // One ring at a time, ring-major: servers_[global] is server `local` of
-  // ring `global / servers_per_ring`. Each ring is an independent instance
-  // of the protocol; only client traffic ever spans rings.
-  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
-    for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
-      auto node = std::make_unique<ServerNode>(this, r, local,
-                                               topo_.servers_per_ring,
-                                               cfg_.server_options);
-      ServerNode* raw = node.get();
-      const std::string label = "s" + std::to_string(node->global);
-      node->ring_nic = server_net_->add_nic(
-          label + ".ring",
-          [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
-      if (cfg_.shared_network) {
-        // One physical NIC: ring and client traffic share the serializers.
-        node->client_nic = node->ring_nic;
-      } else {
-        node->client_nic = client_net_->add_nic(
-            label + ".client",
-            [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+  // its ring. Each ring is an independent instance of the protocol; only
+  // client traffic (and reconfiguration copies) ever spans rings.
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
+    for (ProcessId local = 0; local < topo_.ring_size(r); ++local) {
+      ServerNode& node = spawn_server(r, local, topo_.ring_size(r),
+                                      topo_.global_id(r, local),
+                                      topo_.ring_base(r));
+      if (cfg_.enable_reconfig) {
+        node.server.install_view(core::ServerView{0, r, map_});
       }
-      servers_.push_back(std::move(node));
     }
   }
 }
 
 SimCluster::~SimCluster() = default;
+
+SimCluster::ServerNode& SimCluster::spawn_server(RingId ring, ProcessId local,
+                                                 std::size_t ring_size,
+                                                 ProcessId global,
+                                                 ProcessId ring_base) {
+  auto node = std::make_unique<ServerNode>(this, ring, local, ring_size,
+                                           global, ring_base,
+                                           cfg_.server_options);
+  ServerNode* raw = node.get();
+  std::string label = "s";
+  label += std::to_string(global);
+  node->ring_nic = server_net_->add_nic(
+      label + ".ring",
+      [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+  if (cfg_.shared_network) {
+    // One physical NIC: ring and client traffic share the serializers.
+    node->client_nic = node->ring_nic;
+  } else {
+    node->client_nic = client_net_->add_nic(
+        label + ".client",
+        [raw](net::PayloadPtr m) { raw->deliver_any(std::move(m)); });
+  }
+  if (global < servers_.size()) {
+    // A ring grown after a shrink reuses the retired ring's global-id block
+    // (the topology's ring-major arithmetic demands it). The retired node
+    // moves to the graveyard — pending sim events may still hold a pointer
+    // to it, and its NICs stay disabled so nothing can reach it.
+    assert(!servers_[global]->up);
+    graveyard_.push_back(std::move(servers_[global]));
+    servers_[global] = std::move(node);
+  } else {
+    assert(servers_.size() == global);
+    servers_.push_back(std::move(node));
+  }
+  return *raw;
+}
 
 std::size_t SimCluster::add_client_machine() {
   auto m = std::make_unique<ClientMachine>();
@@ -264,6 +303,7 @@ core::ClientSession& SimCluster::add_client(std::size_t machine,
   core::ClientOptions opts;
   opts.n_servers = topo_.total_servers();
   opts.topology = topo_;
+  opts.epoch = view_.epoch;
   opts.preferred_server = server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
   opts.retry_multiplier = cfg_.client_retry_multiplier;
@@ -273,6 +313,10 @@ core::ClientSession& SimCluster::add_client(std::size_t machine,
   const ClientId id = static_cast<ClientId>(clients_.size());
   clients_.push_back(
       std::make_unique<LogicalClient>(this, machine, id, opts));
+  if (cfg_.enable_reconfig) {
+    clients_.back()->client.set_view_provider(
+        [reg = registry_] { return reg->get(); });
+  }
   return clients_.back()->client;
 }
 
@@ -286,8 +330,8 @@ void SimCluster::crash_server(ProcessId p) {
   // Failure detection is a ring-local concern: only the crashed server's
   // ring peers learn of it (and they are notified of its local id — the id
   // their protocol instance knows it by). Other shards never notice.
-  const RingId ring = topo_.ring_of_server(p);
-  const ProcessId local = topo_.local_id(p);
+  const RingId ring = node.ring;
+  const ProcessId local = static_cast<ProcessId>(p - node.ring_base);
   sim_.schedule(cfg_.detection_delay_s, [this, ring, local] {
     for (auto& s : servers_) {
       if (s->up && s->ring == ring) s->peer_crashed(local);
@@ -298,6 +342,269 @@ void SimCluster::crash_server(ProcessId p) {
 void SimCluster::schedule_crash(double at, ProcessId p) {
   sim_.schedule_at(at, [this, p] { crash_server(p); });
 }
+
+// ----------------------------------------------------- reconfiguration
+
+struct SimCluster::Reconfig {
+  core::ClusterView next;
+  std::shared_ptr<const core::ShardMap> old_map, new_map;
+  std::vector<ProcessId> sources;   ///< globals that may lose registers
+  std::vector<ProcessId> dests;     ///< globals that gain registers
+  std::vector<ProcessId> retiring;  ///< globals disabled at the flip
+  std::set<ObjectId> moving;        ///< materialised migrating registers
+  std::set<ObjectId> copied;        ///< MigrateState already emitted
+  std::size_t dedup_expected = 0;   ///< MigrateDedup messages per dest
+  bool dedup_sent = false;
+};
+
+Epoch SimCluster::add_ring(std::size_t n_servers) {
+  // Runtime validation, not asserts: a malformed or overlapping schedule
+  // must fail loudly in Release too — overwriting an in-flight
+  // reconfiguration would hand servers inconsistent views.
+  if (!cfg_.enable_reconfig) {
+    throw std::logic_error("add_ring: reconfig disabled in this cluster");
+  }
+  if (rc_) throw std::logic_error("add_ring: reconfiguration in progress");
+  if (n_servers < 1) {
+    throw std::invalid_argument("add_ring: a ring needs at least one server");
+  }
+  core::ClusterView next{view_.epoch + 1, topo_.with_ring(n_servers)};
+  auto new_map =
+      std::make_shared<const core::ShardMap>(next.topology.n_rings());
+
+  // Spawn the new ring. Its servers come up mid-transition: under the
+  // *current* view they own nothing (the current map never routes to their
+  // ring id), so every client op they receive before the flip parks — no
+  // register is served from pre-migration (initial) state.
+  const RingId new_ring = static_cast<RingId>(topo_.n_rings());
+  const ProcessId base = static_cast<ProcessId>(topo_.total_servers());
+  std::vector<ProcessId> dests;
+  for (ProcessId local = 0; local < n_servers; ++local) {
+    ServerNode& node =
+        spawn_server(new_ring, local, n_servers,
+                     static_cast<ProcessId>(base + local), base);
+    node.server.install_view(core::ServerView{view_.epoch, new_ring, map_});
+    node.server.begin_view_change(
+        core::ServerView{next.epoch, new_ring, new_map});
+    dests.push_back(node.global);
+  }
+
+  // Freeze: every old server learns the next view — registers moving to the
+  // new ring stop admitting client ops (EpochNack with the next epoch) while
+  // their in-flight ring traffic drains. All old rings are sources: a grow
+  // takes ~1/(R+1) of the namespace from each of them.
+  std::vector<ProcessId> sources;
+  for (ProcessId g = 0; g < base; ++g) {
+    ServerNode& node = *servers_[g];
+    sources.push_back(g);
+    if (node.up) {
+      node.server.begin_view_change(
+          core::ServerView{next.epoch, node.ring, new_map});
+    }
+  }
+
+  start_reconfig(std::move(next), std::move(new_map), std::move(sources),
+                 std::move(dests), {});
+  return view_.epoch + 1;
+}
+
+Epoch SimCluster::remove_last_ring() {
+  if (!cfg_.enable_reconfig) {
+    throw std::logic_error(
+        "remove_last_ring: reconfig disabled in this cluster");
+  }
+  if (rc_) {
+    throw std::logic_error("remove_last_ring: reconfiguration in progress");
+  }
+  if (topo_.n_rings() < 2) {
+    throw std::logic_error("remove_last_ring: cannot retire the only ring");
+  }
+  core::ClusterView next{view_.epoch + 1, topo_.without_last_ring()};
+  auto new_map =
+      std::make_shared<const core::ShardMap>(next.topology.n_rings());
+
+  const RingId retiring_ring = static_cast<RingId>(topo_.n_rings() - 1);
+  std::vector<ProcessId> sources, dests, retiring;
+  for (ProcessId g = 0; g < topo_.total_servers(); ++g) {
+    ServerNode& node = *servers_[g];
+    if (node.ring == retiring_ring) {
+      // The retiring ring owns nothing under the next view (its ring id no
+      // longer exists in the map): every register it serves freezes.
+      sources.push_back(g);
+      retiring.push_back(g);
+    } else {
+      dests.push_back(g);
+    }
+    if (node.up) {
+      node.server.begin_view_change(
+          core::ServerView{next.epoch, node.ring, new_map});
+    }
+  }
+
+  start_reconfig(std::move(next), std::move(new_map), std::move(sources),
+                 std::move(dests), std::move(retiring));
+  return view_.epoch + 1;
+}
+
+void SimCluster::start_reconfig(core::ClusterView next,
+                                std::shared_ptr<const core::ShardMap> new_map,
+                                std::vector<ProcessId> sources,
+                                std::vector<ProcessId> dests,
+                                std::vector<ProcessId> retiring) {
+  Reconfig rc;
+  rc.next = std::move(next);
+  rc.old_map = map_;
+  rc.new_map = std::move(new_map);  // the map the servers' views share
+  rc.sources = std::move(sources);
+  rc.dests = std::move(dests);
+  rc.retiring = std::move(retiring);
+  rc_ = std::make_unique<Reconfig>(std::move(rc));
+  // Publish immediately: a client NACKed during the freeze refreshes to the
+  // next view and re-routes to the destination, which parks the op until
+  // the flip — no client ever spins against a registry that lags the hint.
+  registry_->publish(rc_->next);
+  sim_.schedule(0.0, [this] { pump_reconfig(); });
+}
+
+void SimCluster::schedule_add_ring(double at, std::size_t n_servers) {
+  sim_.schedule_at(at, [this, n_servers] { add_ring(n_servers); });
+}
+
+void SimCluster::schedule_remove_last_ring(double at) {
+  sim_.schedule_at(at, [this] { remove_last_ring(); });
+}
+
+void SimCluster::pump_reconfig() {
+  if (!rc_) return;
+  Reconfig& rc = *rc_;
+  const auto again = [this] {
+    sim_.schedule(cfg_.reconfig_poll_s, [this] { pump_reconfig(); });
+  };
+
+  // Drain: enumerate the materialised migrating registers and wait until
+  // every alive source server has no protocol work left for them. No new
+  // client op on a migrating register is admitted after the freeze, so the
+  // set only shrinks toward quiescence.
+  bool quiescent = true;
+  std::set<ObjectId> moving;
+  for (const ProcessId g : rc.sources) {
+    const ServerNode& node = *servers_[g];
+    if (!node.up) continue;
+    for (const ObjectId obj : node.server.object_ids()) {
+      if (!core::object_moves(obj, *rc.old_map, *rc.new_map)) continue;
+      moving.insert(obj);
+      if (!node.server.object_quiescent(obj)) quiescent = false;
+    }
+  }
+  if (!quiescent) {
+    again();
+    return;
+  }
+  rc.moving = std::move(moving);
+
+  // Copy: each migrating register's final (tag, value) — every alive source
+  // server of its ring agrees after the drain; pick the max tag across all
+  // alive sources — goes to every alive destination server as an
+  // epoch-stamped MigrateState on the server network (charged like all
+  // ring traffic, and counted as migration cost).
+  for (const ObjectId obj : rc.moving) {
+    if (rc.copied.contains(obj)) continue;
+    ServerNode* best = nullptr;
+    for (const ProcessId g : rc.sources) {
+      ServerNode& node = *servers_[g];
+      if (!node.up) continue;
+      if (best == nullptr ||
+          node.server.current_tag(obj) > best->server.current_tag(obj)) {
+        best = &node;
+      }
+    }
+    if (best == nullptr) continue;  // whole source ring down: nothing to copy
+    for (const ProcessId d : rc.dests) {
+      ServerNode& dst = *servers_[d];
+      if (!dst.up || rc.new_map->ring_of(obj) != dst.ring) continue;
+      auto msg = net::make_payload<core::MigrateState>(
+          best->server.current_tag(obj), best->server.current_value(obj), obj,
+          rc.next.epoch);
+      migration_stats_.bytes_moved += msg->wire_size();
+      server_net_->send(best->ring_nic, dst.ring_nic, std::move(msg));
+    }
+    rc.copied.insert(obj);
+    ++migration_stats_.objects_moved;
+  }
+
+  // Dedup windows: one alive server per source ring ships its completed
+  // write windows (identical ring-wide after the drain) to every
+  // destination, so a write retried across the boundary acks instead of
+  // re-applying (D5/D6 across epochs).
+  if (!rc.dedup_sent) {
+    std::set<RingId> rings_done;
+    std::size_t sent_per_dest = 0;
+    for (const ProcessId g : rc.sources) {
+      ServerNode& node = *servers_[g];
+      if (!node.up || rings_done.contains(node.ring)) continue;
+      rings_done.insert(node.ring);
+      ++sent_per_dest;
+      auto windows = node.server.completed_windows();
+      for (const ProcessId d : rc.dests) {
+        ServerNode& dst = *servers_[d];
+        if (!dst.up) continue;
+        auto msg = net::make_payload<core::MigrateDedup>(windows,
+                                                         rc.next.epoch);
+        migration_stats_.dedup_bytes += msg->wire_size();
+        server_net_->send(node.ring_nic, dst.ring_nic, std::move(msg));
+      }
+    }
+    rc.dedup_expected = sent_per_dest;
+    rc.dedup_sent = true;
+  }
+
+  // Flip once every alive destination has installed every register its ring
+  // gains, plus the dedup windows.
+  for (const ProcessId d : rc.dests) {
+    const ServerNode& dst = *servers_[d];
+    if (!dst.up) continue;
+    if (dst.server.dedup_merges_in_change() < rc.dedup_expected) {
+      again();
+      return;
+    }
+    for (const ObjectId obj : rc.moving) {
+      if (rc.new_map->ring_of(obj) == dst.ring &&
+          !dst.server.has_migrated(obj)) {
+        again();
+        return;
+      }
+    }
+  }
+  finish_reconfig();
+}
+
+void SimCluster::finish_reconfig() {
+  Reconfig rc = std::move(*rc_);
+  // Promote first, then retire: parked ops replay against migrated state.
+  for (auto& node : servers_) {
+    if (node->up && node->server.view_changing()) {
+      node->server.commit_view_change(*node);
+      node->pump();
+    }
+  }
+  for (const ProcessId g : rc.retiring) {
+    ServerNode& node = *servers_[g];
+    if (!node.up) continue;
+    // Clean retirement, not a crash: the ring is empty of state by now and
+    // its peers retire with it, so no failure detection fires.
+    node.up = false;
+    server_net_->disable(node.ring_nic);
+    if (!cfg_.shared_network) client_net_->disable(node.client_nic);
+  }
+  topo_ = rc.next.topology;
+  view_ = rc.next;
+  map_ = rc.new_map;
+  rings_by_epoch_.push_back(topo_.n_rings());
+  ++migration_stats_.reconfigs;
+  rc_.reset();
+}
+
+// ------------------------------------------------------------- accessors
 
 bool SimCluster::server_up(ProcessId p) const { return servers_[p]->up; }
 
@@ -314,9 +621,9 @@ ClientPort& SimCluster::port(ClientId id) { return *clients_[id]; }
 std::size_t SimCluster::client_count() const { return clients_.size(); }
 
 RingTraffic SimCluster::ring_traffic(RingId r) const {
-  assert(r < topo_.n_rings);
+  assert(r < topo_.n_rings());
   RingTraffic t;
-  for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
+  for (ProcessId local = 0; local < topo_.ring_size(r); ++local) {
     const ServerNode& node = *servers_[topo_.global_id(r, local)];
     t.transmissions += server_net_->nic_messages_sent(node.ring_nic);
     t.bytes += server_net_->nic_bytes_sent(node.ring_nic);
@@ -328,8 +635,8 @@ RingTraffic SimCluster::ring_traffic(RingId r) const {
 
 std::vector<RingTraffic> SimCluster::traffic_per_ring() const {
   std::vector<RingTraffic> v;
-  v.reserve(topo_.n_rings);
-  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+  v.reserve(topo_.n_rings());
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
     v.push_back(ring_traffic(r));
   }
   return v;

@@ -7,22 +7,33 @@
 // `shared_network = true` the two networks collapse into one and each server
 // uses a single NIC for everything — the paper's bottom-most experiment.
 //
-// A cluster is constructed from a core::Topology: R independent rings of
-// equal size behind a deterministic shard map (DESIGN.md §Sharding). Servers
-// are addressed by global id (ring-major: ring * servers_per_ring + local);
+// A cluster is constructed from a core::Topology: R independent rings
+// (possibly heterogeneous sizes) behind a deterministic shard map
+// (DESIGN.md §Sharding). Servers are addressed by global id (ring-major);
 // each ring runs its own instance of the paper's protocol, client sessions
 // route each op to its object's ring, and traffic/metrics are reported both
 // per ring and in aggregate. The default (no topology set) is the
 // single-ring deployment, bit-for-bit the pre-sharding cluster.
+//
+// The deployment is epoch-versioned (DESIGN.md §Reconfiguration, D8):
+// add_ring()/remove_last_ring() run a live freeze → copy → flip migration
+// over simulated time — new servers spawn at runtime, the registers whose
+// shard assignment changes are copied ring-to-ring in epoch-stamped
+// MigrateState messages (charged to the server network like all traffic),
+// and clients re-route via EpochNack + the cluster's ViewRegistry. A
+// deployment that never reconfigures emits bit-for-bit the PR 4 wire
+// traffic (tested).
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/types.h"
 #include "core/client.h"
+#include "core/reconfig.h"
 #include "core/server.h"
 #include "core/topology.h"
 #include "harness/ring_traffic.h"
@@ -56,7 +67,7 @@ struct ClientEnvelope final : net::Payload {
 struct SimClusterConfig {
   /// Single-ring facade: size of the one ring when `topology` is unset.
   std::size_t n_servers = 3;
-  /// Deployment shape: R rings of servers_per_ring servers each. Unset =
+  /// Deployment shape: R rings (heterogeneous sizes allowed). Unset =
   /// Topology::single(n_servers), the pre-sharding single-ring cluster.
   std::optional<core::Topology> topology;
   sim::NetConfig net;            ///< link model for both networks
@@ -69,6 +80,14 @@ struct SimClusterConfig {
   double client_retry_cap = 8.0;
   std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
+
+  /// Epoch-versioned views: servers get ownership views and sessions a
+  /// registry-backed view provider, enabling add_ring/remove_last_ring.
+  /// false restores the PR 4 wiring exactly (the epoch-0 golden pin —
+  /// with no reconfiguration the two emit identical wire traffic, tested).
+  bool enable_reconfig = true;
+  /// How often the migration coordinator re-polls for drain/copy progress.
+  double reconfig_poll_s = 2e-4;
 
   /// The deployment this config describes (single ring unless set).
   [[nodiscard]] core::Topology resolved_topology() const {
@@ -98,6 +117,31 @@ class SimCluster {
   void crash_server(ProcessId p);
   void schedule_crash(double at, ProcessId p);
 
+  // ---------- live reconfiguration (DESIGN.md D8) ----------
+
+  /// Starts a live grow: spawns one more ring of `n_servers` and migrates
+  /// the ~1/(R+1) of the namespace the shard map reassigns onto it, under
+  /// traffic. Returns the epoch the deployment is moving to; the change
+  /// completes over simulated time (watch view().epoch /
+  /// reconfig_in_progress()). One reconfiguration at a time.
+  Epoch add_ring(std::size_t n_servers);
+  void schedule_add_ring(double at, std::size_t n_servers);
+
+  /// Starts a live shrink: migrates every register of the last ring back to
+  /// the survivors, then retires the ring's servers.
+  Epoch remove_last_ring();
+  void schedule_remove_last_ring(double at);
+
+  [[nodiscard]] const core::ClusterView& view() const { return view_; }
+  [[nodiscard]] bool reconfig_in_progress() const { return rc_ != nullptr; }
+  [[nodiscard]] const core::MigrationStats& reconfig_stats() const {
+    return migration_stats_;
+  }
+  /// Ring count per epoch so far (input for the epoch-aware lincheck pass).
+  [[nodiscard]] const std::vector<std::size_t>& rings_by_epoch() const {
+    return rings_by_epoch_;
+  }
+
   [[nodiscard]] bool server_up(ProcessId p) const;
   /// Server by global id; RingServer::id() is its local (in-ring) index.
   [[nodiscard]] core::RingServer& server(ProcessId p);
@@ -105,6 +149,7 @@ class SimCluster {
   /// Issue/complete surface for workload drivers.
   [[nodiscard]] ClientPort& port(ClientId id);
   [[nodiscard]] std::size_t client_count() const;
+  /// Servers ever spawned (retired rings keep their slots, marked down).
   [[nodiscard]] std::size_t n_servers() const { return servers_.size(); }
   [[nodiscard]] const core::Topology& topology() const { return topo_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -123,17 +168,36 @@ class SimCluster {
   struct ServerNode;
   struct ClientMachine;
   struct LogicalClient;
+  struct Reconfig;
 
-  void pump_server(ProcessId p);
+  ServerNode& spawn_server(RingId ring, ProcessId local, std::size_t ring_size,
+                           ProcessId global, ProcessId ring_base);
+  void start_reconfig(core::ClusterView next,
+                      std::shared_ptr<const core::ShardMap> new_map,
+                      std::vector<ProcessId> sources,
+                      std::vector<ProcessId> dests,
+                      std::vector<ProcessId> retiring);
+  void pump_reconfig();
+  void finish_reconfig();
 
   sim::Simulator& sim_;
   SimClusterConfig cfg_;
   core::Topology topo_;
+  core::ClusterView view_;
+  std::shared_ptr<core::ViewRegistry> registry_;
+  std::shared_ptr<const core::ShardMap> map_;  ///< current view's shard map
+  std::vector<std::size_t> rings_by_epoch_;
+  core::MigrationStats migration_stats_;
+  std::unique_ptr<Reconfig> rc_;
+
   std::unique_ptr<sim::Network> server_net_;
   std::unique_ptr<sim::Network> client_net_owned_;  // null when shared
   sim::Network* client_net_ = nullptr;
 
   std::vector<std::unique_ptr<ServerNode>> servers_;
+  /// Retired nodes whose global-id slot was reused by a later grow; kept
+  /// alive because already-scheduled sim events may still reference them.
+  std::vector<std::unique_ptr<ServerNode>> graveyard_;
   std::vector<std::unique_ptr<ClientMachine>> machines_;
   std::vector<std::unique_ptr<LogicalClient>> clients_;
 };

@@ -1,8 +1,11 @@
 #include "harness/threaded_cluster.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/messages.h"
@@ -32,6 +35,50 @@ constexpr double kOpTimeoutSeconds = 30.0;
 
 }  // namespace
 
+/// What a migration probe reports back from one server's thread.
+struct ThreadedCluster::ProbeReply {
+  /// (object, local tag) for every materialised register that migrates
+  /// under the probe's map pair.
+  std::vector<std::pair<ObjectId, Tag>> moving;
+  bool all_quiescent = true;      ///< every entry in `moving` is drained
+  std::vector<ObjectId> migrated; ///< subset of check_migrated installed
+  std::uint64_t dedup_merges = 0;
+};
+
+namespace {
+
+/// Coordinator → server control message, executed on the server's delivery
+/// thread (the coordinator never touches server state directly). One kind,
+/// several ops; replies travel through the carried promise.
+struct ViewControl final : net::Payload {
+  static constexpr std::uint16_t kKind = 0x7300;
+  enum class Op : std::uint8_t {
+    kBeginViewChange,  // install `view` as the incoming view
+    kCommitViewChange, // promote + replay parked ops
+    kProbe,            // report moving registers / drain / install progress
+    kEmitState,        // send MigrateState for `object` to `dests`
+    kEmitDedup,        // send MigrateDedup windows to `dests`
+  };
+
+  explicit ViewControl(Op o) : Payload(kKind), op(o) {}
+
+  Op op;
+  core::ServerView view;  // kBeginViewChange
+  std::shared_ptr<const core::ShardMap> old_map, new_map;  // kProbe
+  std::vector<ObjectId> check_migrated;                    // kProbe
+  ObjectId object = kDefaultObject;  // kEmitState
+  Epoch epoch = 0;             // kEmitState / kEmitDedup
+  std::vector<ProcessId> dests;      // kEmitState / kEmitDedup
+  std::shared_ptr<std::promise<ThreadedCluster::ProbeReply>> reply;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 0; }
+  [[nodiscard]] std::string describe() const override {
+    return "ViewControl";
+  }
+};
+
+}  // namespace
+
 // ----------------------------------------------------------------- hosts
 
 struct ThreadedCluster::ServerHost final : core::ServerContext {
@@ -40,18 +87,24 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
   RingId ring = kDefaultRing;
   ProcessId global = 0;              // ring-major global id
   ProcessId ring_base = 0;
+  std::size_t ring_size = 1;
   // Ring egress accounting (written on this host's delivery thread, read by
   // the harness after quiescence — atomics keep the access well-defined).
   std::atomic<std::uint64_t> ring_transmissions{0};
   std::atomic<std::uint64_t> ring_bytes{0};
+  // Migration egress, counted on this host's thread, read after the flip.
+  std::atomic<std::uint64_t> migrate_bytes{0};
+  std::atomic<std::uint64_t> dedup_bytes{0};
 
   ServerHost(ThreadedCluster* cl, RingId r, ProcessId local,
-             std::size_t n_per_ring, core::ServerOptions opts)
+             std::size_t n_per_ring, ProcessId global_id, ProcessId base,
+             core::ServerOptions opts)
       : cluster(cl),
         server(local, n_per_ring, opts),
         ring(r),
-        global(cl->topo_.global_id(r, local)),
-        ring_base(cl->topo_.ring_base(r)) {}
+        global(global_id),
+        ring_base(base),
+        ring_size(n_per_ring) {}
 
   void on_message(net::NodeAddress from, net::PayloadPtr msg) {
     (void)from;
@@ -61,6 +114,15 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
       case core::kWriteCommit:
       case core::kSyncState:
         server.on_ring_message(std::move(msg), *this);
+        break;
+      case core::kMigrateState:
+        server.on_migrate_state(static_cast<const core::MigrateState&>(*msg));
+        break;
+      case core::kMigrateDedup:
+        server.on_migrate_dedup(static_cast<const core::MigrateDedup&>(*msg));
+        break;
+      case ViewControl::kKind:
+        handle_control(static_cast<const ViewControl&>(*msg));
         break;
       case core::kClientWrite: {
         const auto& m = static_cast<const core::ClientWrite&>(*msg);
@@ -78,12 +140,61 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
     drain();
   }
 
+  /// Executes one coordinator step on this server's own thread, keeping the
+  /// state machine single-threaded; the promise hands the result back.
+  void handle_control(const ViewControl& c) {
+    ProbeReply out;
+    switch (c.op) {
+      case ViewControl::Op::kBeginViewChange:
+        server.begin_view_change(c.view);
+        break;
+      case ViewControl::Op::kCommitViewChange:
+        if (server.view_changing()) server.commit_view_change(*this);
+        break;
+      case ViewControl::Op::kProbe:
+        for (const ObjectId obj : server.object_ids()) {
+          if (!core::object_moves(obj, *c.old_map, *c.new_map)) continue;
+          out.moving.emplace_back(obj, server.current_tag(obj));
+          if (!server.object_quiescent(obj)) out.all_quiescent = false;
+        }
+        for (const ObjectId obj : c.check_migrated) {
+          if (server.has_migrated(obj)) out.migrated.push_back(obj);
+        }
+        out.dedup_merges = server.dedup_merges_in_change();
+        break;
+      case ViewControl::Op::kEmitState: {
+        auto msg = net::make_payload<core::MigrateState>(
+            server.current_tag(c.object), server.current_value(c.object),
+            c.object, c.epoch);
+        for (const ProcessId d : c.dests) {
+          migrate_bytes.fetch_add(msg->wire_size(),
+                                  std::memory_order_relaxed);
+          cluster->transport_.send(net::NodeAddress::server(global),
+                                   net::NodeAddress::server(d), msg);
+        }
+        break;
+      }
+      case ViewControl::Op::kEmitDedup: {
+        auto msg = net::make_payload<core::MigrateDedup>(
+            server.completed_windows(), c.epoch);
+        for (const ProcessId d : c.dests) {
+          dedup_bytes.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+          cluster->transport_.send(net::NodeAddress::server(global),
+                                   net::NodeAddress::server(d), msg);
+        }
+        break;
+      }
+    }
+    if (c.reply) c.reply->set_value(std::move(out));
+  }
+
   void on_crash(ProcessId p) {
     // The transport broadcasts crashes by global id; failure detection is a
     // ring-local concern, so other shards' notifications are dropped here
     // and a ring peer is handed the local id its protocol instance knows.
-    if (cluster->topo_.ring_of_server(p) != ring || p == global) return;
-    server.on_peer_crash(cluster->topo_.local_id(p), *this);
+    // Host-local ring bounds: the cluster topology may be mid-change.
+    if (p == global || p < ring_base || p >= ring_base + ring_size) return;
+    server.on_peer_crash(static_cast<ProcessId>(p - ring_base), *this);
     drain();
   }
 
@@ -126,6 +237,10 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
   ClientHost(ThreadedCluster* cl, ClientId id, core::ClientOptions opts)
       : cluster(cl), client(id, opts) {
     client.on_complete = [this](const core::OpResult& r) { finish(r); };
+    if (cluster->cfg_.enable_reconfig) {
+      client.set_view_provider(
+          [reg = cluster->registry_] { return reg->get(); });
+    }
   }
 
   void on_message(net::NodeAddress from, net::PayloadPtr msg) {
@@ -151,7 +266,8 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
     auto it = pending.find(r.req);
     if (cluster->cfg_.record_history) {
       // OpResult::ring already names the ring of the server that replied
-      // (the session derives it from served_by).
+      // (the session derives it from served_by); the epoch rides on the
+      // reply frame.
       const RingId ring = r.ring;
       const std::scoped_lock lock(cluster->history_mu_);
       if (r.is_read) {
@@ -159,12 +275,14 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
                                        ? lincheck::kInitialValueId
                                        : r.value.synthetic_seed();
         cluster->history_.record_read(client.id(), seen, r.invoked_at,
-                                      r.completed_at, r.tag, r.object, ring);
+                                      r.completed_at, r.tag, r.object, ring,
+                                      r.epoch);
       } else {
         const std::uint64_t seed =
             it != pending.end() ? it->second.value_seed : 0;
         cluster->history_.record_write(client.id(), seed, r.invoked_at,
-                                       r.completed_at, r.object, ring);
+                                       r.completed_at, r.object, ring,
+                                       r.epoch);
       }
     }
     if (it != pending.end()) {
@@ -193,24 +311,45 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
       transport_(cfg.detection_delay_s),
       epoch_(std::chrono::steady_clock::now()) {
   assert(topo_.valid());
-  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
-    for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
-      auto host = std::make_unique<ServerHost>(this, r, local,
-                                               topo_.servers_per_ring,
-                                               cfg_.server_options);
-      ServerHost* raw = host.get();
-      transport_.register_node(
-          net::NodeAddress::server(raw->global),
-          [raw](net::NodeAddress from, net::PayloadPtr m) {
-            raw->on_message(from, std::move(m));
-          },
-          [raw](ProcessId crashed) { raw->on_crash(crashed); });
-      servers_.push_back(std::move(host));
+  view_ = core::ClusterView{0, topo_};
+  registry_ = std::make_shared<core::ViewRegistry>(view_);
+  map_ = std::make_shared<const core::ShardMap>(topo_.n_rings());
+  rings_by_epoch_.push_back(topo_.n_rings());
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
+    for (ProcessId local = 0; local < topo_.ring_size(r); ++local) {
+      ServerHost& host = spawn_server(r, local, topo_.ring_size(r),
+                                      topo_.global_id(r, local),
+                                      topo_.ring_base(r));
+      if (cfg_.enable_reconfig) {
+        host.server.install_view(core::ServerView{0, r, map_});
+      }
     }
   }
 }
 
 ThreadedCluster::~ThreadedCluster() { transport_.stop(); }
+
+ThreadedCluster::ServerHost& ThreadedCluster::spawn_server(
+    RingId ring, ProcessId local, std::size_t ring_size, ProcessId global,
+    ProcessId ring_base,
+    const std::function<void(core::RingServer&)>& before_register) {
+  auto host = std::make_unique<ServerHost>(this, ring, local, ring_size,
+                                           global, ring_base,
+                                           cfg_.server_options);
+  ServerHost* raw = host.get();
+  if (before_register) before_register(raw->server);
+  assert(servers_.size() == global &&
+         "threaded fabric does not reuse retired global-id slots "
+         "(grow-after-shrink); use the sim fabric for that sequence");
+  servers_.push_back(std::move(host));
+  transport_.register_node(
+      net::NodeAddress::server(raw->global),
+      [raw](net::NodeAddress from, net::PayloadPtr m) {
+        raw->on_message(from, std::move(m));
+      },
+      [raw](ProcessId crashed) { raw->on_crash(crashed); });
+  return *raw;
+}
 
 double ThreadedCluster::elapsed() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -223,6 +362,7 @@ ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
   core::ClientOptions opts;
   opts.n_servers = topo_.total_servers();
   opts.topology = topo_;
+  opts.epoch = view_.epoch;
   opts.preferred_server = preferred_server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
   opts.retry_multiplier = cfg_.client_retry_multiplier;
@@ -255,6 +395,282 @@ bool ThreadedCluster::server_up(ProcessId p) const {
   return transport_.is_up(net::NodeAddress::server(p));
 }
 
+// ----------------------------------------------------- reconfiguration
+
+namespace {
+
+/// Sends one ViewControl to `global` and waits for the reply. Returns
+/// nullopt if the server died (its queue was discarded — no reply will
+/// come); the coordinator skips dead servers exactly like the sim fabric.
+std::optional<ThreadedCluster::ProbeReply> await_control(
+    net::InMemTransport& transport, ProcessId global,
+    const std::shared_ptr<ViewControl>& ctl) {
+  auto reply = std::make_shared<std::promise<ThreadedCluster::ProbeReply>>();
+  ctl->reply = reply;
+  auto fut = reply->get_future();
+  transport.send(net::NodeAddress::server(global),
+                 net::NodeAddress::server(global), ctl);
+  for (;;) {
+    if (fut.wait_for(std::chrono::milliseconds(2)) ==
+        std::future_status::ready) {
+      return fut.get();
+    }
+    if (!transport.is_up(net::NodeAddress::server(global))) {
+      // One last chance: the reply may have been set just before the crash.
+      if (fut.wait_for(std::chrono::milliseconds(0)) ==
+          std::future_status::ready) {
+        return fut.get();
+      }
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace
+
+Epoch ThreadedCluster::add_ring(std::size_t n_servers) {
+  // Runtime validation, not asserts: malformed calls must fail loudly in
+  // Release builds too.
+  if (!cfg_.enable_reconfig) {
+    throw std::logic_error("add_ring: reconfig disabled in this cluster");
+  }
+  if (n_servers < 1) {
+    throw std::invalid_argument("add_ring: a ring needs at least one server");
+  }
+  core::ClusterView next{view_.epoch + 1, topo_.with_ring(n_servers)};
+  auto new_map =
+      std::make_shared<const core::ShardMap>(next.topology.n_rings());
+
+  // Spawn the new ring: views installed before the node registers, so its
+  // thread never sees a serving window. Under the current view the new
+  // servers own nothing — every client op parks until the flip.
+  const RingId new_ring = static_cast<RingId>(topo_.n_rings());
+  const ProcessId base = static_cast<ProcessId>(topo_.total_servers());
+  std::vector<ProcessId> sources, dests;
+  for (ProcessId g = 0; g < base; ++g) sources.push_back(g);
+  for (ProcessId local = 0; local < n_servers; ++local) {
+    const ProcessId global = static_cast<ProcessId>(base + local);
+    spawn_server(new_ring, local, n_servers, global, base,
+                 [&](core::RingServer& server) {
+                   server.install_view(
+                       core::ServerView{view_.epoch, new_ring, map_});
+                   server.begin_view_change(
+                       core::ServerView{next.epoch, new_ring, new_map});
+                 });
+    dests.push_back(global);
+  }
+
+  return run_migration(std::move(next), std::move(sources), std::move(dests),
+                       {}, std::move(new_map));
+}
+
+Epoch ThreadedCluster::remove_last_ring() {
+  if (!cfg_.enable_reconfig) {
+    throw std::logic_error(
+        "remove_last_ring: reconfig disabled in this cluster");
+  }
+  if (topo_.n_rings() < 2) {
+    throw std::logic_error("remove_last_ring: cannot retire the only ring");
+  }
+  core::ClusterView next{view_.epoch + 1, topo_.without_last_ring()};
+  auto new_map =
+      std::make_shared<const core::ShardMap>(next.topology.n_rings());
+  const RingId retiring_ring = static_cast<RingId>(topo_.n_rings() - 1);
+  std::vector<ProcessId> sources, dests, retiring;
+  for (ProcessId g = 0; g < topo_.total_servers(); ++g) {
+    if (servers_[g]->ring == retiring_ring) {
+      sources.push_back(g);
+      retiring.push_back(g);
+    } else {
+      dests.push_back(g);
+    }
+  }
+  return run_migration(std::move(next), std::move(sources), std::move(dests),
+                       std::move(retiring), std::move(new_map));
+}
+
+Epoch ThreadedCluster::run_migration(
+    core::ClusterView next, std::vector<ProcessId> sources,
+    std::vector<ProcessId> dests, std::vector<ProcessId> retiring,
+    std::shared_ptr<const core::ShardMap> new_map) {
+  if (migrating_.exchange(true)) {
+    throw std::logic_error("reconfiguration already in progress");
+  }
+  const auto up = [this](ProcessId g) {
+    return transport_.is_up(net::NodeAddress::server(g));
+  };
+
+  // Freeze: every pre-existing server learns the next view on its own
+  // thread. (The new ring's servers, if any, were spawned mid-transition.)
+  for (const ProcessId g : sources) {
+    if (!up(g)) continue;
+    auto ctl = std::make_shared<ViewControl>(
+        ViewControl::Op::kBeginViewChange);
+    ctl->view = core::ServerView{next.epoch, servers_[g]->ring, new_map};
+    (void)await_control(transport_, g, ctl);
+  }
+  for (const ProcessId g : dests) {
+    if (!up(g) || servers_[g]->server.view_changing()) continue;
+    // Only surviving-ring destinations (ring remove) still need the freeze;
+    // a freshly spawned ring began its change before registering. Reading
+    // view_changing() here is safe: it was set before the node registered.
+    auto ctl = std::make_shared<ViewControl>(
+        ViewControl::Op::kBeginViewChange);
+    ctl->view = core::ServerView{next.epoch, servers_[g]->ring, new_map};
+    (void)await_control(transport_, g, ctl);
+  }
+
+  // Publish: NACKed clients refresh straight to the next view and re-route;
+  // the destinations park their ops until the flip.
+  registry_->publish(next);
+
+  // Drain + copy + install, re-probed until every migrating register that
+  // still has an alive holder has landed on every alive destination of its
+  // new ring. All progress state persists across rounds, so a server dying
+  // mid-step is simply retried (or dropped when its whole ring is gone —
+  // whatever only it held died with it, exactly as in the sim fabric).
+  std::set<RingId> dedup_rings_done;
+  std::set<ObjectId> copied;
+  for (;;) {
+    // Probe sources: enumerate migrating registers, their drain state, and
+    // the max tag per register across the alive source servers.
+    bool quiescent = true;
+    std::map<ObjectId, std::pair<Tag, ProcessId>> best;  // obj → (tag, src)
+    for (const ProcessId g : sources) {
+      if (!up(g)) continue;
+      auto ctl = std::make_shared<ViewControl>(ViewControl::Op::kProbe);
+      ctl->old_map = map_;
+      ctl->new_map = new_map;
+      auto r = await_control(transport_, g, ctl);
+      if (!r) continue;  // died mid-probe: its ring peers hold the state
+      if (!r->all_quiescent) quiescent = false;
+      for (const auto& [obj, tag] : r->moving) {
+        auto [it, fresh] = best.emplace(obj, std::pair{tag, g});
+        if (!fresh && tag > it->second.first) it->second = {tag, g};
+      }
+    }
+    if (!quiescent) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+
+    // Copy: the max-tag source emits MigrateState to the register's new
+    // ring. Registers no probe lists any more lost every alive holder and
+    // are skipped, like the sim coordinator's "whole source ring down".
+    bool all_copied = true;
+    for (const auto& [obj, tag_src] : best) {
+      if (copied.contains(obj)) continue;
+      const RingId owner = new_map->ring_of(obj);
+      std::vector<ProcessId> obj_dests;
+      for (const ProcessId d : dests) {
+        if (up(d) && servers_[d]->ring == owner) obj_dests.push_back(d);
+      }
+      auto ctl = std::make_shared<ViewControl>(ViewControl::Op::kEmitState);
+      ctl->object = obj;
+      ctl->epoch = next.epoch;
+      ctl->dests = std::move(obj_dests);
+      if (await_control(transport_, tag_src.second, ctl)) {
+        copied.insert(obj);
+        ++migration_stats_.objects_moved;
+      } else {
+        all_copied = false;  // holder died mid-emit: retry next round
+      }
+    }
+
+    // Dedup windows, once per source ring (identical ring-wide after the
+    // drain): retried until every ring that still has an alive server has
+    // shipped them — a single dead prober must not lose its ring's windows.
+    bool dedup_complete = true;
+    for (const ProcessId g : sources) {
+      const RingId ring = servers_[g]->ring;
+      if (!up(g) || dedup_rings_done.contains(ring)) continue;
+      std::vector<ProcessId> live_dests;
+      for (const ProcessId d : dests) {
+        if (up(d)) live_dests.push_back(d);
+      }
+      auto ctl = std::make_shared<ViewControl>(ViewControl::Op::kEmitDedup);
+      ctl->epoch = next.epoch;
+      ctl->dests = std::move(live_dests);
+      if (await_control(transport_, g, ctl)) {
+        dedup_rings_done.insert(ring);
+      } else {
+        dedup_complete = false;  // try a ring peer next round
+      }
+    }
+    const std::size_t dedup_expected = dedup_rings_done.size();
+
+    // Install check on every alive destination: the windows of every ring
+    // that shipped so far, and every copied register of the dest's ring.
+    bool installed = true;
+    for (const ProcessId d : dests) {
+      if (!up(d)) continue;
+      auto ctl = std::make_shared<ViewControl>(ViewControl::Op::kProbe);
+      ctl->old_map = map_;
+      ctl->new_map = new_map;
+      ctl->check_migrated.assign(copied.begin(), copied.end());
+      auto r = await_control(transport_, d, ctl);
+      if (!r) continue;
+      if (r->dedup_merges < dedup_expected) {
+        installed = false;
+        break;
+      }
+      std::set<ObjectId> got(r->migrated.begin(), r->migrated.end());
+      for (const ObjectId obj : copied) {
+        if (new_map->ring_of(obj) == servers_[d]->ring &&
+            !got.contains(obj)) {
+          installed = false;
+          break;
+        }
+      }
+      if (!installed) break;
+    }
+    if (installed && all_copied && dedup_complete) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Flip: promote every server, then retire the shrunk ring.
+  for (auto& host : servers_) {
+    if (!up(host->global)) continue;
+    auto ctl =
+        std::make_shared<ViewControl>(ViewControl::Op::kCommitViewChange);
+    (void)await_control(transport_, host->global, ctl);
+  }
+  for (const ProcessId g : retiring) {
+    if (up(g)) transport_.crash(net::NodeAddress::server(g));
+  }
+
+  // Account migration wire bytes from the per-host atomics.
+  for (const auto& host : servers_) {
+    migration_stats_.bytes_moved +=
+        host->migrate_bytes.exchange(0, std::memory_order_relaxed);
+    migration_stats_.dedup_bytes +=
+        host->dedup_bytes.exchange(0, std::memory_order_relaxed);
+  }
+  ++migration_stats_.reconfigs;
+
+  {
+    const std::scoped_lock lock(views_mu_);
+    topo_ = next.topology;
+    view_ = next;
+    map_ = new_map;
+    rings_by_epoch_.push_back(topo_.n_rings());
+  }
+  migrating_.store(false);
+  return view_.epoch;
+}
+
+core::ClusterView ThreadedCluster::view() const {
+  const std::scoped_lock lock(views_mu_);
+  return view_;
+}
+
+std::vector<std::size_t> ThreadedCluster::rings_by_epoch() const {
+  const std::scoped_lock lock(views_mu_);
+  return rings_by_epoch_;
+}
+
+// ------------------------------------------------------------- accessors
+
 bool ThreadedCluster::wait_quiescent(double timeout_s) {
   return transport_.wait_quiescent(timeout_s);
 }
@@ -269,9 +685,9 @@ lincheck::History ThreadedCluster::history() const {
 }
 
 RingTraffic ThreadedCluster::ring_traffic(RingId r) const {
-  assert(r < topo_.n_rings);
+  assert(r < topo_.n_rings());
   RingTraffic t;
-  for (ProcessId local = 0; local < topo_.servers_per_ring; ++local) {
+  for (ProcessId local = 0; local < topo_.ring_size(r); ++local) {
     const ServerHost& host = *servers_[topo_.global_id(r, local)];
     t.transmissions +=
         host.ring_transmissions.load(std::memory_order_relaxed);
@@ -284,8 +700,8 @@ RingTraffic ThreadedCluster::ring_traffic(RingId r) const {
 
 std::vector<RingTraffic> ThreadedCluster::traffic_per_ring() const {
   std::vector<RingTraffic> v;
-  v.reserve(topo_.n_rings);
-  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings); ++r) {
+  v.reserve(topo_.n_rings());
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
     v.push_back(ring_traffic(r));
   }
   return v;

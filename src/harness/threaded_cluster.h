@@ -5,14 +5,24 @@
 // examples (it offers a blocking client API).
 //
 // Like SimCluster, the cluster is constructed from a core::Topology — R
-// independent rings behind the deterministic shard map. Servers are
-// addressed by global id (ring-major); crash notifications stay inside the
-// crashed server's ring; recorded histories tag every op with the ring that
-// served it so the checkers can verify no object's history crosses rings.
+// independent rings (heterogeneous sizes allowed) behind the deterministic
+// shard map. Servers are addressed by global id (ring-major); crash
+// notifications stay inside the crashed server's ring; recorded histories
+// tag every op with the ring that served it and the epoch it was served in,
+// so the checkers can verify each op went to its epoch's owning ring.
+//
+// Live reconfiguration (DESIGN.md §Reconfiguration, D8): add_ring() /
+// remove_last_ring() block the calling thread while the freeze → copy →
+// flip migration runs against live traffic. The coordinator never touches
+// server state directly — every step (installing views, probing drain
+// progress, emitting MigrateState/MigrateDedup, committing the flip) is a
+// control message executed on the target server's own delivery thread, so
+// the single-threaded state-machine discipline holds throughout.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -22,6 +32,7 @@
 #include "common/types.h"
 #include "common/value.h"
 #include "core/client.h"
+#include "core/reconfig.h"
 #include "core/server.h"
 #include "core/topology.h"
 #include "harness/ring_traffic.h"
@@ -33,7 +44,7 @@ namespace hts::harness {
 struct ThreadedClusterConfig {
   /// Single-ring facade: size of the one ring when `topology` is unset.
   std::size_t n_servers = 3;
-  /// Deployment shape: R rings of servers_per_ring servers each. Unset =
+  /// Deployment shape: R rings (heterogeneous sizes allowed). Unset =
   /// Topology::single(n_servers), the pre-sharding single-ring cluster.
   std::optional<core::Topology> topology;
   double detection_delay_s = 0.005;
@@ -46,6 +57,10 @@ struct ThreadedClusterConfig {
   core::ServerOptions server_options;
   bool record_history = true;  ///< collect a lincheck history of all ops
 
+  /// Epoch-versioned views (enables add_ring/remove_last_ring); false
+  /// restores the PR 4 wiring exactly.
+  bool enable_reconfig = true;
+
   /// The deployment this config describes (single ring unless set).
   [[nodiscard]] core::Topology resolved_topology() const {
     return topology.value_or(core::Topology::single(n_servers));
@@ -54,6 +69,10 @@ struct ThreadedClusterConfig {
 
 class ThreadedCluster {
  public:
+  /// Reply to a coordinator probe, filled on the probed server's thread
+  /// (public so the fabric-internal control payloads can carry it).
+  struct ProbeReply;
+
   explicit ThreadedCluster(ThreadedClusterConfig cfg);
   ~ThreadedCluster();
 
@@ -105,6 +124,35 @@ class ThreadedCluster {
 
   [[nodiscard]] bool server_up(ProcessId p) const;
 
+  // ---------- live reconfiguration (DESIGN.md D8) ----------
+  //
+  // Threading contract: one controlling thread drives the cluster —
+  // add_client/start/crash_server/add_ring/remove_last_ring and the
+  // unlocked introspection accessors (topology(), n_servers(),
+  // reconfig_stats(), server()) all belong to it. A *different* thread
+  // observing a blocking reconfiguration in progress may only use the
+  // locked observers view() and rings_by_epoch(). Concurrent
+  // reconfigurations are rejected at runtime.
+
+  /// Grows the deployment by one ring of `n_servers`, live: spawns the
+  /// servers (threads and all), migrates the reassigned registers onto them
+  /// under traffic, and flips every server to the next epoch. Blocks until
+  /// the flip completes and returns the new epoch. Call after start(); one
+  /// reconfiguration at a time.
+  Epoch add_ring(std::size_t n_servers);
+
+  /// Shrinks by retiring the last ring, live: migrates its registers back
+  /// to the survivors, flips, then crash-stops the retired servers (their
+  /// ring-local detection fires only among themselves). Blocks until done.
+  Epoch remove_last_ring();
+
+  [[nodiscard]] core::ClusterView view() const;
+  [[nodiscard]] const core::MigrationStats& reconfig_stats() const {
+    return migration_stats_;
+  }
+  /// Ring count per epoch so far (input for the epoch-aware lincheck pass).
+  [[nodiscard]] std::vector<std::size_t> rings_by_epoch() const;
+
   /// Blocks until all queues drain (no protocol work left).
   bool wait_quiescent(double timeout_s);
 
@@ -113,9 +161,10 @@ class ThreadedCluster {
   [[nodiscard]] core::RingServer& server(ProcessId p);
 
   /// Snapshot of the recorded operation history. Ops carry the ring that
-  /// served them (from the replying server's global id).
+  /// served them (from the replying server's global id) and the epoch.
   [[nodiscard]] lincheck::History history() const;
 
+  /// Servers ever spawned (a retired ring keeps its slots, marked down).
   [[nodiscard]] std::size_t n_servers() const { return servers_.size(); }
   [[nodiscard]] const core::Topology& topology() const { return topo_; }
 
@@ -130,9 +179,28 @@ class ThreadedCluster {
   struct ClientHost;
 
   double elapsed() const;
+  /// Creates, optionally prepares (views installed before the node can
+  /// receive traffic), and registers one server host.
+  ServerHost& spawn_server(RingId ring, ProcessId local,
+                           std::size_t ring_size, ProcessId global,
+                           ProcessId ring_base,
+                           const std::function<void(core::RingServer&)>&
+                               before_register = nullptr);
+  /// Runs the drain → copy → flip loop against `sources`/`dests`; promotes
+  /// every server to `next` and retires `retiring` at the end.
+  Epoch run_migration(core::ClusterView next,
+                            std::vector<ProcessId> sources,
+                            std::vector<ProcessId> dests,
+                            std::vector<ProcessId> retiring,
+                            std::shared_ptr<const core::ShardMap> new_map);
 
   ThreadedClusterConfig cfg_;
   core::Topology topo_;
+  core::ClusterView view_;
+  std::shared_ptr<core::ViewRegistry> registry_;
+  std::shared_ptr<const core::ShardMap> map_;
+  std::vector<std::size_t> rings_by_epoch_;
+  core::MigrationStats migration_stats_;
   net::InMemTransport transport_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<ServerHost>> servers_;
@@ -141,6 +209,8 @@ class ThreadedCluster {
 
   mutable std::mutex history_mu_;
   lincheck::History history_;
+  mutable std::mutex views_mu_;  ///< guards view_/rings_by_epoch_ snapshots
+  std::atomic<bool> migrating_{false};  ///< rejects concurrent reconfigs
 };
 
 }  // namespace hts::harness

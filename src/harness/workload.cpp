@@ -72,7 +72,7 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
       const std::uint64_t seen =
           r.value.empty() ? lincheck::kInitialValueId : r.value.synthetic_seed();
       history_->record_read(client_id_, seen, op.invoked_at, r.completed_at,
-                            r.tag, op.object, r.ring);
+                            r.tag, op.object, r.ring, r.epoch);
     }
   } else {
     if (in_window) {
@@ -81,7 +81,7 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
     }
     if (history_ != nullptr) {
       history_->record_write(client_id_, op.value_seed, op.invoked_at,
-                             r.completed_at, op.object, r.ring);
+                             r.completed_at, op.object, r.ring, r.epoch);
     }
   }
   issue();

@@ -4,8 +4,12 @@
 #include <cstddef>
 #include <limits>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "core/topology.h"
 
 namespace hts::lincheck {
 
@@ -56,25 +60,61 @@ std::string Op::describe() const {
        std::to_string(client);
   if (object != kDefaultObject) s += " object " + std::to_string(object);
   if (ring != kNoRing) s += " ring " + std::to_string(ring);
+  if (epoch != 0) s += " epoch " + std::to_string(epoch);
   return s;
 }
 
 // --------------------------------------------------------- ring assignment
 
 CheckResult check_ring_assignment(const History& h) {
-  // Every object lives on exactly one ring (the shard map is deterministic),
-  // so two ops of one object served by different rings is a routing bug —
-  // each ring would hold an independent copy of the register and per-ring
-  // protocol correctness could never notice. Ops whose serving ring is
-  // unknown (kNoRing) constrain nothing.
-  std::unordered_map<ObjectId, const Op*> first_served;
+  // Within one epoch every object lives on exactly one ring (the shard map
+  // is deterministic), so two ops of one object in the same epoch served by
+  // different rings is a routing bug — each ring would hold an independent
+  // copy of the register and per-ring protocol correctness could never
+  // notice. Across epochs the ring may change: that is a reconfiguration,
+  // and the epoch-table overload below checks the new owner is the right
+  // one. Ops whose serving ring is unknown (kNoRing) constrain nothing.
+  std::map<std::pair<ObjectId, Epoch>, const Op*> first_served;
   for (const Op& op : h.ops()) {
     if (op.ring == kNoRing) continue;
-    auto [it, fresh] = first_served.emplace(op.object, &op);
+    auto [it, fresh] = first_served.emplace(std::pair{op.object, op.epoch},
+                                            &op);
     if (!fresh && it->second->ring != op.ring) {
-      return {false, "object " + std::to_string(op.object) +
+      return {false, "object " + std::to_string(op.object) + " in epoch " +
+                         std::to_string(op.epoch) +
                          " served by two rings: " + it->second->describe() +
                          " vs " + op.describe()};
+    }
+  }
+  return {true, ""};
+}
+
+CheckResult check_ring_assignment(
+    const History& h, const std::vector<std::size_t>& rings_at_epoch) {
+  if (CheckResult weak = check_ring_assignment(h); !weak.linearizable) {
+    return weak;
+  }
+  // The epoch's ShardMap is a pure function of its ring count, so the view
+  // history pins exactly which ring had to serve each op.
+  std::vector<std::unique_ptr<core::ShardMap>> maps(rings_at_epoch.size());
+  for (const Op& op : h.ops()) {
+    if (op.ring == kNoRing) continue;
+    if (op.epoch >= rings_at_epoch.size()) {
+      return {false, "op served in unknown epoch " +
+                         std::to_string(op.epoch) + " (view history has " +
+                         std::to_string(rings_at_epoch.size()) +
+                         " epochs): " + op.describe()};
+    }
+    auto& map = maps[op.epoch];
+    if (!map) {
+      map = std::make_unique<core::ShardMap>(rings_at_epoch[op.epoch]);
+    }
+    const RingId owner = map->ring_of(op.object);
+    if (op.ring != owner) {
+      return {false, "object " + std::to_string(op.object) +
+                         " is owned by ring " + std::to_string(owner) +
+                         " in epoch " + std::to_string(op.epoch) +
+                         " but was served elsewhere: " + op.describe()};
     }
   }
   return {true, ""};

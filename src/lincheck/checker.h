@@ -53,11 +53,21 @@ CheckResult check_register(const History& h);
 /// Also partitioned per object and ring-checked.
 CheckResult check_register_brute(const History& h);
 
-/// Sharding invariant: every object's ops were served by a single ring. Ops
-/// with ring == kNoRing (fabric never identified the server) are ignored. A
+/// Sharding invariant, epoch-aware (DESIGN.md D7/D8): within one epoch,
+/// every object's ops were served by a single ring; across epochs the
+/// serving ring may change (that is a live reconfiguration). Ops with
+/// ring == kNoRing (fabric never identified the server) are ignored. A
 /// violation means the router or fabric sent one register's traffic to two
 /// protocol instances — something per-ring linearizability cannot detect.
 CheckResult check_ring_assignment(const History& h);
+
+/// Stronger form for histories spanning reconfigurations: `rings_at_epoch`
+/// maps each epoch to its ring count (epoch e had rings_at_epoch[e] rings),
+/// and every op must have been served by the ring the epoch's ShardMap
+/// assigns its object — not merely a consistent ring, the *owning* ring in
+/// that op's epoch.
+CheckResult check_ring_assignment(
+    const History& h, const std::vector<std::size_t>& rings_at_epoch);
 
 /// White-box: verifies tags are consistent with real time (requires reads to
 /// carry tags; writes may omit them). Tag spaces are per object, so the

@@ -34,10 +34,14 @@ struct Op {
   ObjectId object = kDefaultObject;
   /// Which ring (shard) served the operation — kNoRing when the fabric did
   /// not identify the server. In a sharded deployment every object lives on
-  /// exactly one ring, so checkers reject any object whose ops were served
-  /// by two different rings (a routing violation that per-ring protocol
-  /// correctness cannot catch).
+  /// exactly one ring *per epoch*, so checkers reject any object whose ops
+  /// in one epoch were served by two different rings (a routing violation
+  /// that per-ring protocol correctness cannot catch). Across epochs the
+  /// serving ring may legitimately change — that is a reconfiguration.
   RingId ring = kNoRing;
+  /// Epoch the op was served in (from the reply frame; 0 = boot view). The
+  /// epoch-aware assignment check verifies `ring` owns `object` under it.
+  Epoch epoch = 0;
 
   [[nodiscard]] bool pending() const { return responded_at == kPending; }
 
@@ -52,14 +56,16 @@ struct Op {
 class History {
  public:
   void record_write(ClientId c, std::uint64_t value, double inv, double resp,
-                    ObjectId object = kDefaultObject, RingId ring = kNoRing) {
-    ops_.push_back(Op{c, false, value, inv, resp, kInitialTag, object, ring});
+                    ObjectId object = kDefaultObject, RingId ring = kNoRing,
+                    Epoch epoch = 0) {
+    ops_.push_back(
+        Op{c, false, value, inv, resp, kInitialTag, object, ring, epoch});
   }
 
   void record_read(ClientId c, std::uint64_t value, double inv, double resp,
                    Tag tag = kInitialTag, ObjectId object = kDefaultObject,
-                   RingId ring = kNoRing) {
-    ops_.push_back(Op{c, true, value, inv, resp, tag, object, ring});
+                   RingId ring = kNoRing, Epoch epoch = 0) {
+    ops_.push_back(Op{c, true, value, inv, resp, tag, object, ring, epoch});
   }
 
   void record(Op op) { ops_.push_back(op); }

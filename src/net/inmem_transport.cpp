@@ -23,21 +23,30 @@ InMemTransport::~InMemTransport() { stop(); }
 void InMemTransport::register_node(NodeAddress addr, MessageHandler on_message,
                                    CrashHandler on_crash,
                                    TimerHandler on_timer) {
-  assert(!started_);
   auto node = std::make_unique<Node>();
   node->addr = addr;
   node->on_message = std::move(on_message);
   node->on_crash = std::move(on_crash);
   node->on_timer = std::move(on_timer);
-  by_addr_[addr] = nodes_.size();
-  nodes_.push_back(std::move(node));
+  Node* raw = node.get();
+  {
+    const std::unique_lock lock(registry_mu_);
+    assert(!by_addr_.contains(addr));
+    by_addr_[addr] = nodes_.size();
+    nodes_.push_back(std::move(node));
+  }
+  // Live registration (ring spawn during a reconfiguration): the node's
+  // delivery thread starts right away.
+  if (started_ && !stopping_) {
+    raw->thread = std::thread([this, raw] { run_node(*raw); });
+  }
 }
 
 void InMemTransport::start() {
   assert(!started_);
   started_ = true;
-  for (auto& n : nodes_) {
-    n->thread = std::thread([this, node = n.get()] { run_node(*node); });
+  for (Node* n : snapshot_nodes()) {
+    n->thread = std::thread([this, n] { run_node(*n); });
   }
   timer_thread_ = std::thread([this] { run_timer_thread(); });
 }
@@ -49,29 +58,48 @@ void InMemTransport::stop() {
     const std::scoped_lock lock(timer_mu_);
     timer_cv_.notify_all();
   }
-  for (auto& n : nodes_) {
+  const std::vector<Node*> nodes = snapshot_nodes();
+  for (Node* n : nodes) {
     const std::scoped_lock lock(n->mu);
     n->cv.notify_all();
   }
-  for (auto& n : nodes_) {
+  for (Node* n : nodes) {
     if (n->thread.joinable()) n->thread.join();
   }
   if (timer_thread_.joinable()) timer_thread_.join();
 }
 
 InMemTransport::Node* InMemTransport::find(NodeAddress addr) {
+  const std::shared_lock lock(registry_mu_);
   auto it = by_addr_.find(addr);
   return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
 }
 
 const InMemTransport::Node* InMemTransport::find(NodeAddress addr) const {
+  const std::shared_lock lock(registry_mu_);
   auto it = by_addr_.find(addr);
   return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
 }
 
+std::vector<InMemTransport::Node*> InMemTransport::snapshot_nodes() const {
+  const std::shared_lock lock(registry_mu_);
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
 void InMemTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
-  Node* src = find(from);
-  Node* dst = find(to);
+  Node* src;
+  Node* dst;
+  {
+    // One registry acquisition for both lookups — this is the hot path.
+    const std::shared_lock lock(registry_mu_);
+    auto s_it = by_addr_.find(from);
+    auto d_it = by_addr_.find(to);
+    src = s_it == by_addr_.end() ? nullptr : nodes_[s_it->second].get();
+    dst = d_it == by_addr_.end() ? nullptr : nodes_[d_it->second].get();
+  }
   if (dst == nullptr) return;
   {
     const std::scoped_lock state_lock(state_mu_);
@@ -184,7 +212,7 @@ void InMemTransport::run_timer_thread() {
     timers_.erase(next);
     lock.unlock();
     if (t.is_crash_notice) {
-      for (auto& n : nodes_) {
+      for (Node* n : snapshot_nodes()) {
         bool deliver;
         {
           const std::scoped_lock state_lock(state_mu_);
@@ -212,7 +240,7 @@ bool InMemTransport::wait_quiescent(double timeout_s) {
   const auto deadline = Clock::now() + seconds_to_duration(timeout_s);
   for (;;) {
     bool quiet = true;
-    for (auto& n : nodes_) {
+    for (Node* n : snapshot_nodes()) {
       const std::scoped_lock lock(n->mu);
       if (!n->queue.empty() || n->busy) {
         quiet = false;

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -45,8 +46,10 @@ class InMemTransport {
   InMemTransport(const InMemTransport&) = delete;
   InMemTransport& operator=(const InMemTransport&) = delete;
 
-  /// Registers a node before start(). All three handlers run on the node's
-  /// delivery thread; crash/timer handlers may be null.
+  /// Registers a node. All three handlers run on the node's delivery
+  /// thread; crash/timer handlers may be null. Nodes may also be registered
+  /// while the transport is running — a live reconfiguration spawns the
+  /// servers of a new ring this way; their threads start immediately.
   void register_node(NodeAddress addr, MessageHandler on_message,
                      CrashHandler on_crash = nullptr,
                      TimerHandler on_timer = nullptr);
@@ -108,12 +111,18 @@ class InMemTransport {
   void run_timer_thread();
   Node* find(NodeAddress addr);
   const Node* find(NodeAddress addr) const;
+  /// Stable snapshot of all registered nodes (pointers stay valid: nodes
+  /// are never deregistered, only crashed).
+  std::vector<Node*> snapshot_nodes() const;
 
   double detection_delay_;
   bool started_ = false;
   bool stopping_ = false;
 
-  // Node registry is fixed after start(); no lock needed for lookup.
+  // Node registry. Lookup is concurrent with runtime registration (live
+  // ring spawn), so reads take the shared side; Node pointers themselves
+  // are stable for the transport's lifetime.
+  mutable std::shared_mutex registry_mu_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<NodeAddress, std::size_t> by_addr_;
 

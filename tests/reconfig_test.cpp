@@ -1,0 +1,769 @@
+// Epoch-versioned cluster views and live reconfiguration, end to end
+// (DESIGN.md §Reconfiguration, D8): heterogeneous topologies, the
+// migration-bound property of the consistent-hash shard map, epoch framing
+// golden pins (epoch 0 = PR 4 bit-for-bit), server-side freeze/park/replay
+// gating, live ring add/remove with concurrent crashes on both fabrics, the
+// epoch-aware lincheck pass, and per-ring crash/repair drills at scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/messages.h"
+#include "core/reconfig.h"
+#include "core/server.h"
+#include "core/topology.h"
+#include "harness/experiment.h"
+#include "harness/sim_cluster.h"
+#include "harness/threaded_cluster.h"
+#include "harness/workload.h"
+#include "lincheck/checker.h"
+#include "sim/simulator.h"
+
+namespace hts::core {
+namespace {
+
+// ------------------------------------------------- heterogeneous topology
+
+TEST(TopologyHeterogeneous, AddressingRoundTripsAcrossUnevenRings) {
+  const Topology t{std::vector<std::size_t>{3, 2, 4}};
+  ASSERT_TRUE(t.valid());
+  EXPECT_EQ(t.n_rings(), 3u);
+  EXPECT_EQ(t.total_servers(), 9u);
+  EXPECT_EQ(t.ring_size(0), 3u);
+  EXPECT_EQ(t.ring_size(1), 2u);
+  EXPECT_EQ(t.ring_size(2), 4u);
+  EXPECT_EQ(t.ring_base(0), 0u);
+  EXPECT_EQ(t.ring_base(1), 3u);
+  EXPECT_EQ(t.ring_base(2), 5u);
+  for (ProcessId g = 0; g < t.total_servers(); ++g) {
+    const RingId r = t.ring_of_server(g);
+    const ProcessId local = t.local_id(g);
+    EXPECT_LT(local, t.ring_size(r));
+    EXPECT_EQ(t.global_id(r, local), g);
+    EXPECT_EQ(t.ring_base(r) + local, g);
+  }
+}
+
+TEST(TopologyHeterogeneous, UniformConstructorMatchesTheOldShape) {
+  const Topology uniform{3, 5};
+  EXPECT_EQ(uniform, Topology(std::vector<std::size_t>{5, 5, 5}));
+  EXPECT_EQ(uniform.total_servers(), 15u);
+  // The closed-form ring-major arithmetic of the equal-size topology.
+  for (ProcessId g = 0; g < 15; ++g) {
+    EXPECT_EQ(uniform.ring_of_server(g), g / 5);
+    EXPECT_EQ(uniform.local_id(g), g % 5);
+  }
+}
+
+TEST(TopologyHeterogeneous, GrowAndShrinkPreserveExistingGlobalIds) {
+  const Topology t{std::vector<std::size_t>{3, 2}};
+  const Topology grown = t.with_ring(4);
+  EXPECT_EQ(grown.n_rings(), 3u);
+  EXPECT_EQ(grown.ring_size(2), 4u);
+  for (ProcessId g = 0; g < t.total_servers(); ++g) {
+    EXPECT_EQ(grown.ring_of_server(g), t.ring_of_server(g));
+    EXPECT_EQ(grown.local_id(g), t.local_id(g));
+  }
+  EXPECT_EQ(grown.without_last_ring(), t);
+}
+
+TEST(ShardRouter, RotationStaysInsideHeterogeneousRings) {
+  const Topology topo{std::vector<std::size_t>{3, 2}};
+  ShardRouter router(topo, /*preferred=*/1);
+  // Ring 1 has two servers: rotation cycles within {3, 4}.
+  EXPECT_EQ(router.target_of(1), topo.global_id(1, 1));
+  EXPECT_EQ(router.rotate(1, topo.global_id(1, 1)), topo.global_id(1, 0));
+  EXPECT_EQ(router.rotate(1, topo.global_id(1, 0)), topo.global_id(1, 1));
+  // Ring 0 is untouched by ring 1's rotation.
+  EXPECT_EQ(router.target_of(0), 1u);
+}
+
+TEST(ShardRouter, SetTopologyKeepsSurvivingStickyTargets) {
+  ShardRouter router(Topology{2, 3}, /*preferred=*/0);
+  router.rotate(0, router.target_of(0));  // ring 0 sticky → local 1
+  const ProcessId sticky0 = router.target_of(0);
+  router.set_topology(Topology{2, 3}.with_ring(3));
+  EXPECT_EQ(router.target_of(0), sticky0) << "surviving sticky lost";
+  EXPECT_EQ(router.topology().n_rings(), 3u);
+  // The new ring starts at the preferred local index.
+  EXPECT_EQ(router.target_of(2), router.topology().global_id(2, 0));
+}
+
+// ------------------------------------------------- migration bound (D8)
+
+TEST(MigrationBound, GrowChurnIsExactlyShardMapChurnAndBounded) {
+  // For R → R+1 over R = 1..8 and a 10k-object namespace: the planner's
+  // moved set is exactly the set of objects whose map assignment changed,
+  // every moved object lands on the new ring, and the fraction stays in a
+  // band around the consistent-hash expectation 1/(R+1).
+  const std::size_t kObjects = 10'000;
+  std::vector<ObjectId> all(kObjects);
+  for (ObjectId o = 0; o < kObjects; ++o) all[o] = o;
+  for (std::size_t r = 1; r <= 8; ++r) {
+    const ShardMap before(r), after(r + 1);
+    const std::vector<ObjectId> moved = moved_objects(all, before, after);
+    std::size_t direct = 0;
+    for (ObjectId o = 0; o < kObjects; ++o) {
+      const bool moves = before.ring_of(o) != after.ring_of(o);
+      if (moves) {
+        ++direct;
+        EXPECT_EQ(after.ring_of(o), static_cast<RingId>(r))
+            << "R=" << r << " object " << o
+            << " moved between pre-existing rings";
+      }
+      EXPECT_EQ(moves, object_moves(o, before, after));
+    }
+    ASSERT_EQ(moved.size(), direct) << "planner disagrees with the map, R="
+                                    << r;
+    const double frac =
+        static_cast<double>(moved.size()) / static_cast<double>(kObjects);
+    const double expected = expected_move_fraction(r, r + 1);
+    EXPECT_NEAR(expected, 1.0 / static_cast<double>(r + 1), 1e-12);
+    EXPECT_GT(frac, 0.25 * expected) << "R=" << r;
+    EXPECT_LT(frac, 2.5 * expected) << "R=" << r;
+  }
+}
+
+// ---------------------------------------------------- epoch wire framing
+
+TEST(EpochWire, EpochZeroFramesAreByteIdenticalToPR4) {
+  // Golden pin of the flags-byte layout: epoch-0 frames must serialize to
+  // exactly the pre-epoch format — flags 0 for the default object (the seed
+  // protocol), flags 0x1 + u64 for any other object. No epoch bytes.
+  const Value v = Value::synthetic(5, 32);
+  {
+    Encoder e;
+    e.u8(kClientWrite);
+    e.u8(0);  // flags 0: seed frame
+    e.u64(9);
+    e.u64(4);
+    e.value(v);
+    EXPECT_EQ(encode_message(ClientWrite(9, 4, v)), std::move(e).result());
+  }
+  {
+    Encoder e;
+    e.u8(kClientWrite);
+    e.u8(1);  // flags 0x1: PR 4 object frame
+    e.u64(77);
+    e.u64(9);
+    e.u64(4);
+    e.value(v);
+    EXPECT_EQ(encode_message(ClientWrite(9, 4, v, 77)),
+              std::move(e).result());
+  }
+  // And the epoch costs exactly 4 bytes, after the object field.
+  {
+    Encoder e;
+    e.u8(kClientWrite);
+    e.u8(3);  // flags 0x3: object + epoch
+    e.u64(77);
+    e.u32(2);
+    e.u64(9);
+    e.u64(4);
+    e.value(v);
+    const ClientWrite m(9, 4, v, 77, 2);
+    const std::string bytes = encode_message(m);
+    EXPECT_EQ(bytes, std::move(e).result());
+    EXPECT_EQ(bytes.size(), m.wire_size());
+    EXPECT_EQ(m.wire_size(), ClientWrite(9, 4, v, 77).wire_size() + 4);
+  }
+}
+
+TEST(EpochWire, AllMessagesRoundTripWithEpochs) {
+  const Value v = Value::synthetic(3, 48);
+  const Tag t{7, 2};
+  std::vector<net::PayloadPtr> msgs;
+  msgs.push_back(net::make_payload<ClientWrite>(1, 2, v, 5, 3));
+  msgs.push_back(net::make_payload<ClientWriteAck>(2, 5, 3));
+  msgs.push_back(net::make_payload<ClientRead>(1, 2, 0, 3));
+  msgs.push_back(net::make_payload<ClientReadAck>(2, v, t, 5, 0));
+  msgs.push_back(net::make_payload<EpochNack>(2, 5, 4));
+  msgs.push_back(net::make_payload<PreWrite>(t, v, 1, 2, 5, 3));
+  msgs.push_back(net::make_payload<WriteCommit>(t, 1, 2, 5, 3));
+  msgs.push_back(net::make_payload<SyncState>(t, v, 5, 3));
+  msgs.push_back(net::make_payload<MigrateState>(t, v, 5, 3));
+  msgs.push_back(net::make_payload<MigrateDedup>(
+      std::vector<MigrateDedup::Window>{{4, 9, {11, 13}}, {6, 2, {}}}, 3));
+  for (const auto& m : msgs) {
+    const std::string bytes = encode_message(*m);
+    EXPECT_EQ(bytes.size(), m->wire_size()) << m->describe();
+    const auto back = decode_message(bytes);
+    EXPECT_EQ(encode_message(*back), bytes) << m->describe();
+    EXPECT_EQ(back->describe(), m->describe());
+  }
+  // Unknown flag bits are wire garbage, not silently ignored.
+  std::string bad = encode_message(ClientWrite(1, 2, v));
+  bad[1] = 0x4;
+  EXPECT_THROW((void)decode_message(bad), DecodeError);
+}
+
+// ------------------------------------------------ server-side gating (D8)
+
+namespace {
+
+struct CollectCtx final : ServerContext {
+  std::vector<std::pair<ClientId, net::PayloadPtr>> sent;
+  void send_client(ClientId client, net::PayloadPtr msg) override {
+    sent.emplace_back(client, std::move(msg));
+  }
+  [[nodiscard]] const net::Payload* last() const {
+    return sent.empty() ? nullptr : sent.back().second.get();
+  }
+};
+
+}  // namespace
+
+TEST(ServerGating, FreezeNacksMovingObjectsAndParksIncomingOnes) {
+  // Two rings; this server is ring 0, server 0 of 1 (solo for simplicity).
+  auto old_map = std::make_shared<const ShardMap>(2);
+  auto new_map = std::make_shared<const ShardMap>(3);
+  // Find an object that moves from ring 0 to the new ring 2, one that stays
+  // on ring 0, and one that moves from ring 1 to ring 2.
+  ObjectId moving_away = 0, staying = 0, moving_elsewhere = 0;
+  bool f1 = false, f2 = false, f3 = false;
+  for (ObjectId o = 1; o < 5'000 && !(f1 && f2 && f3); ++o) {
+    if (!f1 && old_map->ring_of(o) == 0 && new_map->ring_of(o) == 2) {
+      moving_away = o;
+      f1 = true;
+    } else if (!f2 && old_map->ring_of(o) == 0 && new_map->ring_of(o) == 0) {
+      staying = o;
+      f2 = true;
+    } else if (!f3 && old_map->ring_of(o) == 1 && new_map->ring_of(o) == 2) {
+      moving_elsewhere = o;
+      f3 = true;
+    }
+  }
+  ASSERT_TRUE(f1 && f2 && f3);
+
+  RingServer ring0(0, 1);
+  ring0.install_view(ServerView{0, 0, old_map});
+  CollectCtx ctx;
+
+  // Before the change: owned objects serve; others NACK with epoch 0.
+  ring0.on_client_write(7, 1, Value::synthetic(1, 8), ctx, staying);
+  ASSERT_EQ(ctx.last()->kind(), kClientWriteAck);  // solo ring: instant
+  ring0.on_client_read(7, kReadRequestBit | 1, ctx, moving_elsewhere);
+  ASSERT_EQ(ctx.last()->kind(), kEpochNack);
+  EXPECT_EQ(static_cast<const EpochNack&>(*ctx.last()).epoch, 0u);
+
+  // Freeze: moving-away objects NACK with the next epoch, staying objects
+  // still serve, and a write completed before the freeze dedup-acks even
+  // though its register is frozen.
+  ring0.on_client_write(7, 2, Value::synthetic(2, 8), ctx, moving_away);
+  ASSERT_EQ(ctx.last()->kind(), kClientWriteAck);
+  ring0.begin_view_change(ServerView{1, 0, new_map});
+  ring0.on_client_write(7, 3, Value::synthetic(3, 8), ctx, moving_away);
+  ASSERT_EQ(ctx.last()->kind(), kEpochNack);
+  EXPECT_EQ(static_cast<const EpochNack&>(*ctx.last()).epoch, 1u);
+  ring0.on_client_write(7, 2, Value::synthetic(2, 8), ctx, moving_away);
+  ASSERT_EQ(ctx.last()->kind(), kClientWriteAck) << "dedup-ack while frozen";
+
+  ring0.on_client_write(7, 4, Value::synthetic(4, 8), ctx, staying);
+  ASSERT_EQ(ctx.last()->kind(), kClientWriteAck);
+  EXPECT_TRUE(ring0.object_quiescent(moving_away));
+
+  // Destination side: a new ring-2 server parks ops on objects it gains,
+  // collapses duplicate retries of one write, installs the migrated state,
+  // and serves the parked ops at the flip from that state.
+  RingServer ring2(0, 1);
+  ring2.install_view(ServerView{0, 2, old_map});  // owns nothing under e0
+  ring2.begin_view_change(ServerView{1, 2, new_map});
+  CollectCtx ctx2;
+  ring2.on_client_write(8, 1, Value::synthetic(9, 8), ctx2, moving_away);
+  ring2.on_client_write(8, 1, Value::synthetic(9, 8), ctx2, moving_away);
+  ring2.on_client_read(9, kReadRequestBit | 1, ctx2, moving_away);
+  EXPECT_TRUE(ctx2.sent.empty()) << "transition ops must park";
+  EXPECT_EQ(ring2.transition_backlog(), 2u) << "duplicate write not merged";
+
+  const MigrateState copy(ring0.current_tag(moving_away),
+                          ring0.current_value(moving_away), moving_away, 1);
+  ring2.on_migrate_state(copy);
+  EXPECT_TRUE(ring2.has_migrated(moving_away));
+  ring2.commit_view_change(ctx2);
+  ASSERT_EQ(ctx2.sent.size(), 2u);  // write ack + read ack
+  EXPECT_EQ(ctx2.sent[0].second->kind(), kClientWriteAck);
+  const auto& rd = static_cast<const ClientReadAck&>(*ctx2.sent[1].second);
+  EXPECT_EQ(rd.epoch, 1u);
+  EXPECT_EQ(rd.value, Value::synthetic(9, 8)) << "parked write then read";
+  EXPECT_GT(rd.tag, copy.tag) << "new write must tag past the migrated tag";
+  EXPECT_EQ(ring2.epoch(), 1u);
+}
+
+TEST(ServerGating, MigratedDedupWindowsAckRetriesInsteadOfReapplying) {
+  RingServer dst(0, 1);
+  auto map1 = std::make_shared<const ShardMap>(1);
+  dst.install_view(ServerView{1, 0, map1});
+  MigrateDedup dedup({{/*client=*/5, /*watermark=*/3, {5}}}, 1);
+  dst.on_migrate_dedup(dedup);
+  CollectCtx ctx;
+  // Requests 1..3 and 5 completed on the source ring: retries ack without
+  // touching the register. Request 4 is new work.
+  dst.on_client_write(5, 2, Value::synthetic(1, 8), ctx);
+  ASSERT_EQ(ctx.last()->kind(), kClientWriteAck);
+  EXPECT_TRUE(dst.current_tag().is_initial()) << "retry must not re-apply";
+  dst.on_client_write(5, 5, Value::synthetic(2, 8), ctx);
+  EXPECT_TRUE(dst.current_tag().is_initial());
+  dst.on_client_write(5, 4, Value::synthetic(3, 8), ctx);
+  EXPECT_FALSE(dst.current_tag().is_initial()) << "fresh write must apply";
+}
+
+}  // namespace
+}  // namespace hts::core
+
+namespace hts::harness {
+namespace {
+
+// --------------------------------------------------- epoch-0 golden pin
+
+TEST(ReconfigGolden, NeverReconfiguredClusterMatchesPR4WiringExactly) {
+  // The epoch machinery must be byte-invisible until used: the same
+  // workload on (a) the PR 4 wiring (enable_reconfig = false: no server
+  // views, no client view providers) and (b) the full epoch wiring produces
+  // identical wire histories — message and byte totals on both networks —
+  // and identical final register state. The simulator is deterministic, so
+  // any divergence is machinery leaking into the epoch-0 fast path.
+  auto run = [](bool enable_reconfig) {
+    sim::Simulator sim;
+    SimClusterConfig cfg;
+    cfg.topology = core::Topology{2, 3};
+    cfg.enable_reconfig = enable_reconfig;
+    cfg.client_max_inflight = 4;
+    SimCluster cluster(sim, cfg);
+    UniqueValueSource values;
+    std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+    for (ProcessId s = 0; s < 6; ++s) {
+      const auto m = cluster.add_client_machine();
+      cluster.add_client(m, s);
+      const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+      WorkloadConfig wl;
+      wl.write_fraction = 0.5;
+      wl.value_size = 512;
+      wl.stop_at = 0.1;
+      wl.measure_from = 0;
+      wl.measure_until = 0.1;
+      wl.seed = 17 + s;
+      wl.n_objects = 16;
+      wl.pipeline = 4;
+      drivers.push_back(std::make_unique<ClosedLoopDriver>(
+          sim, cluster.port(id), id, wl, values, nullptr));
+    }
+    for (auto& d : drivers) d->start();
+    sim.run_to_quiescence();
+    std::vector<std::string> tags;
+    for (ProcessId p = 0; p < 6; ++p) {
+      for (ObjectId obj = 0; obj < 16; ++obj) {
+        tags.push_back(cluster.server(p).current_tag(obj).to_string());
+      }
+    }
+    std::uint64_t nacks = 0, parked = 0;
+    for (ProcessId p = 0; p < 6; ++p) {
+      nacks += cluster.server(p).stats().epoch_nacks;
+      parked += cluster.server(p).stats().transition_parked;
+    }
+    return std::make_tuple(cluster.server_network().total_messages_sent(),
+                           cluster.server_network().total_bytes_sent(),
+                           cluster.client_network().total_messages_sent(),
+                           cluster.client_network().total_bytes_sent(), tags,
+                           nacks, parked);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_EQ(with, without);
+  EXPECT_EQ(std::get<5>(with), 0u) << "no op may be NACKed at epoch 0";
+  EXPECT_EQ(std::get<6>(with), 0u) << "no op may park at epoch 0";
+}
+
+// ----------------------------------------------------- live grow on sim
+
+/// Write+read fleet over `n_objects` registers; returns the recorded
+/// history. Drivers keep issuing across the reconfiguration.
+std::vector<std::unique_ptr<ClosedLoopDriver>> attach_fleet(
+    sim::Simulator& sim, SimCluster& cluster, lincheck::History& history,
+    UniqueValueSource& values, std::size_t n_objects, double stop_at,
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+  for (std::size_t c = 0; c < cluster.topology().total_servers(); ++c) {
+    const auto m = cluster.add_client_machine();
+    cluster.add_client(m, static_cast<ProcessId>(c));
+    const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+    WorkloadConfig wl;
+    wl.write_fraction = 0.6;
+    wl.value_size = 256;
+    wl.stop_at = stop_at;
+    wl.measure_from = 0;
+    wl.measure_until = stop_at;
+    wl.seed = seed + c;
+    wl.n_objects = n_objects;
+    wl.pipeline = 4;
+    drivers.push_back(std::make_unique<ClosedLoopDriver>(
+        sim, cluster.port(id), id, wl, values, &history));
+  }
+  return drivers;
+}
+
+/// Epoch the history reaches and the set of (object, epoch → ring) splits.
+void check_epoch_history(const lincheck::History& h,
+                         const std::vector<std::size_t>& rings_by_epoch,
+                         bool expect_epoch1_ops) {
+  auto verdict = lincheck::check_register(h);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  EXPECT_TRUE(lincheck::check_tag_order(h).linearizable);
+  auto strict = lincheck::check_ring_assignment(h, rings_by_epoch);
+  EXPECT_TRUE(strict.linearizable) << strict.explanation;
+  if (expect_epoch1_ops) {
+    bool any = false;
+    for (const auto& op : h.ops()) any |= op.epoch >= 1;
+    EXPECT_TRUE(any) << "history never crossed the reconfiguration";
+  }
+}
+
+TEST(ReconfigSim, LiveRingAddMigratesUnderTrafficWithAConcurrentCrash) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.topology = core::Topology{2, 3};
+  cfg.client_max_inflight = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  const std::size_t kObjects = 32;
+  auto drivers = attach_fleet(sim, cluster, history, values, kObjects,
+                              /*stop_at=*/0.3, /*seed=*/101);
+  for (auto& d : drivers) d->start();
+
+  // Grow R=2 → 3 mid-run; crash a ring-0 server while the migration is in
+  // flight (ring-local repair must coexist with the freeze/copy).
+  cluster.schedule_add_ring(0.1, 3);
+  cluster.schedule_crash(0.105, 1);
+  sim.run_to_quiescence();
+  for (auto& d : drivers) d->finalize();
+
+  EXPECT_FALSE(cluster.reconfig_in_progress());
+  EXPECT_EQ(cluster.view().epoch, 1u);
+  EXPECT_EQ(cluster.topology().n_rings(), 3u);
+  ASSERT_EQ(cluster.rings_by_epoch(), (std::vector<std::size_t>{2, 3}));
+
+  // Every op completed (crash + migration both retried through), and the
+  // history is per-object linearizable across the boundary with every op
+  // served by its epoch's owning ring.
+  ASSERT_GT(history.size(), 200u);
+  for (const auto& op : history.ops()) {
+    EXPECT_FALSE(op.pending()) << op.describe();
+  }
+  check_epoch_history(history, cluster.rings_by_epoch(),
+                      /*expect_epoch1_ops=*/true);
+
+  // Migration accounting: some registers moved, each exactly the ShardMap
+  // churn of the materialised namespace, and bytes were charged for them.
+  const core::MigrationStats& ms = cluster.reconfig_stats();
+  EXPECT_EQ(ms.reconfigs, 1u);
+  EXPECT_GT(ms.objects_moved, 0u);
+  EXPECT_LT(ms.objects_moved, kObjects) << "grow must not move everything";
+  EXPECT_GT(ms.bytes_moved, 0u);
+
+  // The new ring actually serves its share after the flip.
+  const core::ShardMap map3(3);
+  bool new_ring_served = false;
+  for (const auto& op : history.ops()) {
+    if (op.epoch >= 1 && op.ring == 2) {
+      new_ring_served = true;
+      EXPECT_EQ(map3.ring_of(op.object), 2u) << op.describe();
+    }
+  }
+  EXPECT_TRUE(new_ring_served);
+  EXPECT_FALSE(cluster.server_up(1)) << "crashed server stays down";
+}
+
+TEST(ReconfigSim, LiveRingRemoveDrainsTheLastRingBackToSurvivors) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.topology = core::Topology{3, 3};
+  cfg.client_max_inflight = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  auto drivers = attach_fleet(sim, cluster, history, values, /*objects=*/24,
+                              /*stop_at=*/0.3, /*seed=*/202);
+  for (auto& d : drivers) d->start();
+  cluster.schedule_remove_last_ring(0.1);
+  sim.run_to_quiescence();
+  for (auto& d : drivers) d->finalize();
+
+  EXPECT_EQ(cluster.view().epoch, 1u);
+  EXPECT_EQ(cluster.topology().n_rings(), 2u);
+  for (const auto& op : history.ops()) {
+    EXPECT_FALSE(op.pending()) << op.describe();
+  }
+  check_epoch_history(history, cluster.rings_by_epoch(),
+                      /*expect_epoch1_ops=*/true);
+  // The retired ring's servers are down; survivors serve everything.
+  for (ProcessId local = 0; local < 3; ++local) {
+    EXPECT_FALSE(cluster.server_up(6 + local));
+  }
+  const core::ShardMap map2(2);
+  for (const auto& op : history.ops()) {
+    if (op.epoch >= 1) {
+      EXPECT_EQ(op.ring, map2.ring_of(op.object)) << op.describe();
+    }
+  }
+}
+
+TEST(ReconfigSim, GrowAfterShrinkReusesTheRetiredSlots) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.topology = core::Topology{2, 2};
+  cfg.client_retry_timeout_s = 0.05;
+  cfg.client_max_inflight = 2;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  auto drivers = attach_fleet(sim, cluster, history, values, /*objects=*/12,
+                              /*stop_at=*/0.4, /*seed=*/303);
+  for (auto& d : drivers) d->start();
+  cluster.schedule_add_ring(0.1, 2);          // epoch 1: R=2 → 3
+  cluster.schedule_remove_last_ring(0.2);     // epoch 2: R=3 → 2
+  cluster.schedule_add_ring(0.3, 3);          // epoch 3: R=2 → 3 (reuse)
+  sim.run_to_quiescence();
+  for (auto& d : drivers) d->finalize();
+
+  EXPECT_EQ(cluster.view().epoch, 3u);
+  ASSERT_EQ(cluster.rings_by_epoch(), (std::vector<std::size_t>{2, 3, 2, 3}));
+  for (const auto& op : history.ops()) {
+    EXPECT_FALSE(op.pending()) << op.describe();
+  }
+  check_epoch_history(history, cluster.rings_by_epoch(),
+                      /*expect_epoch1_ops=*/true);
+  EXPECT_EQ(cluster.reconfig_stats().reconfigs, 3u);
+}
+
+// ------------------------------------------- heterogeneous cluster e2e
+
+TEST(ReconfigSim, HeterogeneousRingSizesServeAndCheckClean) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.topology = core::Topology{std::vector<std::size_t>{3, 2}};
+  cfg.client_max_inflight = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  auto drivers = attach_fleet(sim, cluster, history, values, /*objects=*/16,
+                              /*stop_at=*/0.15, /*seed=*/404);
+  for (auto& d : drivers) d->start();
+  sim.run_to_quiescence();
+  for (auto& d : drivers) d->finalize();
+
+  ASSERT_GT(history.size(), 100u);
+  auto verdict = lincheck::check_register(history);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  // Both rings served despite the size mismatch, and the 2-server ring's
+  // traffic stayed within its own block.
+  std::set<RingId> rings;
+  for (const auto& op : history.ops()) rings.insert(op.ring);
+  EXPECT_EQ(rings.size(), 2u);
+}
+
+// -------------------------------------------- experiment-harness schedule
+
+TEST(ReconfigHarness, ExperimentScheduleGrowsTheClusterMidRun) {
+  ExperimentParams p;
+  p.n_servers = 3;
+  p.n_rings = 2;
+  p.reader_machines_per_server = 0;
+  p.writer_machines_per_server = 1;
+  p.writers_per_machine = 2;
+  p.value_size = 1024;
+  p.warmup_s = 0.05;
+  p.measure_s = 0.2;
+  p.n_objects = 16;
+  p.pipeline = 4;
+  p.reconfig.push_back(ReconfigStep{/*at=*/0.1, /*add_ring_servers=*/3});
+  const auto r = run_core_experiment(p);
+  EXPECT_GT(r.write_mbps, 0.0);
+  EXPECT_GT(r.writes_per_s, 0.0);
+
+  // The static-membership baselines reject a reconfig schedule loudly,
+  // even in an otherwise-supported shape (single ring, no pipelining).
+  ExperimentParams baseline = p;
+  baseline.n_rings = 1;
+  baseline.pipeline = 1;
+  EXPECT_THROW((void)run_abd_experiment(baseline), std::logic_error);
+  EXPECT_THROW((void)run_chain_experiment(baseline), std::logic_error);
+}
+
+// -------------------------------------- per-ring crash drills at scale
+
+TEST(CrashDrill, SimConcurrentCrashInEveryRingStaysRingLocal) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.topology = core::Topology{3, 3};
+  cfg.client_max_inflight = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  auto drivers = attach_fleet(sim, cluster, history, values, /*objects=*/18,
+                              /*stop_at=*/0.25, /*seed=*/505);
+  for (auto& d : drivers) d->start();
+  // One server of every ring crashes at (nearly) the same moment: server 1
+  // of ring 0, server 0 of ring 1, server 2 of ring 2.
+  const core::Topology topo = cluster.topology();
+  cluster.schedule_crash(0.08, topo.global_id(0, 1));
+  cluster.schedule_crash(0.08, topo.global_id(1, 0));
+  cluster.schedule_crash(0.08, topo.global_id(2, 2));
+  sim.run_to_quiescence();
+  for (auto& d : drivers) d->finalize();
+
+  ASSERT_GT(history.size(), 100u);
+  for (const auto& op : history.ops()) {
+    EXPECT_FALSE(op.pending()) << op.describe();
+  }
+  auto verdict = lincheck::check_register(history);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  // Ring-local isolation: every ring lost exactly one server and repaired
+  // within itself — each survivor saw exactly one peer die, and repair
+  // syncs were emitted by the crashed servers' predecessors only.
+  for (RingId r = 0; r < 3; ++r) {
+    for (ProcessId local = 0; local < 3; ++local) {
+      const ProcessId g = topo.global_id(r, local);
+      if (!cluster.server_up(g)) continue;
+      EXPECT_EQ(cluster.server(g).ring().alive_count(), 2u)
+          << "ring " << r << " server " << local;
+    }
+  }
+}
+
+TEST(CrashDrill, ThreadedConcurrentCrashInEveryRingStaysRingLocal) {
+  const core::Topology topo{3, 3};
+  ThreadedClusterConfig cfg;
+  cfg.topology = topo;
+  cfg.client_retry_timeout_s = 0.05;
+  cfg.client_max_inflight = 8;
+  ThreadedCluster cluster(cfg);
+  std::vector<ThreadedCluster::BlockingClient*> clients;
+  for (RingId r = 0; r < 3; ++r) {
+    clients.push_back(&cluster.add_client(topo.global_id(r, 0)));
+  }
+  cluster.start();
+
+  // Load every ring, then crash one server per ring concurrently while
+  // writes continue.
+  std::vector<std::future<core::OpResult>> acks;
+  for (ObjectId obj = 1; obj <= 18; ++obj) {
+    acks.push_back(clients[obj % 3]->async_write(obj,
+                                                 Value::synthetic(obj, 64)));
+  }
+  for (auto& a : acks) (void)a.get();
+  acks.clear();
+  cluster.crash_server(topo.global_id(0, 1));
+  cluster.crash_server(topo.global_id(1, 2));
+  cluster.crash_server(topo.global_id(2, 0));
+  // Second wave, one writer per object, racing the crash detections; these
+  // acks establish the final values the reads below must observe.
+  for (ObjectId obj = 1; obj <= 18; ++obj) {
+    acks.push_back(clients[(obj + 1) % 3]->async_write(
+        obj, Value::synthetic(100 + obj, 64)));
+  }
+  for (auto& a : acks) (void)a.get();
+  ASSERT_TRUE(cluster.wait_quiescent(5.0));
+
+  // Ring-local isolation under real concurrency.
+  for (RingId r = 0; r < 3; ++r) {
+    std::size_t alive = 0;
+    for (ProcessId local = 0; local < 3; ++local) {
+      const ProcessId g = topo.global_id(r, local);
+      if (cluster.server_up(g)) {
+        ++alive;
+        EXPECT_EQ(cluster.server(g).ring().alive_count(), 2u)
+            << "ring " << r << " server " << local;
+      }
+    }
+    EXPECT_EQ(alive, 2u) << "ring " << r;
+  }
+  auto h = cluster.history();
+  auto verdict = lincheck::check_register(h);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  // All values readable after the drills.
+  for (ObjectId obj = 1; obj <= 18; ++obj) {
+    EXPECT_EQ(clients[0]->read(obj), Value::synthetic(100 + obj, 64));
+  }
+}
+
+// ------------------------------------------------ live grow on threads
+
+TEST(ReconfigThreaded, LiveRingAddUnderConcurrentWritesAndACrash) {
+  const core::Topology topo{2, 3};
+  ThreadedClusterConfig cfg;
+  cfg.topology = topo;
+  cfg.client_retry_timeout_s = 0.05;
+  cfg.client_max_inflight = 8;
+  ThreadedCluster cluster(cfg);
+  auto& alice = cluster.add_client(0);
+  auto& bob = cluster.add_client(topo.global_id(1, 0));
+  cluster.start();
+
+  // Saturate before and across the grow.
+  const std::size_t kObjects = 24;
+  std::vector<std::future<core::OpResult>> acks;
+  for (ObjectId obj = 1; obj <= kObjects; ++obj) {
+    acks.push_back(alice.async_write(obj, Value::synthetic(obj, 128)));
+  }
+  for (auto& a : acks) (void)a.get();
+  acks.clear();
+
+  // Writes keep flowing while the ring is added and a ring-0 server dies:
+  // bob's wave stays in flight across the whole freeze → copy → flip.
+  for (ObjectId obj = 1; obj <= kObjects; ++obj) {
+    acks.push_back(bob.async_write(obj, Value::synthetic(100 + obj, 128)));
+  }
+  cluster.crash_server(1);
+  const Epoch e = cluster.add_ring(3);
+  EXPECT_EQ(e, 1u);
+  for (auto& a : acks) (void)a.get();
+  acks.clear();
+  // Post-grow wave, one writer per object: establishes the final values the
+  // reads below must observe from the epoch-1 owners.
+  for (ObjectId obj = 1; obj <= kObjects; ++obj) {
+    acks.push_back(alice.async_write(obj, Value::synthetic(200 + obj, 128)));
+  }
+  for (auto& a : acks) (void)a.get();
+  ASSERT_TRUE(cluster.wait_quiescent(5.0));
+
+  EXPECT_EQ(cluster.view().epoch, 1u);
+  EXPECT_EQ(cluster.topology().n_rings(), 3u);
+  const core::MigrationStats& ms = cluster.reconfig_stats();
+  EXPECT_EQ(ms.reconfigs, 1u);
+  EXPECT_GT(ms.objects_moved, 0u);
+  EXPECT_GT(ms.bytes_moved, 0u);
+
+  // Post-grow: reads come from the epoch-1 owners with the latest values.
+  const core::ShardMap map3(3);
+  for (ObjectId obj = 1; obj <= kObjects; ++obj) {
+    auto r = bob.read_result(obj);
+    EXPECT_EQ(r.value, Value::synthetic(200 + obj, 128)) << "object " << obj;
+    EXPECT_EQ(r.ring, map3.ring_of(obj)) << "object " << obj;
+    EXPECT_EQ(r.epoch, 1u) << "object " << obj;
+  }
+  ASSERT_TRUE(cluster.wait_quiescent(5.0));
+  auto h = cluster.history();
+  auto verdict = lincheck::check_register(h);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  auto strict = lincheck::check_ring_assignment(h, cluster.rings_by_epoch());
+  EXPECT_TRUE(strict.linearizable) << strict.explanation;
+  bool epoch1_seen = false, new_ring_served = false;
+  for (const auto& op : h.ops()) {
+    epoch1_seen |= op.epoch == 1;
+    new_ring_served |= op.ring == 2;
+  }
+  EXPECT_TRUE(epoch1_seen);
+  EXPECT_TRUE(new_ring_served);
+}
+
+}  // namespace
+}  // namespace hts::harness

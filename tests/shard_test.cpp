@@ -322,7 +322,7 @@ TEST(ShardSim, MultiRingHistoriesAreLinearizableAndRingConsistent) {
 
   // Every op was served by the ring the shard map assigns its object — and
   // the workload genuinely exercised both rings.
-  const core::ShardMap map(topo.n_rings);
+  const core::ShardMap map(topo.n_rings());
   std::set<RingId> rings_used;
   for (const auto& op : h.ops()) {
     ASSERT_NE(op.ring, kNoRing) << op.describe();
@@ -439,7 +439,7 @@ TEST(ShardThreaded, MultiRingClusterServesAndSurvivesAShardCrash) {
   cluster.start();
 
   // Writes across enough objects to hit both rings.
-  const core::ShardMap map(topo.n_rings);
+  const core::ShardMap map(topo.n_rings());
   std::set<RingId> rings_hit;
   std::vector<std::future<core::OpResult>> acks;
   for (ObjectId obj = 1; obj <= 12; ++obj) {
