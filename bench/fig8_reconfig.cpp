@@ -22,10 +22,13 @@
 
 #include "common/metrics.h"
 #include "core/topology.h"
+#include "harness/obs_report.h"
 #include "harness/report.h"
 #include "harness/sim_cluster.h"
 #include "harness/workload.h"
 #include "lincheck/checker.h"
+#include "obs/export.h"
+#include "obs/probe.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -52,17 +55,32 @@ struct RunResult {
   double reconfig_done_at = -1;
   bool lincheck_ok = false;
   std::string lincheck_explanation;
+  /// Ops implicated when a checker fails — joined to their trace spans.
+  std::vector<lincheck::Op> witnesses;
 };
 
 /// Fixed write fleet against `start_rings` rings; optionally grow by one
-/// ring of kServersPerRing at `grow_at` (< 0 = never).
-RunResult run(std::size_t start_rings, double grow_at) {
+/// ring of kServersPerRing at `grow_at` (< 0 = never). When `rec` is set the
+/// cluster runs fully instrumented: trace spans, the per-bucket
+/// "workload.write_bytes" series (the dip chart's data source) and a final
+/// export_metrics() snapshot.
+RunResult run(std::size_t start_rings, double grow_at, obs::Recorder* rec) {
   sim::Simulator sim;
   SimClusterConfig cfg;
   cfg.topology = core::Topology{start_rings, kServersPerRing};
   cfg.client_max_inflight = kInflight;
   cfg.client_retry_timeout_s = 0.1;  // migration stalls retry through this
+  cfg.recorder = rec;
   SimCluster cluster(sim, cfg);
+
+  obs::TimeSeries* write_series =
+      rec != nullptr
+          ? rec->registry().series("workload.write_bytes", g_bucket)
+          : nullptr;
+  obs::TimeSeries* read_series =
+      rec != nullptr
+          ? rec->registry().series("workload.read_bytes", g_bucket)
+          : nullptr;
 
   RunResult r;
   UniqueValueSource values;
@@ -88,6 +106,7 @@ RunResult run(std::size_t start_rings, double grow_at) {
       wl.start_at = 1e-5 * static_cast<double>(id % 97);
       drivers.push_back(std::make_unique<ClosedLoopDriver>(
           sim, cluster.port(id), id, wl, values, &r.history));
+      drivers.back()->set_series(write_series, read_series);
     }
   }
   for (auto& d : drivers) d->start();
@@ -112,12 +131,14 @@ RunResult run(std::size_t start_rings, double grow_at) {
   r.migration = cluster.reconfig_stats();
   r.rings_by_epoch.assign(cluster.rings_by_epoch().begin(),
                           cluster.rings_by_epoch().end());
+  cluster.export_metrics();
   auto verdict = lincheck::check_register(r.history);
   auto strict =
       lincheck::check_ring_assignment(r.history, r.rings_by_epoch);
   r.lincheck_ok = verdict.linearizable && strict.linearizable;
   r.lincheck_explanation =
       verdict.linearizable ? strict.explanation : verdict.explanation;
+  r.witnesses = verdict.linearizable ? strict.witnesses : verdict.witnesses;
   return r;
 }
 
@@ -150,23 +171,30 @@ int main(int argc, char** argv) {
       kServersPerRing, kMachines, kSessionsPerMachine, kInflight, kObjects,
       kValueSize, quick ? ", quick" : "", g_grow_at);
 
-  const RunResult grown = run(2, g_grow_at);
-  const RunResult fresh3 = run(3, -1);
-  const RunResult fresh2 = run(2, -1);
+  obs::Recorder recorder;
+  const RunResult grown = run(2, g_grow_at, &recorder);
+  const RunResult fresh3 = run(3, -1, nullptr);
+  const RunResult fresh2 = run(2, -1, nullptr);
 
   // ---- 1. throughput time series across the grow --------------------------
+  // The data source is the exported "workload.write_bytes" series (payload
+  // bytes completed per bucket), not a post-hoc scan of the history — the
+  // migration dip is a first-class observability product.
+  const std::vector<double> buckets =
+      recorder.registry().series("workload.write_bytes", g_bucket)->buckets();
   Table series("Aggregate write throughput per bucket (the dip and the "
                "recovery)",
                {"t from", "t to", "write Mbit/s", "phase"});
   const double done =
       grown.reconfig_done_at > 0 ? grown.reconfig_done_at : g_grow_at;
   for (double t = 0; t + g_bucket <= g_total + 1e-9; t += g_bucket) {
+    const auto idx = static_cast<std::size_t>(t / g_bucket + 0.5);
+    const double bytes = idx < buckets.size() ? buckets[idx] : 0.0;
     const char* phase = t + g_bucket <= g_grow_at ? "R=2"
                         : t >= done               ? "R=3"
                                                   : "migrating";
     series.add_row({Table::num(t, 2), Table::num(t + g_bucket, 2),
-                    Table::num(window_mbps(grown.history, t, t + g_bucket)),
-                    phase});
+                    Table::num(bytes * 8.0 / 1e6 / g_bucket), phase});
   }
   series.print();
   series.print_csv();
@@ -227,6 +255,11 @@ int main(int argc, char** argv) {
       "\nlincheck (epoch-aware, across the boundary): %s%s\n",
       grown.lincheck_ok ? "PASS" : "FAIL",
       grown.lincheck_ok ? "" : (" — " + grown.lincheck_explanation).c_str());
+  if (!grown.lincheck_ok) {
+    std::printf("%s", harness::dump_witness_spans(recorder.trace(),
+                                                  grown.witnesses)
+                          .c_str());
+  }
   std::printf(
       "\nReading the tables: during the migration window only the ~1/3 of\n"
       "registers moving to the new ring stall (freeze → copy → flip); the\n"

@@ -1,7 +1,14 @@
 // Minimal leveled logger. Off by default so simulations stay fast and
 // deterministic output stays clean; tests flip the level when debugging.
+//
+// Hot paths pass a callable instead of a string — the message (and every
+// std::string concatenation building it) is only materialized when the level
+// is enabled:
+//
+//   log::debug([&] { return "server " + std::to_string(id) + ": ..."; });
 #pragma once
 
+#include <concepts>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -25,8 +32,12 @@ inline std::mutex& mutex_ref() {
 inline void set_level(Level l) { detail::level_ref() = l; }
 inline Level level() { return detail::level_ref(); }
 
+[[nodiscard]] inline bool enabled(Level l) {
+  return static_cast<int>(l) <= static_cast<int>(level());
+}
+
 inline void write(Level l, const std::string& tagline, const std::string& msg) {
-  if (static_cast<int>(l) > static_cast<int>(level())) return;
+  if (!enabled(l)) return;
   const std::scoped_lock lock(detail::mutex_ref());
   std::fprintf(stderr, "[%s] %s\n", tagline.c_str(), msg.c_str());
 }
@@ -34,5 +45,29 @@ inline void write(Level l, const std::string& tagline, const std::string& msg) {
 inline void error(const std::string& msg) { write(Level::kError, "ERR", msg); }
 inline void info(const std::string& msg) { write(Level::kInfo, "INF", msg); }
 inline void debug(const std::string& msg) { write(Level::kDebug, "DBG", msg); }
+
+/// Lazy overloads: `fn` is invoked only when the level is enabled. The
+/// constraint keeps string literals and std::string resolving to the eager
+/// overloads above.
+template <typename Fn>
+  requires std::invocable<Fn&> &&
+           std::convertible_to<std::invoke_result_t<Fn&>, std::string>
+inline void error(Fn&& fn) {
+  if (enabled(Level::kError)) write(Level::kError, "ERR", fn());
+}
+
+template <typename Fn>
+  requires std::invocable<Fn&> &&
+           std::convertible_to<std::invoke_result_t<Fn&>, std::string>
+inline void info(Fn&& fn) {
+  if (enabled(Level::kInfo)) write(Level::kInfo, "INF", fn());
+}
+
+template <typename Fn>
+  requires std::invocable<Fn&> &&
+           std::convertible_to<std::invoke_result_t<Fn&>, std::string>
+inline void debug(Fn&& fn) {
+  if (enabled(Level::kDebug)) write(Level::kDebug, "DBG", fn());
+}
 
 }  // namespace hts::log

@@ -16,7 +16,10 @@ namespace hts {
 /// Samples are stored exactly (the histories involved are test/bench sized).
 class LatencyStats {
  public:
-  void record(double seconds) { samples_.push_back(seconds); }
+  void record(double seconds) {
+    samples_.push_back(seconds);
+    sorted_valid_ = false;
+  }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
@@ -40,21 +43,32 @@ class LatencyStats {
                : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  /// q in [0,1]; nearest-rank percentile.
+  /// q in [0,1]; nearest-rank percentile. The sorted order is cached across
+  /// calls and invalidated by record()/clear() — benches query p50/p99/max
+  /// repeatedly per row, so only the first query after new samples sorts.
   [[nodiscard]] double percentile(double q) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
     auto rank = static_cast<std::size_t>(
-        q * static_cast<double>(sorted.size() - 1) + 0.5);
-    rank = std::min(rank, sorted.size() - 1);
-    return sorted[rank];
+        q * static_cast<double>(sorted_.size() - 1) + 0.5);
+    rank = std::min(rank, sorted_.size() - 1);
+    return sorted_[rank];
   }
 
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
  private:
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache for percentile()
+  mutable bool sorted_valid_ = false;
 };
 
 /// Counts completed operations and payload bytes over a measurement window.

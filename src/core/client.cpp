@@ -36,6 +36,7 @@ RequestId ClientSession::begin_write(ObjectId object, Value v,
   op.value = std::move(v);
   op.invoked_at = ctx.now();
   const RequestId req = op.req;
+  probe_.event(obs::EventKind::kClientSubmit, req, object);
   backlog_.push_back(std::move(op));
   dispatch(ctx);
   return req;
@@ -48,6 +49,7 @@ RequestId ClientSession::begin_read(ObjectId object, ClientContext& ctx) {
   op.req = kReadRequestBit | next_read_req_++;
   op.invoked_at = ctx.now();
   const RequestId req = op.req;
+  probe_.event(obs::EventKind::kClientSubmit, req, object);
   backlog_.push_back(std::move(op));
   dispatch(ctx);
   return req;
@@ -105,6 +107,7 @@ void ClientSession::reroute(Op& op) {
 
 void ClientSession::transmit(Op& op, ClientContext& ctx) {
   ++op.attempts;
+  probe_.event(obs::EventKind::kClientSend, op.req, op.target, op.attempts);
   if (op.is_read) {
     ctx.send_server(op.target, net::make_payload<ClientRead>(
                                    id_, op.req, op.object, epoch_));
@@ -121,6 +124,7 @@ void ClientSession::transmit(Op& op, ClientContext& ctx) {
         std::max<std::uint64_t>(1, static_cast<std::uint64_t>(delay * 5e5));
     delay = static_cast<double>(half_us + jitter_.below(half_us + 1)) * 1e-6;
   }
+  probe_.record_backoff(delay);
   timer_to_req_.erase(op.timer_token);
   op.timer_token = ++timer_seq_;
   timer_to_req_[op.timer_token] = op.req;
@@ -156,7 +160,11 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
       auto nacked = inflight_.find(m.req);
       if (nacked == inflight_.end()) return;  // late, op already completed
       ++epoch_nacks_;
+      probe_.event(obs::EventKind::kClientNacked, m.req, m.epoch);
       const bool refreshed = refresh_view();
+      if (refreshed) {
+        probe_.event(obs::EventKind::kClientEpochRefresh, m.req, epoch_);
+      }
       Op& op = nacked->second;
       const ProcessId before = op.target;
       reroute(op);
@@ -205,6 +213,8 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
   result.completed_at = ctx.now();
   result.attempts = op.attempts;
   result.served_by = from;
+  probe_.event(obs::EventKind::kClientReply, op.req,
+               from == kNoProcess ? 0 : from, op.attempts);
 
   timer_to_req_.erase(op.timer_token);  // invalidate the retry timer
   active_objects_.erase(op.object);
@@ -228,7 +238,11 @@ void ClientSession::on_timer(std::uint64_t token, ClientContext& ctx) {
   // not heard about (e.g. the op's whole ring was retired and nobody is
   // left to NACK): adopt the latest view and re-route before re-sending.
   Op& op = it->second;
-  if (refresh_view() || op.ring >= router_.topology().n_rings() ||
+  const bool refreshed = refresh_view();
+  if (refreshed) {
+    probe_.event(obs::EventKind::kClientEpochRefresh, op.req, epoch_);
+  }
+  if (refreshed || op.ring >= router_.topology().n_rings() ||
       router_.ring_of(op.object) != op.ring) {
     // The view advanced — now, or earlier via another op's EpochNack while
     // this op was already in flight. Either way this op's route is stale
@@ -237,8 +251,10 @@ void ClientSession::on_timer(std::uint64_t token, ClientContext& ctx) {
     reroute(op);
   } else {
     op.target = router_.rotate(op.ring, op.target);
+    ++rotations_;
   }
   ++total_retries_;
+  probe_.event(obs::EventKind::kClientRetry, op.req, op.attempts + 1);
   transmit(op, ctx);
 }
 

@@ -37,6 +37,7 @@
 #include "core/reconfig.h"
 #include "core/topology.h"
 #include "net/payload.h"
+#include "obs/probe.h"
 
 namespace hts::core {
 
@@ -176,6 +177,12 @@ class ClientSession {
   [[nodiscard]] std::size_t backlog_count() const { return backlog_.size(); }
   [[nodiscard]] ClientId id() const { return id_; }
   [[nodiscard]] std::uint64_t retries() const { return total_retries_; }
+  /// Sticky-target rotations: retries that moved to another server of the
+  /// same ring (a retry after a view refresh re-routes instead).
+  [[nodiscard]] std::uint64_t rotations() const { return rotations_; }
+
+  /// Attaches this session to a run's observability recorder (wire-silent).
+  void attach_obs(obs::ClientProbe probe) { probe_ = probe; }
   /// The resolved deployment shape (Topology::single(n_servers) when the
   /// options carried no explicit topology).
   [[nodiscard]] const Topology& topology() const {
@@ -230,8 +237,10 @@ class ClientSession {
   ViewProvider view_provider_;
   std::uint64_t timer_seq_ = 0;
   std::uint64_t total_retries_ = 0;
+  std::uint64_t rotations_ = 0;
   std::uint64_t epoch_nacks_ = 0;
   std::uint64_t view_refreshes_ = 0;
+  obs::ClientProbe probe_;  // detached (all-null) unless a fabric attaches
 
   std::map<RequestId, Op> inflight_;           // issue-ordered
   std::deque<Op> backlog_;                     // waiting for a slot

@@ -48,6 +48,7 @@ bool RingServer::gate_client_op(bool is_read, ClientId client, RequestId req,
     // Misrouted (stale client view): refuse with our newest epoch as the
     // refresh hint.
     ++stats_.epoch_nacks;
+    probe_.event(obs::EventKind::kEpochNackSent, client, req, view_.epoch);
     ctx.send_client(client,
                     net::make_payload<EpochNack>(req, object, view_.epoch));
     return true;
@@ -66,6 +67,8 @@ bool RingServer::gate_client_op(bool is_read, ClientId client, RequestId req,
       }
     }
     ++stats_.transition_parked;
+    probe_.event(obs::EventKind::kTransitionPark, client, req,
+                 incoming_->epoch);
     transition_parked_.push_back(TransitionOp{
         is_read, client, req, value ? std::move(*value) : Value{}, object});
     return true;
@@ -73,6 +76,7 @@ bool RingServer::gate_client_op(bool is_read, ClientId client, RequestId req,
   // Moving away (the freeze half of freeze→copy→flip), or never ours: the
   // next epoch is the hint the client needs.
   ++stats_.epoch_nacks;
+  probe_.event(obs::EventKind::kEpochNackSent, client, req, incoming_->epoch);
   ctx.send_client(client,
                   net::make_payload<EpochNack>(req, object, incoming_->epoch));
   return true;
@@ -80,6 +84,7 @@ bool RingServer::gate_client_op(bool is_read, ClientId client, RequestId req,
 
 void RingServer::on_client_write(ClientId client, RequestId req, Value value,
                                  ServerContext& ctx, ObjectId object) {
+  ++stats_.client_writes_in;
   if (opts_.dedup_retries && (view_.map == nullptr || view_.owns(object)) &&
       request_completed(client, req)) {
     // This request already completed somewhere (we learned via the commit
@@ -91,6 +96,7 @@ void RingServer::on_client_write(ClientId client, RequestId req, Value value,
     // the new owner dedup-acks from the merged MigrateDedup windows, so the
     // history never records the old ring serving in the new epoch.
     ++stats_.dedup_acks;
+    probe_.event(obs::EventKind::kDedupAck, client, req);
     ctx.send_client(client, net::make_payload<ClientWriteAck>(req, object,
                                                               view_.epoch));
     return;
@@ -102,16 +108,22 @@ void RingServer::on_client_write(ClientId client, RequestId req, Value value,
     return;
   }
   write_queue_.push_back(std::move(w));  // line 19
+  stats_.write_queue_max =
+      std::max<std::uint64_t>(stats_.write_queue_max, write_queue_.size());
+  probe_.event(obs::EventKind::kWriteEnqueue, client, req,
+               write_queue_.size());
 }
 
 void RingServer::on_client_read(ClientId client, RequestId req,
                                 ServerContext& ctx, ObjectId object) {
+  ++stats_.client_reads_in;
   if (gate_client_op(true, client, req, nullptr, object, ctx)) return;
   const ObjectState* obj = find_state(object);
   if (obj == nullptr || obj->pending.empty()) {  // line 77
     // A never-touched register is a register in its initial state — no
     // pending pre-writes can exist for it, so the read is immediate.
     ++stats_.reads_immediate;
+    probe_.event(obs::EventKind::kReadImmediate, client, req);
     ctx.send_client(client, net::make_payload<ClientReadAck>(
                                 req, obj ? obj->value : Value{},
                                 obj ? obj->tag : kInitialTag, object,
@@ -123,12 +135,14 @@ void RingServer::on_client_read(ClientId client, RequestId req,
     // Ablation: the locally applied value already dominates every pending
     // pre-write, so it is safe to return it (the paper always parks).
     ++stats_.reads_immediate;
+    probe_.event(obs::EventKind::kReadImmediate, client, req);
     ctx.send_client(client,
                     net::make_payload<ClientReadAck>(req, obj->value, obj->tag,
                                                      object, view_.epoch));
     return;
   }
   ++stats_.reads_parked;
+  probe_.event(obs::EventKind::kReadPark, client, req);
   state_of(object).parked.push_back(
       ParkedRead{client, req, threshold});  // line 81
 }
@@ -154,6 +168,8 @@ void RingServer::commit_view_change(ServerContext& ctx) {
   std::deque<TransitionOp> parked = std::move(transition_parked_);
   transition_parked_.clear();
   for (TransitionOp& op : parked) {
+    probe_.event(obs::EventKind::kTransitionReplay, op.client, op.req,
+                 view_.epoch);
     if (op.is_read) {
       on_client_read(op.client, op.req, ctx, op.object);
     } else {
@@ -166,6 +182,8 @@ void RingServer::on_migrate_state(const MigrateState& m) {
   apply(state_of(m.object), m.tag, m.value);
   migrated_in_.insert(m.object);
   ++stats_.migrations_in;
+  stats_.migrate_bytes_in += m.wire_size();
+  probe_.event(obs::EventKind::kMigrateIn, 0, 0, m.wire_size(), m.object);
 }
 
 void RingServer::on_migrate_dedup(const MigrateDedup& m) {
@@ -253,19 +271,26 @@ void RingServer::on_ring_message(net::PayloadPtr msg, ServerContext& ctx) {
   ++stats_.ring_messages_in;
   switch (msg->kind()) {
     case kPreWrite:
+      ++stats_.pre_writes_in;
       handle_pre_write(msg, static_cast<const PreWrite&>(*msg), ctx);
       break;
     case kWriteCommit:
+      ++stats_.commits_in;
       handle_commit(msg, static_cast<const WriteCommit&>(*msg), ctx);
       break;
     case kSyncState:
+      ++stats_.syncs_in;
       handle_sync(static_cast<const SyncState&>(*msg));
       break;
     default:
-      log::error("server " + std::to_string(self_) +
-                 ": unexpected ring message " + msg->describe());
+      log::error([&] {
+        return "server " + std::to_string(self_) +
+               ": unexpected ring message " + msg->describe();
+      });
       break;
   }
+  stats_.forward_queue_max =
+      std::max<std::uint64_t>(stats_.forward_queue_max, sched_.queue().size());
 }
 
 void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
@@ -428,6 +453,27 @@ bool RingServer::has_ring_traffic() const {
          !write_queue_.empty();
 }
 
+namespace {
+
+/// (client, req) of a protocol message, for trace attribution. SyncState
+/// and RingBatch carry no op identity.
+std::pair<ClientId, RequestId> op_of(const net::Payload& msg) {
+  switch (msg.kind()) {
+    case kPreWrite: {
+      const auto& m = static_cast<const PreWrite&>(msg);
+      return {m.client, m.req};
+    }
+    case kWriteCommit: {
+      const auto& m = static_cast<const WriteCommit&>(msg);
+      return {m.client, m.req};
+    }
+    default:
+      return {0, 0};
+  }
+}
+
+}  // namespace
+
 std::optional<RingSend> RingServer::next_ring_send() {
   if (solo()) return std::nullopt;
   if (!urgent_.empty()) {
@@ -435,6 +481,10 @@ std::optional<RingSend> RingServer::next_ring_send() {
     urgent_.pop_front();
     if (msg->kind() == kWriteCommit) ++stats_.commits_sent;
     ++stats_.ring_messages_out;
+    if (probe_.attached()) {
+      const auto [c, r] = op_of(*msg);
+      probe_.event(obs::EventKind::kFairnessPick, c, r, batch_seq_);
+    }
     return RingSend{successor_, std::move(msg)};
   }
 
@@ -449,6 +499,7 @@ std::optional<RingSend> RingServer::next_ring_send() {
     LocalWrite w = std::move(write_queue_.front());
     write_queue_.pop_front();  // line 27
     ++stats_.ring_messages_out;
+    probe_.event(obs::EventKind::kFairnessPick, w.client, w.req, batch_seq_);
     return initiate_write(std::move(w));
   }
   if (d.forward) {
@@ -464,6 +515,10 @@ std::optional<RingSend> RingServer::next_ring_send() {
     }
     ++stats_.forwards;
     ++stats_.ring_messages_out;
+    if (probe_.attached()) {
+      const auto [c, r] = op_of(*item.msg);
+      probe_.event(obs::EventKind::kFairnessPick, c, r, batch_seq_);
+    }
     return RingSend{successor_, std::move(item.msg)};
   }
   return std::nullopt;
@@ -476,6 +531,7 @@ net::PayloadPtr RingBatchSend::into_wire() && {
 }
 
 std::optional<RingBatchSend> RingServer::next_ring_batch() {
+  ++batch_seq_;  // the id kFairnessPick events stamp on this pull's picks
   auto first = next_ring_send();
   if (!first) return std::nullopt;
   RingBatchSend batch;
@@ -491,6 +547,11 @@ std::optional<RingBatchSend> RingServer::next_ring_batch() {
     batch.msgs.push_back(std::move(more->msg));
   }
   if (batch.msgs.size() > 1) ++stats_.batches_out;
+  // One sample per transmission (singletons included), so the histogram's
+  // mean is exactly RingTraffic's fill: ring messages / transmissions.
+  probe_.record_batch_fill(static_cast<double>(batch.msgs.size()));
+  probe_.event(obs::EventKind::kBatchSeal, 0, 0, batch_seq_,
+               batch.msgs.size());
   return batch;
 }
 
@@ -681,6 +742,8 @@ void RingServer::unpark_up_to(ObjectState& obj, const Tag& t,
 
 void RingServer::push_urgent(net::PayloadPtr msg) {
   urgent_.push_back(std::move(msg));
+  stats_.urgent_queue_max =
+      std::max<std::uint64_t>(stats_.urgent_queue_max, urgent_.size());
 }
 
 const Tag& RingServer::current_tag(ObjectId object) const {

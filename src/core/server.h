@@ -40,6 +40,7 @@
 #include "core/reconfig.h"
 #include "core/ring.h"
 #include "net/payload.h"
+#include "obs/probe.h"
 
 namespace hts::core {
 
@@ -118,6 +119,17 @@ struct ServerStats {
   std::uint64_t transition_parked = 0;  ///< client ops parked until the flip
   std::uint64_t migrations_in = 0;      ///< registers installed from a copy
   std::uint64_t dedup_merges = 0;       ///< MigrateDedup messages merged
+  // Observability (PR6): per-kind ingress, queue high-watermarks, migration
+  // volume. Always-on plain counters — one add per event, no branches.
+  std::uint64_t pre_writes_in = 0;      ///< PreWrite ring messages received
+  std::uint64_t commits_in = 0;         ///< WriteCommit ring messages received
+  std::uint64_t syncs_in = 0;           ///< SyncState ring messages received
+  std::uint64_t client_writes_in = 0;   ///< on_client_write calls
+  std::uint64_t client_reads_in = 0;    ///< on_client_read calls
+  std::uint64_t write_queue_max = 0;    ///< write queue high-watermark
+  std::uint64_t urgent_queue_max = 0;   ///< urgent queue high-watermark
+  std::uint64_t forward_queue_max = 0;  ///< fairness queue high-watermark
+  std::uint64_t migrate_bytes_in = 0;   ///< MigrateState wire bytes received
 };
 
 class RingServer {
@@ -246,8 +258,16 @@ class RingServer {
   [[nodiscard]] std::size_t write_queue_depth() const {
     return write_queue_.size();
   }
+  [[nodiscard]] std::size_t urgent_queue_depth() const {
+    return urgent_.size();
+  }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const FairScheduler& scheduler() const { return sched_; }
+
+  /// Attaches this server to a run's observability recorder (wire-silent:
+  /// probes only record, they never alter protocol decisions). Detached by
+  /// default — every probe call is then a single null-check branch.
+  void attach_obs(obs::ServerProbe probe) { probe_ = probe; }
 
  private:
   struct LocalWrite {
@@ -393,6 +413,8 @@ class RingServer {
   std::uint64_t transition_dedup_merges_ = 0;  // merges during this change
 
   ServerStats stats_;
+  obs::ServerProbe probe_;      // detached (all-null) unless a fabric attaches
+  std::uint64_t batch_seq_ = 0;  // id of the batch currently being assembled
 };
 
 }  // namespace hts::core

@@ -195,7 +195,9 @@ ExperimentResult run_with(Cluster& cluster, sim::Simulator& sim,
 
 ExperimentResult run_core_experiment(const ExperimentParams& p) {
   sim::Simulator sim;
-  SimCluster cluster(sim, cluster_config(p));
+  SimClusterConfig cfg = cluster_config(p);
+  cfg.recorder = p.recorder;
+  SimCluster cluster(sim, cfg);
   UniqueValueSource values;
   DriverSet set;
   attach_clients(sim, cluster, p, values, set,
@@ -203,6 +205,13 @@ ExperimentResult run_core_experiment(const ExperimentParams& p) {
                    cluster.add_client(machine, server);
                    return static_cast<ClientId>(cluster.client_count() - 1);
                  });
+  if (p.recorder != nullptr && p.series_bucket_s > 0) {
+    obs::TimeSeries* writes = p.recorder->registry().series(
+        "workload.write_bytes", p.series_bucket_s);
+    obs::TimeSeries* reads = p.recorder->registry().series(
+        "workload.read_bytes", p.series_bucket_s);
+    for (auto& d : set.drivers) d->set_series(writes, reads);
+  }
   for (const ReconfigStep& step : p.reconfig) {
     if (step.remove_last) {
       cluster.schedule_remove_last_ring(step.at);
@@ -210,7 +219,15 @@ ExperimentResult run_core_experiment(const ExperimentParams& p) {
       cluster.schedule_add_ring(step.at, step.add_ring_servers);
     }
   }
-  return run_with(cluster, sim, p, set);
+  ExperimentResult r = run_with(cluster, sim, p, set);
+  if (p.recorder != nullptr) {
+    cluster.export_metrics();
+    const auto& hists = p.recorder->registry().histograms();
+    if (auto it = hists.find("ring.batch_fill"); it != hists.end()) {
+      r.batch_fill_mean = it->second.mean();
+    }
+  }
+  return r;
 }
 
 template <typename Protocol>

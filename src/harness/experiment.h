@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/server.h"
+#include "obs/probe.h"
 
 namespace hts::harness {
 
@@ -58,6 +59,15 @@ struct ExperimentParams {
   std::vector<ReconfigStep> reconfig;
 
   core::ServerOptions server_options;
+
+  /// Observability (core protocol only): when set, the cluster attaches
+  /// probes, every driver feeds per-bucket completion series
+  /// ("workload.write_bytes" / "workload.read_bytes", covering the whole
+  /// run so a reconfiguration's throughput dip is a first-class exported
+  /// series), and the run ends with cluster.export_metrics(). Wire-silent.
+  obs::Recorder* recorder = nullptr;
+  /// Bucket width of the completion series (seconds).
+  double series_bucket_s = 0.1;
 };
 
 struct ExperimentResult {
@@ -71,6 +81,11 @@ struct ExperimentResult {
   double write_lat_ms_p99 = 0;
   double min_writer_mbps = 0;  ///< fairness check: slowest writer client
   double max_writer_mbps = 0;
+  /// Mean fill of the shared "ring.batch_fill" histogram (protocol messages
+  /// per ring transmission) — 0 when no recorder was attached. Every
+  /// next_ring_batch() pull records, so this equals the RingTraffic fill
+  /// factor ring_messages / transmissions exactly.
+  double batch_fill_mean = 0;
 };
 
 /// The paper's algorithm on the simulator.

@@ -6,8 +6,19 @@
 #include <utility>
 
 #include "core/messages.h"
+#include "harness/obs_report.h"
+#include "obs/net_stats.h"
 
 namespace hts::harness {
+
+namespace {
+// Shared histogram shapes: every server feeds one "ring.batch_fill"
+// histogram (its mean is exactly ring messages / transmissions, the
+// RingTraffic fill factor) and every session one backoff-delay histogram.
+const std::vector<double> kBatchFillBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+const std::vector<double> kBackoffBounds = {0.001, 0.01, 0.1, 0.25,
+                                            0.5,   1,    2,   4,   8};
+}  // namespace
 
 // ---------------------------------------------------------------- nodes
 
@@ -224,6 +235,11 @@ SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
   registry_ = std::make_shared<core::ViewRegistry>(view_);
   map_ = std::make_shared<const core::ShardMap>(topo_.n_rings());
   rings_by_epoch_.push_back(topo_.n_rings());
+  if (cfg_.recorder != nullptr) {
+    // Trace/metric timestamps are simulated seconds: a sim run's entire
+    // export is a pure function of the seed.
+    cfg_.recorder->set_clock([sim = &sim_] { return sim->now(); });
+  }
   server_net_ = std::make_unique<sim::Network>(sim_, cfg_.net);
   if (cfg_.shared_network) {
     client_net_ = server_net_.get();
@@ -257,6 +273,12 @@ SimCluster::ServerNode& SimCluster::spawn_server(RingId ring, ProcessId local,
                                            global, ring_base,
                                            cfg_.server_options);
   ServerNode* raw = node.get();
+  if (cfg_.recorder != nullptr) {
+    node->server.attach_obs(obs::ServerProbe{
+        cfg_.recorder, global,
+        cfg_.recorder->registry().histogram("ring.batch_fill",
+                                            kBatchFillBounds)});
+  }
   std::string label = "s";
   label += std::to_string(global);
   node->ring_nic = server_net_->add_nic(
@@ -313,6 +335,12 @@ core::ClientSession& SimCluster::add_client(std::size_t machine,
   const ClientId id = static_cast<ClientId>(clients_.size());
   clients_.push_back(
       std::make_unique<LogicalClient>(this, machine, id, opts));
+  if (cfg_.recorder != nullptr) {
+    clients_.back()->client.attach_obs(obs::ClientProbe{
+        cfg_.recorder, id,
+        cfg_.recorder->registry().histogram("client.backoff_delay_s",
+                                            kBackoffBounds)});
+  }
   if (cfg_.enable_reconfig) {
     clients_.back()->client.set_view_provider(
         [reg = registry_] { return reg->get(); });
@@ -640,6 +668,58 @@ std::vector<RingTraffic> SimCluster::traffic_per_ring() const {
     v.push_back(ring_traffic(r));
   }
   return v;
+}
+
+void SimCluster::export_metrics() {
+  if (cfg_.recorder == nullptr) return;
+  obs::MetricsRegistry& reg = cfg_.recorder->registry();
+
+  std::vector<const core::RingServer*> live;
+  for (const auto& node : servers_) {
+    export_server_stats(reg, "server.s" + std::to_string(node->global),
+                        node->server);
+    live.push_back(&node->server);
+  }
+  export_server_totals(reg, live);
+
+  std::vector<const core::ClientSession*> sessions;
+  for (const auto& lc : clients_) {
+    export_client_stats(reg, "client.c" + std::to_string(lc->client.id()),
+                        lc->client);
+    sessions.push_back(&lc->client);
+  }
+  export_client_totals(reg, sessions);
+
+  obs::export_links(reg, "net.server", *server_net_);
+  if (!cfg_.shared_network) {
+    obs::export_links(reg, "net.client", *client_net_);
+  }
+
+  RingTraffic total;
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
+    const RingTraffic t = ring_traffic(r);
+    const std::string prefix = "ring." + std::to_string(r);
+    reg.counter(prefix + ".transmissions")->set(t.transmissions);
+    reg.counter(prefix + ".bytes")->set(t.bytes);
+    reg.counter(prefix + ".ring_messages")->set(t.ring_messages);
+    reg.counter(prefix + ".batches")->set(t.batches);
+    total.transmissions += t.transmissions;
+    total.bytes += t.bytes;
+    total.ring_messages += t.ring_messages;
+    total.batches += t.batches;
+  }
+  reg.counter("ring.total.transmissions")->set(total.transmissions);
+  reg.counter("ring.total.bytes")->set(total.bytes);
+  reg.counter("ring.total.ring_messages")->set(total.ring_messages);
+  reg.counter("ring.total.batches")->set(total.batches);
+
+  reg.gauge("view.epoch")->set(static_cast<double>(view_.epoch));
+  reg.gauge("view.rings")->set(static_cast<double>(topo_.n_rings()));
+  reg.counter("migration.objects_moved")
+      ->set(migration_stats_.objects_moved);
+  reg.counter("migration.bytes_moved")->set(migration_stats_.bytes_moved);
+  reg.counter("migration.dedup_bytes")->set(migration_stats_.dedup_bytes);
+  reg.counter("migration.reconfigs")->set(migration_stats_.reconfigs);
 }
 
 }  // namespace hts::harness

@@ -39,6 +39,7 @@
 #include "harness/ring_traffic.h"
 #include "harness/workload.h"
 #include "net/payload.h"
+#include "obs/probe.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -88,6 +89,13 @@ struct SimClusterConfig {
   bool enable_reconfig = true;
   /// How often the migration coordinator re-polls for drain/copy progress.
   double reconfig_poll_s = 2e-4;
+
+  /// Observability (DESIGN.md D9): when set, the cluster drives the
+  /// recorder's clock from simulated time, attaches a probe to every server
+  /// and client session, and export_metrics() snapshots the deployment into
+  /// the recorder's registry. Wire-silent: probes only record — a run with
+  /// a recorder emits bit-for-bit the traffic of a run without one (tested).
+  obs::Recorder* recorder = nullptr;
 
   /// The deployment this config describes (single ring unless set).
   [[nodiscard]] core::Topology resolved_topology() const {
@@ -163,6 +171,15 @@ class SimCluster {
   [[nodiscard]] RingTraffic ring_traffic(RingId r) const;
   /// ring_traffic for every ring of the topology, in ring order.
   [[nodiscard]] std::vector<RingTraffic> traffic_per_ring() const;
+
+  /// Snapshots the deployment into the configured recorder's registry:
+  /// per-server protocol stats and queue depths ("server.s<g>.*" plus the
+  /// "server.total.*" sums), per-client session counters ("client.c<id>.*" /
+  /// "client.total.*"), per-NIC link counters ("net.server.*" /
+  /// "net.client.*"), per-ring wire traffic ("ring.<r>.*" / "ring.total.*")
+  /// and the current view epoch. Idempotent (counters are set, not
+  /// incremented); no-op without a recorder.
+  void export_metrics();
 
  private:
   struct ServerNode;

@@ -9,8 +9,20 @@
 #include <utility>
 
 #include "core/messages.h"
+#include "harness/obs_report.h"
+#include "obs/net_stats.h"
 
 namespace hts::harness {
+
+namespace {
+
+// Same histogram shapes as SimCluster, so both fabrics' exports validate
+// against one schema.
+const std::vector<double> kBatchFillBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+const std::vector<double> kBackoffBounds = {0.001, 0.01, 0.1, 0.25,
+                                            0.5,   1,    2,   4,   8};
+
+}  // namespace
 
 namespace {
 
@@ -276,13 +288,13 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
                                        : r.value.synthetic_seed();
         cluster->history_.record_read(client.id(), seen, r.invoked_at,
                                       r.completed_at, r.tag, r.object, ring,
-                                      r.epoch);
+                                      r.epoch, r.req);
       } else {
         const std::uint64_t seed =
             it != pending.end() ? it->second.value_seed : 0;
         cluster->history_.record_write(client.id(), seed, r.invoked_at,
                                        r.completed_at, r.object, ring,
-                                       r.epoch);
+                                       r.epoch, r.req);
       }
     }
     if (it != pending.end()) {
@@ -315,6 +327,11 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
   registry_ = std::make_shared<core::ViewRegistry>(view_);
   map_ = std::make_shared<const core::ShardMap>(topo_.n_rings());
   rings_by_epoch_.push_back(topo_.n_rings());
+  if (cfg_.recorder != nullptr) {
+    // Wall-clock seconds since construction: monotonic across every node
+    // thread, comparable with OpResult timestamps (ClientContext::now()).
+    cfg_.recorder->set_clock([this] { return elapsed(); });
+  }
   for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
     for (ProcessId local = 0; local < topo_.ring_size(r); ++local) {
       ServerHost& host = spawn_server(r, local, topo_.ring_size(r),
@@ -337,6 +354,12 @@ ThreadedCluster::ServerHost& ThreadedCluster::spawn_server(
                                            global, ring_base,
                                            cfg_.server_options);
   ServerHost* raw = host.get();
+  if (cfg_.recorder != nullptr) {
+    raw->server.attach_obs(obs::ServerProbe{
+        cfg_.recorder, global,
+        cfg_.recorder->registry().histogram("ring.batch_fill",
+                                            kBatchFillBounds)});
+  }
   if (before_register) before_register(raw->server);
   assert(servers_.size() == global &&
          "threaded fabric does not reuse retired global-id slots "
@@ -372,6 +395,12 @@ ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
   const ClientId id = static_cast<ClientId>(clients_.size());
   auto host = std::make_unique<ClientHost>(this, id, opts);
   ClientHost* raw = host.get();
+  if (cfg_.recorder != nullptr) {
+    raw->client.attach_obs(obs::ClientProbe{
+        cfg_.recorder, id,
+        cfg_.recorder->registry().histogram("client.backoff_delay_s",
+                                            kBackoffBounds)});
+  }
   transport_.register_node(
       net::NodeAddress::client(id),
       [raw](net::NodeAddress from, net::PayloadPtr m) {
@@ -705,6 +734,57 @@ std::vector<RingTraffic> ThreadedCluster::traffic_per_ring() const {
     v.push_back(ring_traffic(r));
   }
   return v;
+}
+
+void ThreadedCluster::export_metrics() {
+  if (cfg_.recorder == nullptr) return;
+  obs::MetricsRegistry& reg = cfg_.recorder->registry();
+
+  std::vector<const core::RingServer*> all;
+  for (const auto& host : servers_) {
+    export_server_stats(reg, "server.s" + std::to_string(host->global),
+                        host->server);
+    all.push_back(&host->server);
+  }
+  export_server_totals(reg, all);
+
+  std::vector<const core::ClientSession*> sessions;
+  for (const auto& host : clients_) {
+    export_client_stats(reg, "client.c" + std::to_string(host->client.id()),
+                        host->client);
+    sessions.push_back(&host->client);
+  }
+  export_client_totals(reg, sessions);
+
+  // One transport carries everything here; per-node tx counters go under a
+  // single "net.host" prefix (labels "s<id>" / "c<id>").
+  obs::export_links(reg, "net.host", transport_);
+
+  RingTraffic total;
+  for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
+    const RingTraffic t = ring_traffic(r);
+    const std::string prefix = "ring." + std::to_string(r);
+    reg.counter(prefix + ".transmissions")->set(t.transmissions);
+    reg.counter(prefix + ".bytes")->set(t.bytes);
+    reg.counter(prefix + ".ring_messages")->set(t.ring_messages);
+    reg.counter(prefix + ".batches")->set(t.batches);
+    total.transmissions += t.transmissions;
+    total.bytes += t.bytes;
+    total.ring_messages += t.ring_messages;
+    total.batches += t.batches;
+  }
+  reg.counter("ring.total.transmissions")->set(total.transmissions);
+  reg.counter("ring.total.bytes")->set(total.bytes);
+  reg.counter("ring.total.ring_messages")->set(total.ring_messages);
+  reg.counter("ring.total.batches")->set(total.batches);
+
+  reg.gauge("view.epoch")->set(static_cast<double>(view().epoch));
+  reg.gauge("view.rings")->set(static_cast<double>(topo_.n_rings()));
+  reg.counter("migration.objects_moved")
+      ->set(migration_stats_.objects_moved);
+  reg.counter("migration.bytes_moved")->set(migration_stats_.bytes_moved);
+  reg.counter("migration.dedup_bytes")->set(migration_stats_.dedup_bytes);
+  reg.counter("migration.reconfigs")->set(migration_stats_.reconfigs);
 }
 
 // ---------------------------------------------------------------- client

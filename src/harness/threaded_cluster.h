@@ -38,6 +38,7 @@
 #include "harness/ring_traffic.h"
 #include "lincheck/history.h"
 #include "net/inmem_transport.h"
+#include "obs/probe.h"
 
 namespace hts::harness {
 
@@ -60,6 +61,12 @@ struct ThreadedClusterConfig {
   /// Epoch-versioned views (enables add_ring/remove_last_ring); false
   /// restores the PR 4 wiring exactly.
   bool enable_reconfig = true;
+
+  /// Observability (DESIGN.md D9): when set, event time is wall-clock
+  /// seconds since cluster construction (steady_clock — monotonic, not
+  /// deterministic), every server/session gets a probe, and
+  /// export_metrics() snapshots the deployment. Wire-silent.
+  obs::Recorder* recorder = nullptr;
 
   /// The deployment this config describes (single ring unless set).
   [[nodiscard]] core::Topology resolved_topology() const {
@@ -173,6 +180,13 @@ class ThreadedCluster {
   /// quiescent.
   [[nodiscard]] RingTraffic ring_traffic(RingId r) const;
   [[nodiscard]] std::vector<RingTraffic> traffic_per_ring() const;
+
+  /// Snapshots the deployment into the configured recorder's registry —
+  /// the same metric names SimCluster::export_metrics emits (per-server
+  /// stats, client session counters, per-node transport link counters under
+  /// "net.host.*", per-ring traffic, view epoch). Call while quiescent;
+  /// idempotent; no-op without a recorder.
+  void export_metrics();
 
  private:
   struct ServerHost;

@@ -68,20 +68,29 @@ void ClosedLoopDriver::completed(const core::OpResult& r) {
       reads_.record(r.value.size());
       read_lat_.record(r.completed_at - op.invoked_at);
     }
+    if (read_series_ != nullptr) {
+      read_series_->record(r.completed_at,
+                           static_cast<double>(r.value.size()));
+    }
     if (history_ != nullptr) {
       const std::uint64_t seen =
           r.value.empty() ? lincheck::kInitialValueId : r.value.synthetic_seed();
       history_->record_read(client_id_, seen, op.invoked_at, r.completed_at,
-                            r.tag, op.object, r.ring, r.epoch);
+                            r.tag, op.object, r.ring, r.epoch, r.req);
     }
   } else {
     if (in_window) {
       writes_.record(cfg_.value_size);
       write_lat_.record(r.completed_at - op.invoked_at);
     }
+    if (write_series_ != nullptr) {
+      write_series_->record(r.completed_at,
+                            static_cast<double>(cfg_.value_size));
+    }
     if (history_ != nullptr) {
       history_->record_write(client_id_, op.value_seed, op.invoked_at,
-                             r.completed_at, op.object, r.ring, r.epoch);
+                             r.completed_at, op.object, r.ring, r.epoch,
+                             r.req);
     }
   }
   issue();
@@ -93,7 +102,7 @@ void ClosedLoopDriver::finalize() {
     // A pending read constrains nothing; skip it.
     if (op.is_read) continue;
     history_->record_write(client_id_, op.value_seed, op.invoked_at,
-                           lincheck::kPending, op.object);
+                           lincheck::kPending, op.object, kNoRing, 0, req);
   }
 }
 

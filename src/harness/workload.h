@@ -18,6 +18,7 @@
 #include "common/value.h"
 #include "core/client.h"
 #include "lincheck/history.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace hts::harness {
@@ -85,6 +86,15 @@ class ClosedLoopDriver {
   /// Flushes still-outstanding write operations into the history as pending.
   void finalize();
 
+  /// Optional per-bucket completion series (observability): every completed
+  /// op records its payload bytes at its completion time, across the whole
+  /// run (not just the measurement window) — fig8's migration dip becomes a
+  /// first-class exported series. Either pointer may be null.
+  void set_series(obs::TimeSeries* write_bytes, obs::TimeSeries* read_bytes) {
+    write_series_ = write_bytes;
+    read_series_ = read_bytes;
+  }
+
   [[nodiscard]] const ThroughputMeter& read_meter() const { return reads_; }
   [[nodiscard]] const ThroughputMeter& write_meter() const { return writes_; }
   [[nodiscard]] const LatencyStats& read_latency() const { return read_lat_; }
@@ -117,6 +127,8 @@ class ClosedLoopDriver {
   ThroughputMeter reads_, writes_;
   LatencyStats read_lat_, write_lat_;
   std::uint64_t issued_ = 0;
+  obs::TimeSeries* write_series_ = nullptr;
+  obs::TimeSeries* read_series_ = nullptr;
 };
 
 }  // namespace hts::harness

@@ -47,7 +47,7 @@ CheckResult per_object(const History& h, Leaf leaf) {
       return r;
     }
   }
-  return {true, ""};
+  return {};
 }
 
 }  // namespace
@@ -80,13 +80,15 @@ CheckResult check_ring_assignment(const History& h) {
     auto [it, fresh] = first_served.emplace(std::pair{op.object, op.epoch},
                                             &op);
     if (!fresh && it->second->ring != op.ring) {
-      return {false, "object " + std::to_string(op.object) + " in epoch " +
-                         std::to_string(op.epoch) +
-                         " served by two rings: " + it->second->describe() +
-                         " vs " + op.describe()};
+      return {false,
+              "object " + std::to_string(op.object) + " in epoch " +
+                  std::to_string(op.epoch) +
+                  " served by two rings: " + it->second->describe() + " vs " +
+                  op.describe(),
+              {*it->second, op}};
     }
   }
-  return {true, ""};
+  return {};
 }
 
 CheckResult check_ring_assignment(
@@ -100,10 +102,12 @@ CheckResult check_ring_assignment(
   for (const Op& op : h.ops()) {
     if (op.ring == kNoRing) continue;
     if (op.epoch >= rings_at_epoch.size()) {
-      return {false, "op served in unknown epoch " +
-                         std::to_string(op.epoch) + " (view history has " +
-                         std::to_string(rings_at_epoch.size()) +
-                         " epochs): " + op.describe()};
+      return {false,
+              "op served in unknown epoch " + std::to_string(op.epoch) +
+                  " (view history has " +
+                  std::to_string(rings_at_epoch.size()) +
+                  " epochs): " + op.describe(),
+              {op}};
     }
     auto& map = maps[op.epoch];
     if (!map) {
@@ -111,13 +115,15 @@ CheckResult check_ring_assignment(
     }
     const RingId owner = map->ring_of(op.object);
     if (op.ring != owner) {
-      return {false, "object " + std::to_string(op.object) +
-                         " is owned by ring " + std::to_string(owner) +
-                         " in epoch " + std::to_string(op.epoch) +
-                         " but was served elsewhere: " + op.describe()};
+      return {false,
+              "object " + std::to_string(op.object) + " is owned by ring " +
+                  std::to_string(owner) + " in epoch " +
+                  std::to_string(op.epoch) +
+                  " but was served elsewhere: " + op.describe(),
+              {op}};
     }
   }
-  return {true, ""};
+  return {};
 }
 
 // ------------------------------------------------------------- fast checker
@@ -132,6 +138,10 @@ CheckResult check_register_single(const History& h) {
     double max_inv = kNegInf;   // Mi: latest invocation among member ops
     double min_resp = kPosInf;  // mr: earliest response among member ops
     std::size_t n_reads = 0;
+    // Witness ops realizing the extremes above (for failure reports).
+    const Op* write_op = nullptr;
+    const Op* max_inv_op = nullptr;
+    const Op* min_resp_op = nullptr;
   };
 
   std::unordered_map<std::uint64_t, std::size_t> index;
@@ -152,19 +162,28 @@ CheckResult check_register_single(const History& h) {
   for (const Op& op : h.ops()) {
     if (op.is_read) continue;
     if (op.value == kInitialValueId) {
-      return {false, "write of the reserved initial value id 0: " +
-                         op.describe()};
+      return {false,
+              "write of the reserved initial value id 0: " + op.describe(),
+              {op}};
     }
     Cluster& c = cluster_of(op.value);
     if (c.has_write) {
       return {false,
               "duplicate write value " + std::to_string(op.value) +
-                  " — the unique-value checker requires distinct writes"};
+                  " — the unique-value checker requires distinct writes",
+              {*c.write_op, op}};
     }
     c.has_write = true;
+    c.write_op = &op;
     c.write_inv = op.invoked_at;
-    c.max_inv = std::max(c.max_inv, op.invoked_at);
-    c.min_resp = std::min(c.min_resp, op.responded_at);
+    if (op.invoked_at > c.max_inv) {
+      c.max_inv = op.invoked_at;
+      c.max_inv_op = &op;
+    }
+    if (op.responded_at < c.min_resp) {
+      c.min_resp = op.responded_at;
+      c.min_resp_op = &op;
+    }
   }
 
   // Pass 2: reads (pending reads constrain nothing and are skipped; a write
@@ -174,16 +193,25 @@ CheckResult check_register_single(const History& h) {
     if (!op.is_read || op.pending()) continue;
     Cluster& c = cluster_of(op.value);
     if (op.value != kInitialValueId && !c.has_write) {
-      return {false, "read returned a value never written: " + op.describe()};
+      return {false,
+              "read returned a value never written: " + op.describe(),
+              {op}};
     }
     if (c.has_write && op.responded_at < c.write_inv) {
-      return {false, "read of value " + std::to_string(op.value) +
-                         " responded at " + fmt(op.responded_at) +
-                         " before its write was invoked at " +
-                         fmt(c.write_inv)};
+      return {false,
+              "read of value " + std::to_string(op.value) + " responded at " +
+                  fmt(op.responded_at) +
+                  " before its write was invoked at " + fmt(c.write_inv),
+              {op, *c.write_op}};
     }
-    c.max_inv = std::max(c.max_inv, op.invoked_at);
-    c.min_resp = std::min(c.min_resp, op.responded_at);
+    if (op.invoked_at > c.max_inv) {
+      c.max_inv = op.invoked_at;
+      c.max_inv_op = &op;
+    }
+    if (op.responded_at < c.min_resp) {
+      c.min_resp = op.responded_at;
+      c.min_resp_op = &op;
+    }
     ++c.n_reads;
   }
 
@@ -198,11 +226,15 @@ CheckResult check_register_single(const History& h) {
     for (const Cluster& c : clusters) {
       if (&c == &init) continue;
       if (c.min_resp < init.max_inv) {
+        std::vector<Op> w;
+        if (c.min_resp_op != nullptr) w.push_back(*c.min_resp_op);
+        if (init.max_inv_op != nullptr) w.push_back(*init.max_inv_op);
         return {false,
                 "a read of the initial value invoked at " + fmt(init.max_inv) +
                     " follows the completed operation block of value " +
                     std::to_string(c.value) + " (min response " +
-                    fmt(c.min_resp) + ") — stale initial-value read"};
+                    fmt(c.min_resp) + ") — stale initial-value read",
+                std::move(w)};
       }
     }
   }
@@ -242,12 +274,21 @@ CheckResult check_register_single(const History& h) {
         const double best_mi = prefix_max_mi[k - 1];
         if (best_mi > j.mr) {
           const std::uint64_t other = prefix_value_of_max[k - 1];
+          // The four extreme ops realizing the cycle: each block's earliest
+          // response and latest invocation (duplicates possible, harmless).
+          std::vector<Op> w;
+          for (const std::uint64_t v : {other, j.value}) {
+            const Cluster& c = clusters[index.at(v)];
+            if (c.min_resp_op != nullptr) w.push_back(*c.min_resp_op);
+            if (c.max_inv_op != nullptr) w.push_back(*c.max_inv_op);
+          }
           return {false,
                   "operation blocks of values " + std::to_string(other) +
                       " and " + std::to_string(j.value) +
                       " must each precede the other (real-time cycle): "
                       "each block has an op completing before an op of the "
-                      "other is invoked"};
+                      "other is invoked",
+                  std::move(w)};
         }
       }
     }
@@ -261,7 +302,7 @@ CheckResult check_register_single(const History& h) {
     }
   }
 
-  return {true, ""};
+  return {};
 }
 
 }  // namespace
@@ -313,14 +354,18 @@ CheckResult check_tag_order_single(const History& h) {
       ++cursor;
     }
     if (r->tag < max_tag) {
-      return {false, "read inversion: " + r->describe() + " returned tag " +
-                         r->tag.to_string() + " after " +
-                         (max_op ? max_op->describe() : std::string("?")) +
-                         " (responded " + fmt(max_tag_resp) +
-                         ") returned newer tag " + max_tag.to_string()};
+      std::vector<Op> w{*r};
+      if (max_op != nullptr) w.push_back(*max_op);
+      return {false,
+              "read inversion: " + r->describe() + " returned tag " +
+                  r->tag.to_string() + " after " +
+                  (max_op ? max_op->describe() : std::string("?")) +
+                  " (responded " + fmt(max_tag_resp) +
+                  ") returned newer tag " + max_tag.to_string(),
+              std::move(w)};
     }
   }
-  return {true, ""};
+  return {};
 }
 
 }  // namespace
@@ -379,7 +424,7 @@ CheckResult check_register_brute_single(const History& h) {
     base.push_back(op);
   }
   const std::size_t k = pending_writes.size();
-  if (k > 16) return {false, "brute checker: too many pending writes"};
+  if (k > 16) return {false, "brute checker: too many pending writes", {}};
   for (std::uint64_t mask = 0; mask < (1ull << k); ++mask) {
     std::vector<Op> ops;
     ops.reserve(base.size());
@@ -397,9 +442,10 @@ CheckResult check_register_brute_single(const History& h) {
     }
     BruteState st{&ops, std::vector<bool>(ops.size(), false),
                   kInitialValueId};
-    if (brute_dfs(st, ops.size())) return {true, ""};
+    if (brute_dfs(st, ops.size())) return {};
   }
-  return {false, "no linearization exists (exhaustive search)"};
+  // No single pair to blame — the whole (tiny) history is the witness.
+  return {false, "no linearization exists (exhaustive search)", h.ops()};
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "lincheck/history.h"
 
@@ -39,6 +40,10 @@ namespace hts::lincheck {
 struct CheckResult {
   bool linearizable = true;
   std::string explanation;  // human-readable witness of the violation
+  /// The concrete ops implicated in the violation (empty when linearizable).
+  /// Each carries its client and wire request id, so an observability
+  /// harness can join them to their trace spans (harness/obs_report.h).
+  std::vector<Op> witnesses;
 
   explicit operator bool() const { return linearizable; }
 };

@@ -42,6 +42,11 @@ struct Op {
   /// Epoch the op was served in (from the reply frame; 0 = boot view). The
   /// epoch-aware assignment check verifies `ring` owns `object` under it.
   Epoch epoch = 0;
+  /// Wire-level request id the op travelled under (0 when the recorder did
+  /// not track it). Joins a failed checker's witness ops to their trace
+  /// spans in the observability buffer. Appended last so aggregate
+  /// initializers of the earlier fields stay valid.
+  RequestId req = 0;
 
   [[nodiscard]] bool pending() const { return responded_at == kPending; }
 
@@ -57,15 +62,16 @@ class History {
  public:
   void record_write(ClientId c, std::uint64_t value, double inv, double resp,
                     ObjectId object = kDefaultObject, RingId ring = kNoRing,
-                    Epoch epoch = 0) {
+                    Epoch epoch = 0, RequestId req = 0) {
     ops_.push_back(
-        Op{c, false, value, inv, resp, kInitialTag, object, ring, epoch});
+        Op{c, false, value, inv, resp, kInitialTag, object, ring, epoch, req});
   }
 
   void record_read(ClientId c, std::uint64_t value, double inv, double resp,
                    Tag tag = kInitialTag, ObjectId object = kDefaultObject,
-                   RingId ring = kNoRing, Epoch epoch = 0) {
-    ops_.push_back(Op{c, true, value, inv, resp, tag, object, ring, epoch});
+                   RingId ring = kNoRing, Epoch epoch = 0, RequestId req = 0) {
+    ops_.push_back(
+        Op{c, true, value, inv, resp, tag, object, ring, epoch, req});
   }
 
   void record(Op op) { ops_.push_back(op); }

@@ -108,6 +108,10 @@ void InMemTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
   }
   transmissions_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+  if (src != nullptr) {
+    src->tx_messages.fetch_add(1, std::memory_order_relaxed);
+    src->tx_bytes.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+  }
   const std::scoped_lock lock(dst->mu);
   dst->queue.push_back(
       WorkItem{WorkItem::Kind::kMessage, from, std::move(msg)});
@@ -234,6 +238,18 @@ void InMemTransport::run_timer_thread() {
     }
     lock.lock();
   }
+}
+
+std::vector<obs::LinkCounters> InMemTransport::link_counters() const {
+  std::vector<obs::LinkCounters> out;
+  for (const Node* n : snapshot_nodes()) {
+    const char prefix = n->addr.kind == NodeAddress::Kind::kServer ? 's' : 'c';
+    out.push_back(obs::LinkCounters{
+        prefix + std::to_string(n->addr.id),
+        n->tx_messages.load(std::memory_order_relaxed),
+        n->tx_bytes.load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 bool InMemTransport::wait_quiescent(double timeout_s) {

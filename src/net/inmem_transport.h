@@ -28,10 +28,11 @@
 
 #include "common/types.h"
 #include "net/payload.h"
+#include "obs/net_stats.h"
 
 namespace hts::net {
 
-class InMemTransport {
+class InMemTransport : public obs::LinkStatsSource {
  public:
   /// Delivered message: payload plus sender address.
   using MessageHandler = std::function<void(NodeAddress from, PayloadPtr)>;
@@ -84,6 +85,12 @@ class InMemTransport {
     return bytes_sent_.load(std::memory_order_relaxed);
   }
 
+  /// obs::LinkStatsSource: per-node transmit accounting ("s<id>"/"c<id>"
+  /// labels), the counterpart of sim::Network's per-NIC counters. A node's
+  /// counters cover every send() it originated that was accepted for
+  /// delivery.
+  [[nodiscard]] std::vector<obs::LinkCounters> link_counters() const override;
+
  private:
   struct WorkItem {
     enum class Kind : std::uint8_t { kMessage, kCrashNotice, kTimer } kind;
@@ -105,6 +112,11 @@ class InMemTransport {
     bool up = true;
     bool busy = false;
     std::thread thread;
+
+    // Per-node transmit accounting (obs::LinkStatsSource); relaxed atomics,
+    // bumped on the send path by whichever thread calls send().
+    std::atomic<std::uint64_t> tx_messages{0};
+    std::atomic<std::uint64_t> tx_bytes{0};
   };
 
   void run_node(Node& n);

@@ -1,0 +1,168 @@
+// Process-local metrics registry: named counters, gauges, fixed-bucket
+// histograms and fixed-width time series.
+//
+// Design contract (DESIGN.md D9):
+//  - Registration (registry.counter(name) etc.) happens on the controlling
+//    thread only — the harness wires probes up before traffic starts.
+//    Handles are stable pointers for the registry's lifetime (std::map
+//    storage, nodes never move).
+//  - Recording (inc/set/record) is thread-safe: counters and gauges are
+//    relaxed atomics, histograms and series take an internal mutex. On the
+//    simulator everything runs on one thread and the atomics/mutexes cost
+//    nothing contended; on ThreadedCluster many node threads record
+//    concurrently.
+//  - The disabled path is near-zero cost: probes hold nullable pointers and
+//    every helper is a null check, so a run without a Recorder attached pays
+//    one predictable branch per site.
+//  - Export is deterministic: names are iterated in sorted order (std::map)
+//    and doubles are printed with a fixed format, so two identical seeded
+//    sim runs produce byte-identical exports.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hts::obs {
+
+/// Monotonic (or set-to-latest) 64-bit counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins double gauge (queue depths, epochs, watermarks).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples with
+/// value <= bounds[i] (first matching bound); samples above the last bound
+/// land in the overflow bucket. Mean/count/sum are exact regardless of
+/// bucketing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    counts_.assign(bounds_.size() + 1, 0);
+  }
+
+  void record(double v) {
+    const std::scoped_lock lock(mu_);
+    ++count_;
+    sum_ += v;
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    const std::scoped_lock lock(mu_);
+    return count_;
+  }
+  [[nodiscard]] double sum() const {
+    const std::scoped_lock lock(mu_);
+    return sum_;
+  }
+  [[nodiscard]] double mean() const {
+    const std::scoped_lock lock(mu_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Snapshot of per-bucket counts (bounds().size() + 1 entries; the last is
+  /// the overflow bucket).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const {
+    const std::scoped_lock lock(mu_);
+    return counts_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width time series: values recorded at time t accumulate into bucket
+/// floor(t / width). Buckets materialize on demand so a series over a long
+/// run stays proportional to the run, not to the recording rate.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_width_s) : width_(bucket_width_s) {}
+
+  void record(double t, double v = 1.0) {
+    if (width_ <= 0) return;
+    const auto idx = static_cast<std::size_t>(t / width_);
+    const std::scoped_lock lock(mu_);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+    buckets_[idx] += v;
+  }
+
+  [[nodiscard]] double bucket_width() const { return width_; }
+  [[nodiscard]] std::vector<double> buckets() const {
+    const std::scoped_lock lock(mu_);
+    return buckets_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double width_;
+  std::vector<double> buckets_;
+};
+
+/// Named metric registry. Lookup-or-create by name; handles are stable
+/// pointers (map nodes never move). Registration is controlling-thread-only;
+/// see the header comment for the full contract.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  Gauge* gauge(const std::string& name) { return &gauges_[name]; }
+
+  Histogram* histogram(const std::string& name, std::vector<double> bounds) {
+    // try_emplace constructs in place (Histogram owns a mutex, not movable);
+    // an existing entry keeps its bounds.
+    return &histograms_.try_emplace(name, std::move(bounds)).first->second;
+  }
+
+  TimeSeries* series(const std::string& name, double bucket_width_s) {
+    return &series_.try_emplace(name, bucket_width_s).first->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, TimeSeries>& series() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace hts::obs

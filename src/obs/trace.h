@@ -1,0 +1,146 @@
+// Per-operation trace spans.
+//
+// Every probe site appends a TraceEvent to a bounded ring buffer; the events
+// carrying the same (client, req) pair form that operation's span: submit →
+// sends → retries → epoch refresh → reply on the client side, enqueue →
+// fairness pick → batch seal → park/replay → migrate on the server side.
+// Timestamps come from the Recorder's clock — simulated seconds on
+// SimCluster (deterministic), steady_clock seconds on ThreadedCluster — so
+// a sim trace is a pure function of the seed.
+//
+// The buffer overwrites oldest events on overflow; `dropped()` reports how
+// many were lost so exports never silently truncate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hts::obs {
+
+enum class EventKind : std::uint8_t {
+  // Client-side hops.
+  kClientSubmit = 0,    ///< op entered the session (a = object)
+  kClientSend,          ///< frame handed to the transport (a = target server)
+  kClientRetry,         ///< timer fired, resend (a = attempt number)
+  kClientNacked,        ///< EpochNack received (a = server epoch)
+  kClientEpochRefresh,  ///< session adopted a newer view (a = new epoch)
+  kClientReply,         ///< final reply (a = serving server, b = attempts)
+  // Server-side hops.
+  kWriteEnqueue,      ///< write accepted into the write queue (a = depth)
+  kReadImmediate,     ///< read served from committed state
+  kReadPark,          ///< read parked behind an in-flight write
+  kDedupAck,          ///< duplicate write acked from the dedup table
+  kFairnessPick,      ///< scheduler chose this op for a batch (a = batch id)
+  kBatchSeal,         ///< batch sealed for the ring (a = batch id, b = fill)
+  kTransitionPark,    ///< op frozen during a view transition
+  kTransitionReplay,  ///< frozen op replayed after commit (a = epoch)
+  kMigrateIn,         ///< object state arrived via MigrateState (a = bytes)
+  kEpochNackSent,     ///< server bounced a stale-epoch op (a = server epoch)
+};
+
+[[nodiscard]] constexpr const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kClientSubmit: return "client.submit";
+    case EventKind::kClientSend: return "client.send";
+    case EventKind::kClientRetry: return "client.retry";
+    case EventKind::kClientNacked: return "client.nacked";
+    case EventKind::kClientEpochRefresh: return "client.epoch_refresh";
+    case EventKind::kClientReply: return "client.reply";
+    case EventKind::kWriteEnqueue: return "server.write_enqueue";
+    case EventKind::kReadImmediate: return "server.read_immediate";
+    case EventKind::kReadPark: return "server.read_park";
+    case EventKind::kDedupAck: return "server.dedup_ack";
+    case EventKind::kFairnessPick: return "server.fairness_pick";
+    case EventKind::kBatchSeal: return "server.batch_seal";
+    case EventKind::kTransitionPark: return "server.transition_park";
+    case EventKind::kTransitionReplay: return "server.transition_replay";
+    case EventKind::kMigrateIn: return "server.migrate_in";
+    case EventKind::kEpochNackSent: return "server.epoch_nack";
+  }
+  return "unknown";
+}
+
+struct TraceEvent {
+  double t = 0.0;
+  EventKind kind = EventKind::kClientSubmit;
+  /// Recording actor: server id for server-side events, client id (narrowed
+  /// label) for client-side ones. Interpreted via `server_side`.
+  std::uint64_t actor = 0;
+  bool server_side = false;
+  /// The operation this event belongs to (0/0 for op-less events such as
+  /// kBatchSeal and kMigrateIn).
+  ClientId client = 0;
+  RequestId req = 0;
+  /// Event-specific values; see EventKind comments.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Bounded, mutex-guarded event ring. Overwrites oldest on overflow.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void record(const TraceEvent& ev) {
+    const std::scoped_lock lock(mu_);
+    ++total_;
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(ev);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return events_.size();
+  }
+  /// Events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    const std::scoped_lock lock(mu_);
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::scoped_lock lock(mu_);
+    return dropped_;
+  }
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    const std::scoped_lock lock(mu_);
+    return {events_.begin(), events_.end()};
+  }
+
+  /// Events belonging to one operation, in recording order. Server-side
+  /// op-less events are excluded (they carry client 0 / req 0).
+  [[nodiscard]] std::vector<TraceEvent> for_op(ClientId client,
+                                              RequestId req) const {
+    const std::scoped_lock lock(mu_);
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& ev : events_) {
+      if (ev.client == client && ev.req == req) out.push_back(ev);
+    }
+    return out;
+  }
+
+  void clear() {
+    const std::scoped_lock lock(mu_);
+    events_.clear();
+    total_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hts::obs

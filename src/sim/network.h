@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/payload.h"
+#include "obs/net_stats.h"
 #include "sim/simulator.h"
 
 namespace hts::sim {
@@ -61,7 +62,7 @@ struct NetConfig {
 using NicId = std::uint32_t;
 inline constexpr NicId kNoNic = 0xFFFFFFFFu;
 
-class Network {
+class Network : public obs::LinkStatsSource {
  public:
   using DeliverFn = std::function<void(net::PayloadPtr)>;
 
@@ -131,6 +132,17 @@ class Network {
   }
   [[nodiscard]] std::uint64_t nic_bytes_sent(NicId n) const {
     return nics_[n].tx_bytes;
+  }
+
+  /// obs::LinkStatsSource: the same per-NIC transmit accounting behind the
+  /// fabric-independent interface the metrics exporter reads.
+  [[nodiscard]] std::vector<obs::LinkCounters> link_counters() const override {
+    std::vector<obs::LinkCounters> out;
+    out.reserve(nics_.size());
+    for (const Nic& n : nics_) {
+      out.push_back(obs::LinkCounters{n.label, n.tx_messages, n.tx_bytes});
+    }
+    return out;
   }
 
  private:

@@ -1,0 +1,38 @@
+// Pretty-prints a trace CSV (as exported by obs::trace_to_csv) as per-op
+// spans. Reads the file named on the command line, or stdin.
+//
+//   trace_dump run_trace.csv
+//   bench_fig5 --quick --metrics-json out.json && trace_dump out.trace.csv
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+
+int main(int argc, char** argv) {
+  std::string csv;
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "trace_dump: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) csv.append(buf, n);
+    std::fclose(f);
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    csv = ss.str();
+  }
+
+  const auto events = hts::obs::parse_trace_csv(csv);
+  if (events.empty()) {
+    std::fprintf(stderr, "trace_dump: no parseable trace events\n");
+    return 1;
+  }
+  std::fputs(hts::obs::format_spans(events).c_str(), stdout);
+  return 0;
+}
