@@ -1,0 +1,48 @@
+// The repo's single wall-clock authority (DESIGN.md §Static analysis, D10).
+//
+// Deterministic layers (src/sim/, src/core/) must never read a real clock —
+// tools/hts_lint.py rejects any std::chrono clock or C time call there, and
+// everywhere else in src/ the only sanctioned way to touch steady_clock is
+// through these helpers, so the determinism lint has exactly one allowlisted
+// call site. Non-deterministic time consumers today: the threaded transport
+// (timer deadlines, failure detection), ThreadedCluster's elapsed-seconds
+// observability clock, and hts::log's taglines.
+#pragma once
+
+#include <chrono>
+
+namespace hts::clk {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+using SteadyDuration = std::chrono::steady_clock::duration;
+
+/// Now, on the monotonic clock. The single raw steady_clock::now() in src/.
+[[nodiscard]] inline SteadyTime steady_now() {
+  return std::chrono::steady_clock::now();
+}
+
+/// Seconds → steady_clock ticks (timer deadlines).
+[[nodiscard]] inline SteadyDuration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<SteadyDuration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Elapsed seconds between two steady timestamps.
+[[nodiscard]] inline double seconds_between(SteadyTime from, SteadyTime to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Elapsed seconds since `start`.
+[[nodiscard]] inline double seconds_since(SteadyTime start) {
+  return seconds_between(start, steady_now());
+}
+
+/// Monotonic seconds since the process first asked — hts::log's timestamp.
+/// Relative (not civil) time keeps log lines comparable with the obs layer's
+/// elapsed-seconds event times.
+[[nodiscard]] inline double process_uptime_seconds() {
+  static const SteadyTime start = steady_now();
+  return seconds_since(start);
+}
+
+}  // namespace hts::clk

@@ -6,31 +6,43 @@
 // is enabled:
 //
 //   log::debug([&] { return "server " + std::to_string(id) + ": ..."; });
+//
+// Thread safety (DESIGN.md D10): the level is an atomic (tests flip it while
+// node threads log), stderr writes serialize on an annotated mutex, and the
+// timestamp comes from hts::clk — the repo's single wall-clock authority —
+// as monotonic seconds since process start, comparable with obs event times.
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace hts::log {
 
 enum class Level : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
 namespace detail {
-inline Level& level_ref() {
-  static Level level = Level::kError;
+inline std::atomic<Level>& level_ref() {
+  static std::atomic<Level> level{Level::kError};
   return level;
 }
-inline std::mutex& mutex_ref() {
-  static std::mutex m;
+inline sync::Mutex& mutex_ref() {
+  static sync::Mutex m;
   return m;
 }
 }  // namespace detail
 
-inline void set_level(Level l) { detail::level_ref() = l; }
-inline Level level() { return detail::level_ref(); }
+inline void set_level(Level l) {
+  detail::level_ref().store(l, std::memory_order_relaxed);
+}
+inline Level level() {
+  return detail::level_ref().load(std::memory_order_relaxed);
+}
 
 [[nodiscard]] inline bool enabled(Level l) {
   return static_cast<int>(l) <= static_cast<int>(level());
@@ -38,8 +50,9 @@ inline Level level() { return detail::level_ref(); }
 
 inline void write(Level l, const std::string& tagline, const std::string& msg) {
   if (!enabled(l)) return;
-  const std::scoped_lock lock(detail::mutex_ref());
-  std::fprintf(stderr, "[%s] %s\n", tagline.c_str(), msg.c_str());
+  const double t = clk::process_uptime_seconds();
+  const sync::MutexLock lock(detail::mutex_ref());
+  std::fprintf(stderr, "[%10.4f] [%s] %s\n", t, tagline.c_str(), msg.c_str());
 }
 
 inline void error(const std::string& msg) { write(Level::kError, "ERR", msg); }

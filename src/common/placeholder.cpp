@@ -1,5 +1,11 @@
 // hts_common is header-only today; this TU anchors the static library so the
-// build graph stays uniform (every module is a linkable target).
+// build graph stays uniform (every module is a linkable target). It also
+// compiles the standalone common headers in isolation, so an include or
+// annotation regression in them breaks this module, not a downstream one.
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
 namespace hts::detail {
 int common_anchor() { return 0; }
 }  // namespace hts::detail

@@ -38,9 +38,9 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/topology.h"
 
@@ -83,21 +83,21 @@ class ViewRegistry {
   /// Copies the whole view. Only the refresh paths call this (an
   /// EpochNack, a timeout retry) — failure/reconfig events, never the
   /// per-op fast path — so the copy is cold by construction.
-  [[nodiscard]] ClusterView get() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] ClusterView get() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return view_;
   }
 
   /// Installs the next view. Epochs only ever advance, one at a time.
-  void publish(ClusterView v) {
-    const std::scoped_lock lock(mu_);
+  void publish(ClusterView v) HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     assert(v.epoch == view_.epoch + 1);
     view_ = std::move(v);
   }
 
  private:
-  mutable std::mutex mu_;
-  ClusterView view_;
+  mutable sync::Mutex mu_;
+  ClusterView view_ HTS_GUARDED_BY(mu_);
 };
 
 // ------------------------------------------------------- migration planning

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -281,7 +282,7 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
       // (the session derives it from served_by); the epoch rides on the
       // reply frame.
       const RingId ring = r.ring;
-      const std::scoped_lock lock(cluster->history_mu_);
+      const sync::MutexLock lock(cluster->history_mu_);
       if (r.is_read) {
         const std::uint64_t seen = r.value.empty()
                                        ? lincheck::kInitialValueId
@@ -321,8 +322,10 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
     : cfg_(cfg),
       topo_(cfg.resolved_topology()),
       transport_(cfg.detection_delay_s),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(clk::steady_now()) {
   assert(topo_.valid());
+  // Pre-thread initialization: no node thread exists yet, and the analysis
+  // does not check constructors — the guarded members are written bare.
   view_ = core::ClusterView{0, topo_};
   registry_ = std::make_shared<core::ViewRegistry>(view_);
   map_ = std::make_shared<const core::ShardMap>(topo_.n_rings());
@@ -374,18 +377,14 @@ ThreadedCluster::ServerHost& ThreadedCluster::spawn_server(
   return *raw;
 }
 
-double ThreadedCluster::elapsed() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       epoch_)
-      .count();
-}
+double ThreadedCluster::elapsed() const { return clk::seconds_since(epoch_); }
 
 ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
     ProcessId preferred_server) {
   core::ClientOptions opts;
   opts.n_servers = topo_.total_servers();
   opts.topology = topo_;
-  opts.epoch = view_.epoch;
+  opts.epoch = view().epoch;
   opts.preferred_server = preferred_server;
   opts.retry_timeout = cfg_.client_retry_timeout_s;
   opts.retry_multiplier = cfg_.client_retry_multiplier;
@@ -466,7 +465,8 @@ Epoch ThreadedCluster::add_ring(std::size_t n_servers) {
   if (n_servers < 1) {
     throw std::invalid_argument("add_ring: a ring needs at least one server");
   }
-  core::ClusterView next{view_.epoch + 1, topo_.with_ring(n_servers)};
+  const Epoch cur_epoch = view().epoch;
+  core::ClusterView next{cur_epoch + 1, topo_.with_ring(n_servers)};
   auto new_map =
       std::make_shared<const core::ShardMap>(next.topology.n_rings());
 
@@ -482,7 +482,7 @@ Epoch ThreadedCluster::add_ring(std::size_t n_servers) {
     spawn_server(new_ring, local, n_servers, global, base,
                  [&](core::RingServer& server) {
                    server.install_view(
-                       core::ServerView{view_.epoch, new_ring, map_});
+                       core::ServerView{cur_epoch, new_ring, map_});
                    server.begin_view_change(
                        core::ServerView{next.epoch, new_ring, new_map});
                  });
@@ -501,7 +501,7 @@ Epoch ThreadedCluster::remove_last_ring() {
   if (topo_.n_rings() < 2) {
     throw std::logic_error("remove_last_ring: cannot retire the only ring");
   }
-  core::ClusterView next{view_.epoch + 1, topo_.without_last_ring()};
+  core::ClusterView next{view().epoch + 1, topo_.without_last_ring()};
   auto new_map =
       std::make_shared<const core::ShardMap>(next.topology.n_rings());
   const RingId retiring_ring = static_cast<RingId>(topo_.n_rings() - 1);
@@ -678,23 +678,23 @@ Epoch ThreadedCluster::run_migration(
   ++migration_stats_.reconfigs;
 
   {
-    const std::scoped_lock lock(views_mu_);
+    const sync::MutexLock lock(views_mu_);
     topo_ = next.topology;
     view_ = next;
     map_ = new_map;
     rings_by_epoch_.push_back(topo_.n_rings());
   }
   migrating_.store(false);
-  return view_.epoch;
+  return next.epoch;
 }
 
 core::ClusterView ThreadedCluster::view() const {
-  const std::scoped_lock lock(views_mu_);
+  const sync::MutexLock lock(views_mu_);
   return view_;
 }
 
 std::vector<std::size_t> ThreadedCluster::rings_by_epoch() const {
-  const std::scoped_lock lock(views_mu_);
+  const sync::MutexLock lock(views_mu_);
   return rings_by_epoch_;
 }
 
@@ -709,7 +709,7 @@ core::RingServer& ThreadedCluster::server(ProcessId p) {
 }
 
 lincheck::History ThreadedCluster::history() const {
-  const std::scoped_lock lock(history_mu_);
+  const sync::MutexLock lock(history_mu_);
   return history_;
 }
 

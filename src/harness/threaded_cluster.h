@@ -21,14 +21,14 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "common/value.h"
 #include "core/client.h"
@@ -153,12 +153,13 @@ class ThreadedCluster {
   /// ring-local detection fires only among themselves). Blocks until done.
   Epoch remove_last_ring();
 
-  [[nodiscard]] core::ClusterView view() const;
+  [[nodiscard]] core::ClusterView view() const HTS_EXCLUDES(views_mu_);
   [[nodiscard]] const core::MigrationStats& reconfig_stats() const {
     return migration_stats_;
   }
   /// Ring count per epoch so far (input for the epoch-aware lincheck pass).
-  [[nodiscard]] std::vector<std::size_t> rings_by_epoch() const;
+  [[nodiscard]] std::vector<std::size_t> rings_by_epoch() const
+      HTS_EXCLUDES(views_mu_);
 
   /// Blocks until all queues drain (no protocol work left).
   bool wait_quiescent(double timeout_s);
@@ -169,7 +170,7 @@ class ThreadedCluster {
 
   /// Snapshot of the recorded operation history. Ops carry the ring that
   /// served them (from the replying server's global id) and the epoch.
-  [[nodiscard]] lincheck::History history() const;
+  [[nodiscard]] lincheck::History history() const HTS_EXCLUDES(history_mu_);
 
   /// Servers ever spawned (a retired ring keeps its slots, marked down).
   [[nodiscard]] std::size_t n_servers() const { return servers_.size(); }
@@ -209,21 +210,25 @@ class ThreadedCluster {
                             std::shared_ptr<const core::ShardMap> new_map);
 
   ThreadedClusterConfig cfg_;
+  // topo_/map_ belong to the controlling thread (see the threading contract
+  // above); the locked snapshots other threads may read live under views_mu_.
   core::Topology topo_;
-  core::ClusterView view_;
   std::shared_ptr<core::ViewRegistry> registry_;
   std::shared_ptr<const core::ShardMap> map_;
-  std::vector<std::size_t> rings_by_epoch_;
   core::MigrationStats migration_stats_;
   net::InMemTransport transport_;
-  std::chrono::steady_clock::time_point epoch_;
+  clk::SteadyTime epoch_;
   std::vector<std::unique_ptr<ServerHost>> servers_;
   std::vector<std::unique_ptr<ClientHost>> clients_;
   std::vector<std::unique_ptr<BlockingClient>> handles_;
 
-  mutable std::mutex history_mu_;
-  lincheck::History history_;
-  mutable std::mutex views_mu_;  ///< guards view_/rings_by_epoch_ snapshots
+  mutable sync::Mutex history_mu_;
+  lincheck::History history_ HTS_GUARDED_BY(history_mu_);
+  /// Guards the snapshots a non-controlling thread may observe while a
+  /// blocking reconfiguration is in progress (view(), rings_by_epoch()).
+  mutable sync::Mutex views_mu_;
+  core::ClusterView view_ HTS_GUARDED_BY(views_mu_);
+  std::vector<std::size_t> rings_by_epoch_ HTS_GUARDED_BY(views_mu_);
   std::atomic<bool> migrating_{false};  ///< rejects concurrent reconfigs
 };
 

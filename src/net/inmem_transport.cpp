@@ -6,15 +6,6 @@
 
 namespace hts::net {
 
-using Clock = std::chrono::steady_clock;
-
-namespace {
-Clock::duration seconds_to_duration(double s) {
-  return std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(s));
-}
-}  // namespace
-
 InMemTransport::InMemTransport(double detection_delay_s)
     : detection_delay_(detection_delay_s) {}
 
@@ -30,21 +21,22 @@ void InMemTransport::register_node(NodeAddress addr, MessageHandler on_message,
   node->on_timer = std::move(on_timer);
   Node* raw = node.get();
   {
-    const std::unique_lock lock(registry_mu_);
+    const sync::WriterLock lock(registry_mu_);
     assert(!by_addr_.contains(addr));
     by_addr_[addr] = nodes_.size();
     nodes_.push_back(std::move(node));
   }
   // Live registration (ring spawn during a reconfiguration): the node's
   // delivery thread starts right away.
-  if (started_ && !stopping_) {
+  if (started_.load(std::memory_order_acquire) &&
+      !stopping_.load(std::memory_order_acquire)) {
     raw->thread = std::thread([this, raw] { run_node(*raw); });
   }
 }
 
 void InMemTransport::start() {
-  assert(!started_);
-  started_ = true;
+  assert(!started_.load(std::memory_order_acquire));
+  started_.store(true, std::memory_order_release);
   for (Node* n : snapshot_nodes()) {
     n->thread = std::thread([this, n] { run_node(*n); });
   }
@@ -52,15 +44,19 @@ void InMemTransport::start() {
 }
 
 void InMemTransport::stop() {
-  if (!started_ || stopping_) return;
-  stopping_ = true;
+  if (!started_.load(std::memory_order_acquire) ||
+      stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   {
-    const std::scoped_lock lock(timer_mu_);
+    // Taking the lock before notifying closes the wakeup race with a
+    // waiter that checked stopping_ just before we stored it.
+    const sync::MutexLock lock(timer_mu_);
     timer_cv_.notify_all();
   }
   const std::vector<Node*> nodes = snapshot_nodes();
   for (Node* n : nodes) {
-    const std::scoped_lock lock(n->mu);
+    const sync::MutexLock lock(n->mu);
     n->cv.notify_all();
   }
   for (Node* n : nodes) {
@@ -70,19 +66,19 @@ void InMemTransport::stop() {
 }
 
 InMemTransport::Node* InMemTransport::find(NodeAddress addr) {
-  const std::shared_lock lock(registry_mu_);
+  const sync::ReaderLock lock(registry_mu_);
   auto it = by_addr_.find(addr);
   return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
 }
 
 const InMemTransport::Node* InMemTransport::find(NodeAddress addr) const {
-  const std::shared_lock lock(registry_mu_);
+  const sync::ReaderLock lock(registry_mu_);
   auto it = by_addr_.find(addr);
   return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
 }
 
 std::vector<InMemTransport::Node*> InMemTransport::snapshot_nodes() const {
-  const std::shared_lock lock(registry_mu_);
+  const sync::ReaderLock lock(registry_mu_);
   std::vector<Node*> out;
   out.reserve(nodes_.size());
   for (const auto& n : nodes_) out.push_back(n.get());
@@ -94,25 +90,23 @@ void InMemTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
   Node* dst;
   {
     // One registry acquisition for both lookups — this is the hot path.
-    const std::shared_lock lock(registry_mu_);
+    const sync::ReaderLock lock(registry_mu_);
     auto s_it = by_addr_.find(from);
     auto d_it = by_addr_.find(to);
     src = s_it == by_addr_.end() ? nullptr : nodes_[s_it->second].get();
     dst = d_it == by_addr_.end() ? nullptr : nodes_[d_it->second].get();
   }
   if (dst == nullptr) return;
-  {
-    const std::scoped_lock state_lock(state_mu_);
-    if (src != nullptr && !src->up) return;  // a crashed process sends nothing
-    if (!dst->up) return;                    // messages to the dead are lost
-  }
+  // a crashed process sends nothing; messages to the dead are lost
+  if (src != nullptr && !src->up.load(std::memory_order_acquire)) return;
+  if (!dst->up.load(std::memory_order_acquire)) return;
   transmissions_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(msg->wire_size(), std::memory_order_relaxed);
   if (src != nullptr) {
     src->tx_messages.fetch_add(1, std::memory_order_relaxed);
     src->tx_bytes.fetch_add(msg->wire_size(), std::memory_order_relaxed);
   }
-  const std::scoped_lock lock(dst->mu);
+  const sync::MutexLock lock(dst->mu);
   dst->queue.push_back(
       WorkItem{WorkItem::Kind::kMessage, from, std::move(msg)});
   dst->cv.notify_one();
@@ -120,76 +114,70 @@ void InMemTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
 
 void InMemTransport::arm_timer(NodeAddress addr, double delay_s,
                                std::uint64_t token) {
-  const std::scoped_lock lock(timer_mu_);
-  timers_.push_back(PendingTimer{Clock::now() + seconds_to_duration(delay_s),
-                                 addr, token, false, kNoProcess});
+  const sync::MutexLock lock(timer_mu_);
+  timers_.push_back(PendingTimer{
+      clk::steady_now() + clk::seconds_to_duration(delay_s), addr, token,
+      false, kNoProcess});
   timer_cv_.notify_all();
 }
 
 void InMemTransport::crash(NodeAddress addr) {
   Node* n = find(addr);
   if (n == nullptr) return;
-  {
-    const std::scoped_lock state_lock(state_mu_);
-    if (!n->up) return;
-    n->up = false;
-  }
+  // exchange() claims the up→down transition: concurrent crash() calls on
+  // the same node race benignly, exactly one performs the teardown.
+  if (!n->up.exchange(false, std::memory_order_acq_rel)) return;
   {
     // Discard anything undelivered and wake the thread (it will idle).
-    const std::scoped_lock lock(n->mu);
+    const sync::MutexLock lock(n->mu);
     n->queue.clear();
     n->cv.notify_all();
   }
   // Perfect failure detector: notify all surviving nodes after the delay.
   assert(addr.kind == NodeAddress::Kind::kServer &&
          "only server crashes are detected by peers");
-  const std::scoped_lock lock(timer_mu_);
+  const sync::MutexLock lock(timer_mu_);
   timers_.push_back(PendingTimer{
-      Clock::now() + seconds_to_duration(detection_delay_), NodeAddress{},
-      0, true, static_cast<ProcessId>(addr.id)});
+      clk::steady_now() + clk::seconds_to_duration(detection_delay_),
+      NodeAddress{}, 0, true, static_cast<ProcessId>(addr.id)});
   timer_cv_.notify_all();
 }
 
 bool InMemTransport::is_up(NodeAddress addr) const {
   const Node* n = find(addr);
-  if (n == nullptr) return false;
-  const std::scoped_lock state_lock(state_mu_);
-  return n->up;
+  return n != nullptr && n->up.load(std::memory_order_acquire);
 }
 
 void InMemTransport::run_node(Node& n) {
   for (;;) {
     WorkItem item;
     {
-      std::unique_lock lock(n.mu);
-      n.cv.wait(lock, [&] { return stopping_ || !n.queue.empty(); });
-      if (stopping_) return;
+      const sync::MutexLock lock(n.mu);
+      // Explicit predicate loop (not a wait lambda) so the guarded queue
+      // reads stay inside the annotated scope of the held mutex.
+      while (!stopping_.load(std::memory_order_acquire) && n.queue.empty()) {
+        n.cv.wait(n.mu);
+      }
+      if (stopping_.load(std::memory_order_acquire)) return;
       item = std::move(n.queue.front());
       n.queue.pop_front();
       n.busy = true;
     }
-    {
-      bool up;
-      {
-        const std::scoped_lock state_lock(state_mu_);
-        up = n.up;
-      }
-      if (up) {
-        switch (item.kind) {
-          case WorkItem::Kind::kMessage:
-            n.on_message(item.from, std::move(item.msg));
-            break;
-          case WorkItem::Kind::kCrashNotice:
-            if (n.on_crash) n.on_crash(item.crashed);
-            break;
-          case WorkItem::Kind::kTimer:
-            if (n.on_timer) n.on_timer(item.token);
-            break;
-        }
+    if (n.up.load(std::memory_order_acquire)) {
+      switch (item.kind) {
+        case WorkItem::Kind::kMessage:
+          n.on_message(item.from, std::move(item.msg));
+          break;
+        case WorkItem::Kind::kCrashNotice:
+          if (n.on_crash) n.on_crash(item.crashed);
+          break;
+        case WorkItem::Kind::kTimer:
+          if (n.on_timer) n.on_timer(item.token);
+          break;
       }
     }
     {
-      const std::scoped_lock lock(n.mu);
+      const sync::MutexLock lock(n.mu);
       n.busy = false;
       n.cv.notify_all();  // wait_quiescent watchers
     }
@@ -197,46 +185,49 @@ void InMemTransport::run_node(Node& n) {
 }
 
 void InMemTransport::run_timer_thread() {
-  std::unique_lock lock(timer_mu_);
   for (;;) {
-    if (stopping_) return;
-    if (timers_.empty()) {
-      timer_cv_.wait(lock, [&] { return stopping_ || !timers_.empty(); });
-      continue;
+    PendingTimer t;
+    {
+      const sync::MutexLock lock(timer_mu_);
+      for (;;) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (timers_.empty()) {
+          timer_cv_.wait(timer_mu_);
+          continue;
+        }
+        auto next = std::min_element(timers_.begin(), timers_.end(),
+                                     [](const PendingTimer& a,
+                                        const PendingTimer& b) {
+                                       return a.at < b.at;
+                                     });
+        if (clk::steady_now() < next->at) {
+          // Copy the deadline out of the heap before waiting: wait_until
+          // releases timer_mu_ and re-reads its time_point argument, and a
+          // concurrent arm_timer() may reallocate timers_ meanwhile.
+          const clk::SteadyTime wake = next->at;
+          timer_cv_.wait_until(timer_mu_, wake);
+          continue;
+        }
+        t = *next;
+        timers_.erase(next);
+        break;
+      }
     }
-    auto next = std::min_element(
-        timers_.begin(), timers_.end(),
-        [](const PendingTimer& a, const PendingTimer& b) { return a.at < b.at; });
-    const auto when = next->at;
-    if (Clock::now() < when) {
-      timer_cv_.wait_until(lock, when);
-      continue;
-    }
-    PendingTimer t = *next;
-    timers_.erase(next);
-    lock.unlock();
+    // Deliver outside timer_mu_ — enqueueing takes per-node locks.
     if (t.is_crash_notice) {
       for (Node* n : snapshot_nodes()) {
-        bool deliver;
-        {
-          const std::scoped_lock state_lock(state_mu_);
-          deliver = n->up;
-        }
-        if (!deliver) continue;
-        const std::scoped_lock node_lock(n->mu);
-        WorkItem item{WorkItem::Kind::kCrashNotice, NodeAddress{}, nullptr,
-                      t.crashed, 0};
-        n->queue.push_back(std::move(item));
+        if (!n->up.load(std::memory_order_acquire)) continue;
+        const sync::MutexLock node_lock(n->mu);
+        n->queue.push_back(WorkItem{WorkItem::Kind::kCrashNotice,
+                                    NodeAddress{}, nullptr, t.crashed, 0});
         n->cv.notify_one();
       }
     } else if (Node* n = find(t.addr); n != nullptr) {
-      const std::scoped_lock node_lock(n->mu);
-      WorkItem item{WorkItem::Kind::kTimer, NodeAddress{}, nullptr, kNoProcess,
-                    t.token};
-      n->queue.push_back(std::move(item));
+      const sync::MutexLock node_lock(n->mu);
+      n->queue.push_back(WorkItem{WorkItem::Kind::kTimer, NodeAddress{},
+                                  nullptr, kNoProcess, t.token});
       n->cv.notify_one();
     }
-    lock.lock();
   }
 }
 
@@ -253,25 +244,26 @@ std::vector<obs::LinkCounters> InMemTransport::link_counters() const {
 }
 
 bool InMemTransport::wait_quiescent(double timeout_s) {
-  const auto deadline = Clock::now() + seconds_to_duration(timeout_s);
+  const clk::SteadyTime deadline =
+      clk::steady_now() + clk::seconds_to_duration(timeout_s);
   for (;;) {
     bool quiet = true;
     for (Node* n : snapshot_nodes()) {
-      const std::scoped_lock lock(n->mu);
+      const sync::MutexLock lock(n->mu);
       if (!n->queue.empty() || n->busy) {
         quiet = false;
         break;
       }
     }
     if (quiet) {
-      const std::scoped_lock lock(timer_mu_);
+      const sync::MutexLock lock(timer_mu_);
       // Pending crash notices count as work; plain timers do not.
       const bool crash_pending =
           std::any_of(timers_.begin(), timers_.end(),
                       [](const PendingTimer& t) { return t.is_crash_notice; });
       if (!crash_pending) return true;
     }
-    if (Clock::now() >= deadline) return false;
+    if (clk::steady_now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }

@@ -12,20 +12,25 @@
 // and linearizability checking under real (non-deterministic) concurrency.
 // Throughput experiments use the simulator, which models the cluster's
 // bandwidth instead of the host machine's scheduler.
+//
+// Locking (thread-safety annotated, DESIGN.md D10): the node registry is a
+// shared_mutex (lookups concurrent with live registration), each node's
+// queue has its own mutex, and the timer heap its own. Node liveness (`up`)
+// and the transport lifecycle flags are atomics — the send fast path takes
+// no global lock.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "net/payload.h"
 #include "obs/net_stats.h"
@@ -53,27 +58,31 @@ class InMemTransport : public obs::LinkStatsSource {
   /// servers of a new ring this way; their threads start immediately.
   void register_node(NodeAddress addr, MessageHandler on_message,
                      CrashHandler on_crash = nullptr,
-                     TimerHandler on_timer = nullptr);
+                     TimerHandler on_timer = nullptr)
+      HTS_EXCLUDES(registry_mu_);
 
-  void start();
-  void stop();
+  void start() HTS_EXCLUDES(registry_mu_);
+  void stop() HTS_EXCLUDES(registry_mu_);
 
   /// Reliable FIFO send. Messages to crashed or unknown nodes are dropped.
-  void send(NodeAddress from, NodeAddress to, PayloadPtr msg);
+  void send(NodeAddress from, NodeAddress to, PayloadPtr msg)
+      HTS_EXCLUDES(registry_mu_);
 
   /// Arms a one-shot timer for `addr` (delivered on its thread).
-  void arm_timer(NodeAddress addr, double delay_s, std::uint64_t token);
+  void arm_timer(NodeAddress addr, double delay_s, std::uint64_t token)
+      HTS_EXCLUDES(timer_mu_);
 
   /// Crashes a server node: its queue is discarded, no further deliveries,
   /// and every surviving node's crash handler fires after detection_delay.
-  void crash(NodeAddress addr);
+  void crash(NodeAddress addr) HTS_EXCLUDES(registry_mu_, timer_mu_);
 
-  [[nodiscard]] bool is_up(NodeAddress addr) const;
+  [[nodiscard]] bool is_up(NodeAddress addr) const HTS_EXCLUDES(registry_mu_);
 
   /// Blocks until every queue is empty and every node is idle, or until the
   /// timeout expires. Returns true on quiescence. (Timers still pending do
   /// not count as work.)
-  bool wait_quiescent(double timeout_s);
+  bool wait_quiescent(double timeout_s)
+      HTS_EXCLUDES(registry_mu_, timer_mu_);
 
   /// Accounting over everything accepted for delivery: one transmission per
   /// send() call (a RingBatch counts once) charged at its exact wire size —
@@ -106,11 +115,16 @@ class InMemTransport : public obs::LinkStatsSource {
     CrashHandler on_crash;
     TimerHandler on_timer;
 
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<WorkItem> queue;
-    bool up = true;
-    bool busy = false;
+    sync::Mutex mu;
+    sync::CondVar cv;
+    std::deque<WorkItem> queue HTS_GUARDED_BY(mu);
+    bool busy HTS_GUARDED_BY(mu) = false;
+    /// Liveness. An atomic, not a guarded member: the send path checks it
+    /// lock-free, crash() claims the up→down transition with exchange(), and
+    /// the delivery thread re-checks it per item before dispatch — so a send
+    /// racing a crash can at worst enqueue onto a dead node's queue, where
+    /// the item drains undelivered ("messages to the dead are lost").
+    std::atomic<bool> up{true};
     std::thread thread;
 
     // Per-node transmit accounting (obs::LinkStatsSource); relaxed atomics,
@@ -120,38 +134,38 @@ class InMemTransport : public obs::LinkStatsSource {
   };
 
   void run_node(Node& n);
-  void run_timer_thread();
-  Node* find(NodeAddress addr);
-  const Node* find(NodeAddress addr) const;
+  void run_timer_thread() HTS_EXCLUDES(timer_mu_);
+  Node* find(NodeAddress addr) HTS_EXCLUDES(registry_mu_);
+  const Node* find(NodeAddress addr) const HTS_EXCLUDES(registry_mu_);
   /// Stable snapshot of all registered nodes (pointers stay valid: nodes
   /// are never deregistered, only crashed).
-  std::vector<Node*> snapshot_nodes() const;
+  std::vector<Node*> snapshot_nodes() const HTS_EXCLUDES(registry_mu_);
 
   double detection_delay_;
-  bool started_ = false;
-  bool stopping_ = false;
+  // Lifecycle flags. Atomics: start()/stop() run on the controlling thread
+  // but every delivery thread and the timer thread read them.
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
 
   // Node registry. Lookup is concurrent with runtime registration (live
   // ring spawn), so reads take the shared side; Node pointers themselves
   // are stable for the transport's lifetime.
-  mutable std::shared_mutex registry_mu_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::map<NodeAddress, std::size_t> by_addr_;
+  mutable sync::SharedMutex registry_mu_;
+  std::vector<std::unique_ptr<Node>> nodes_ HTS_GUARDED_BY(registry_mu_);
+  std::map<NodeAddress, std::size_t> by_addr_ HTS_GUARDED_BY(registry_mu_);
 
   // Timer machinery.
   struct PendingTimer {
-    std::chrono::steady_clock::time_point at;
+    clk::SteadyTime at;
     NodeAddress addr;
-    std::uint64_t token;
+    std::uint64_t token = 0;
     bool is_crash_notice = false;
     ProcessId crashed = kNoProcess;
   };
-  std::mutex timer_mu_;
-  std::condition_variable timer_cv_;
-  std::vector<PendingTimer> timers_;
+  mutable sync::Mutex timer_mu_;
+  sync::CondVar timer_cv_;
+  std::vector<PendingTimer> timers_ HTS_GUARDED_BY(timer_mu_);
   std::thread timer_thread_;
-
-  mutable std::mutex state_mu_;  // guards `up` transitions across nodes
 
   std::atomic<std::uint64_t> transmissions_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};

@@ -23,9 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hts::obs {
 
@@ -64,40 +65,41 @@ class Histogram {
     counts_.assign(bounds_.size() + 1, 0);
   }
 
-  void record(double v) {
-    const std::scoped_lock lock(mu_);
+  void record(double v) HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     ++count_;
     sum_ += v;
     auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
     ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   }
 
-  [[nodiscard]] std::uint64_t count() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::uint64_t count() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return count_;
   }
-  [[nodiscard]] double sum() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] double sum() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return sum_;
   }
-  [[nodiscard]] double mean() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] double mean() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// Snapshot of per-bucket counts (bounds().size() + 1 entries; the last is
   /// the overflow bucket).
-  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const
+      HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return counts_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  mutable sync::Mutex mu_;
+  std::vector<double> bounds_;  ///< immutable after construction
+  std::vector<std::uint64_t> counts_ HTS_GUARDED_BY(mu_);
+  std::uint64_t count_ HTS_GUARDED_BY(mu_) = 0;
+  double sum_ HTS_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Fixed-width time series: values recorded at time t accumulate into bucket
@@ -107,24 +109,24 @@ class TimeSeries {
  public:
   explicit TimeSeries(double bucket_width_s) : width_(bucket_width_s) {}
 
-  void record(double t, double v = 1.0) {
+  void record(double t, double v = 1.0) HTS_EXCLUDES(mu_) {
     if (width_ <= 0) return;
     const auto idx = static_cast<std::size_t>(t / width_);
-    const std::scoped_lock lock(mu_);
+    const sync::MutexLock lock(mu_);
     if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
     buckets_[idx] += v;
   }
 
   [[nodiscard]] double bucket_width() const { return width_; }
-  [[nodiscard]] std::vector<double> buckets() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::vector<double> buckets() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return buckets_;
   }
 
  private:
-  mutable std::mutex mu_;
-  double width_;
-  std::vector<double> buckets_;
+  mutable sync::Mutex mu_;
+  double width_;  ///< immutable after construction
+  std::vector<double> buckets_ HTS_GUARDED_BY(mu_);
 };
 
 /// Named metric registry. Lookup-or-create by name; handles are stable

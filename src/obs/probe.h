@@ -8,6 +8,14 @@
 // which is the "near-zero-cost disabled path" the design promises —
 // instrumented hot paths never check a global flag or take a lock when
 // observability is off.
+//
+// Thread safety (DESIGN.md D10): a Recorder is shared by every node thread,
+// but its mutable pieces are internally locked (MetricsRegistry, TraceBuffer,
+// Histogram) — the Recorder itself needs no lock provided set_clock() runs
+// before the fabric starts its threads (both fabrics set it during start()).
+// The null-pointer discipline is machine-checked: tools/hts_lint.py's
+// probe-null-guard invariant requires every `rec->` dereference in src/ to
+// sit within a few lines of a guard (`rec == nullptr` / `attached()`).
 #pragma once
 
 #include <cstdint>

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace hts::obs {
@@ -86,8 +86,8 @@ class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = 65536) : capacity_(capacity) {}
 
-  void record(const TraceEvent& ev) {
-    const std::scoped_lock lock(mu_);
+  void record(const TraceEvent& ev) HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     ++total_;
     if (events_.size() == capacity_) {
       events_.pop_front();
@@ -97,30 +97,31 @@ class TraceBuffer {
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::size_t size() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return events_.size();
   }
   /// Events ever recorded (including overwritten ones).
-  [[nodiscard]] std::uint64_t total_recorded() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::uint64_t total_recorded() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return total_;
   }
-  [[nodiscard]] std::uint64_t dropped() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::uint64_t dropped() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return dropped_;
   }
 
-  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return {events_.begin(), events_.end()};
   }
 
   /// Events belonging to one operation, in recording order. Server-side
   /// op-less events are excluded (they carry client 0 / req 0).
   [[nodiscard]] std::vector<TraceEvent> for_op(ClientId client,
-                                              RequestId req) const {
-    const std::scoped_lock lock(mu_);
+                                              RequestId req) const
+      HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     std::vector<TraceEvent> out;
     for (const TraceEvent& ev : events_) {
       if (ev.client == client && ev.req == req) out.push_back(ev);
@@ -128,19 +129,19 @@ class TraceBuffer {
     return out;
   }
 
-  void clear() {
-    const std::scoped_lock lock(mu_);
+  void clear() HTS_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     events_.clear();
     total_ = 0;
     dropped_ = 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::deque<TraceEvent> events_;
-  std::uint64_t total_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable sync::Mutex mu_;
+  std::size_t capacity_;  ///< immutable after construction
+  std::deque<TraceEvent> events_ HTS_GUARDED_BY(mu_);
+  std::uint64_t total_ HTS_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ HTS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hts::obs
