@@ -1,0 +1,40 @@
+// CRC-32 (the reflected 0xEDB88320 polynomial) for fragment integrity.
+//
+// A coded read reconstructs from k fragments gathered from k different
+// servers; one silently corrupted fragment would corrupt the whole value
+// without any server noticing. Every fragment therefore travels and is
+// stored with its checksum, and receivers drop fragments that fail it
+// (tests/code_test.cpp pins the detection). Table-driven, header-only,
+// no dependency on zlib.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hts::code {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr auto kCrcTable = make_crc_table();
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = detail::kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hts::code

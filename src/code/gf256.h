@@ -1,0 +1,64 @@
+// GF(2^8) arithmetic for the MDS codec (DESIGN.md §Coded values).
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) — polynomial 0x11D,
+// the conventional Reed–Solomon field with generator 0x02. Multiplication
+// and inversion go through compile-time exp/log tables, so the hot encode
+// loop is two table loads and an add; everything here is constexpr and
+// header-only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hts::code::gf {
+
+inline constexpr unsigned kPoly = 0x11D;  // x^8+x^4+x^3+x^2+1, primitive
+
+struct Tables {
+  // exp is doubled so mul() can index log[a]+log[b] without a mod-255.
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint16_t, 256> log{};
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint16_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (unsigned i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // log(0) is undefined; mul/div guard the zero cases
+  return t;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+[[nodiscard]] constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;  // characteristic 2: addition == subtraction == xor
+}
+
+[[nodiscard]] constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kTables.exp[kTables.log[a] + kTables.log[b]];
+}
+
+/// Multiplicative inverse; a must be non-zero.
+[[nodiscard]] constexpr std::uint8_t inv(std::uint8_t a) {
+  return kTables.exp[255 - kTables.log[a]];
+}
+
+[[nodiscard]] constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  return a == 0 ? 0 : mul(a, inv(b));
+}
+
+/// x^e for the canonical generator x = 0x02.
+[[nodiscard]] constexpr std::uint8_t pow(std::uint8_t a, unsigned e) {
+  std::uint8_t r = 1;
+  for (unsigned i = 0; i < e; ++i) r = mul(r, a);
+  return r;
+}
+
+}  // namespace hts::code::gf

@@ -1,0 +1,198 @@
+#include "code/mds.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "code/gf256.h"
+
+namespace hts::code {
+namespace {
+
+/// Invert a k x k matrix over GF(2^8) in place via Gauss–Jordan.
+/// Throws std::invalid_argument if singular (cannot happen for the row
+/// subsets our generator produces; it can for corrupted caller input).
+std::vector<std::uint8_t> invert(std::vector<std::uint8_t> m, std::size_t k) {
+  std::vector<std::uint8_t> inv(k * k, 0);
+  for (std::size_t i = 0; i < k; ++i) inv[i * k + i] = 1;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k && m[pivot * k + col] == 0) ++pivot;
+    if (pivot == k) throw std::invalid_argument("singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j) {
+        std::swap(m[pivot * k + j], m[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const std::uint8_t scale = gf::inv(m[col * k + col]);
+    for (std::size_t j = 0; j < k; ++j) {
+      m[col * k + j] = gf::mul(m[col * k + j], scale);
+      inv[col * k + j] = gf::mul(inv[col * k + j], scale);
+    }
+    for (std::size_t row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const std::uint8_t factor = m[row * k + col];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        m[row * k + j] = gf::add(m[row * k + j], gf::mul(factor, m[col * k + j]));
+        inv[row * k + j] =
+            gf::add(inv[row * k + j], gf::mul(factor, inv[col * k + j]));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+MdsCodec::MdsCodec(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  if (k < 1 || k > n || n > 255) {
+    throw std::invalid_argument("MdsCodec: need 1 <= k <= n <= 255");
+  }
+  gen_.assign(n_ * k_, 0);
+  // Systematic prefix: fragment i < k is stripe i verbatim.
+  for (std::size_t i = 0; i < k_; ++i) gen_[i * k_ + i] = 1;
+  if (n_ - k_ == 1) {
+    // Single parity: XOR of the stripes (the all-ones row). MDS for m = 1,
+    // and the parity fragment is computable without any GF multiply.
+    for (std::size_t j = 0; j < k_; ++j) gen_[k_ * k_ + j] = 1;
+    return;
+  }
+  if (n_ == k_) return;  // no parity rows at all
+  // General case: Vandermonde V[i][j] = i^j (distinct points 0..n-1),
+  // systematized by right-multiplying with V_top⁻¹.
+  std::vector<std::uint8_t> v(n_ * k_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      v[i * k_ + j] = gf::pow(static_cast<std::uint8_t>(i), j);
+    }
+  }
+  const auto top_inv =
+      invert(std::vector<std::uint8_t>(v.begin(), v.begin() + k_ * k_), k_);
+  for (std::size_t i = k_; i < n_; ++i) {  // rows < k are identity already
+    for (std::size_t j = 0; j < k_; ++j) {
+      std::uint8_t acc = 0;
+      for (std::size_t t = 0; t < k_; ++t) {
+        acc = gf::add(acc, gf::mul(v[i * k_ + t], top_inv[t * k_ + j]));
+      }
+      gen_[i * k_ + j] = acc;
+    }
+  }
+}
+
+std::size_t MdsCodec::fragment_size(std::size_t value_size, std::size_t k) {
+  return std::max<std::size_t>(1, (value_size + k - 1) / k);
+}
+
+std::vector<std::string> MdsCodec::encode(std::string_view value) const {
+  const std::size_t fs = fragment_size(value.size(), k_);
+  // Zero-padded stripes: stripe j = value[j*fs, (j+1)*fs).
+  std::string stripes(fs * k_, '\0');
+  std::copy(value.begin(), value.end(), stripes.begin());
+  std::vector<std::string> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (i < k_) {  // systematic: the stripe itself
+      out[i] = stripes.substr(i * fs, fs);
+      continue;
+    }
+    std::string frag(fs, '\0');
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint8_t coef = gen_[i * k_ + j];
+      if (coef == 0) continue;
+      const char* stripe = stripes.data() + j * fs;
+      if (coef == 1) {
+        for (std::size_t b = 0; b < fs; ++b) {
+          frag[b] = static_cast<char>(frag[b] ^ stripe[b]);
+        }
+      } else {
+        for (std::size_t b = 0; b < fs; ++b) {
+          frag[b] = static_cast<char>(
+              frag[b] ^ gf::mul(coef, static_cast<std::uint8_t>(stripe[b])));
+        }
+      }
+    }
+    out[i] = std::move(frag);
+  }
+  return out;
+}
+
+std::string MdsCodec::stripes_from(const std::vector<FragmentRef>& fragments,
+                                   std::size_t frag_size) const {
+  // Pick the first k distinct in-range indices.
+  std::vector<FragmentRef> use;
+  for (const auto& f : fragments) {
+    if (f.first >= n_) throw std::invalid_argument("fragment index out of range");
+    if (f.second.size() != frag_size) {
+      throw std::invalid_argument("fragment size mismatch");
+    }
+    if (std::none_of(use.begin(), use.end(),
+                     [&](const auto& u) { return u.first == f.first; })) {
+      use.push_back(f);
+      if (use.size() == k_) break;
+    }
+  }
+  if (use.size() < k_) {
+    throw std::invalid_argument("need k distinct fragments to decode");
+  }
+  // Fast path: all k data fragments present — stripes verbatim.
+  std::string stripes(frag_size * k_, '\0');
+  if (std::all_of(use.begin(), use.end(),
+                  [&](const auto& u) { return u.first < k_; })) {
+    for (const auto& [idx, bytes] : use) {
+      std::copy(bytes.begin(), bytes.end(), stripes.begin() + idx * frag_size);
+    }
+    return stripes;
+  }
+  // General path: invert the chosen k rows of the generator, then
+  // stripes = rows⁻¹ · fragments, column (byte position) at a time.
+  std::vector<std::uint8_t> rows(k_ * k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    std::copy_n(gen_.begin() + use[r].first * k_, k_, rows.begin() + r * k_);
+  }
+  const auto rinv = invert(std::move(rows), k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    char* stripe = stripes.data() + j * frag_size;
+    for (std::size_t r = 0; r < k_; ++r) {
+      const std::uint8_t coef = rinv[j * k_ + r];
+      if (coef == 0) continue;
+      const std::string_view bytes = use[r].second;
+      for (std::size_t b = 0; b < frag_size; ++b) {
+        stripe[b] = static_cast<char>(
+            stripe[b] ^ gf::mul(coef, static_cast<std::uint8_t>(bytes[b])));
+      }
+    }
+  }
+  return stripes;
+}
+
+std::string MdsCodec::decode(const std::vector<FragmentRef>& fragments,
+                             std::size_t value_size) const {
+  const std::size_t fs = fragment_size(value_size, k_);
+  std::string stripes = stripes_from(fragments, fs);
+  stripes.resize(value_size);  // drop the zero padding
+  return stripes;
+}
+
+std::string MdsCodec::regenerate(std::uint32_t missing_index,
+                                 const std::vector<FragmentRef>& fragments,
+                                 std::size_t value_size) const {
+  if (missing_index >= n_) {
+    throw std::invalid_argument("regenerate: index out of range");
+  }
+  const std::size_t fs = fragment_size(value_size, k_);
+  const std::string stripes = stripes_from(fragments, fs);
+  if (missing_index < k_) return stripes.substr(missing_index * fs, fs);
+  std::string frag(fs, '\0');
+  for (std::size_t j = 0; j < k_; ++j) {
+    const std::uint8_t coef = gen_[missing_index * k_ + j];
+    if (coef == 0) continue;
+    const char* stripe = stripes.data() + j * fs;
+    for (std::size_t b = 0; b < fs; ++b) {
+      frag[b] = static_cast<char>(
+          frag[b] ^ gf::mul(coef, static_cast<std::uint8_t>(stripe[b])));
+    }
+  }
+  return frag;
+}
+
+}  // namespace hts::code

@@ -1,0 +1,70 @@
+// (n, k) MDS erasure codec for the coded value plane (DESIGN.md §Coded
+// values, D11). A value is split into k data stripes of ceil(|v|/k) bytes
+// and encoded into n fragments such that ANY k of the n reconstruct the
+// value exactly — the property the atomicity argument leans on, and the
+// one tests/code_test.cpp proves over every k-of-n subset.
+//
+// Construction: fragments 0..k-1 are the data stripes themselves
+// (systematic — a read that collects the k data fragments decodes with
+// plain memcpy). With a single parity fragment (n - k == 1) the parity is
+// the XOR of the stripes. The general case is a systematic Vandermonde
+// Reed–Solomon code over GF(2^8): G = V · V_top⁻¹ where V[i][j] = x_i^j
+// with distinct points x_i = i. Any k rows of V form a square Vandermonde
+// matrix on distinct points, hence invertible; multiplying by the fixed
+// invertible V_top⁻¹ preserves that, so any k rows of G are invertible —
+// the MDS property by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hts::code {
+
+/// One encoded fragment index + bytes, as handed to decode/regenerate.
+using FragmentRef = std::pair<std::uint32_t, std::string_view>;
+
+class MdsCodec {
+ public:
+  /// Requires 1 <= k <= n <= 255 (fragment indices are a wire u8).
+  MdsCodec(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+  /// Bytes per fragment for a value of `value_size` bytes: ceil(size / k),
+  /// and at least 1 so the empty value still has addressable fragments.
+  [[nodiscard]] static std::size_t fragment_size(std::size_t value_size,
+                                                 std::size_t k);
+
+  /// Encode `value` into n fragments of fragment_size(|value|, k) bytes.
+  [[nodiscard]] std::vector<std::string> encode(std::string_view value) const;
+
+  /// Reconstruct the original value (`value_size` bytes) from any k
+  /// fragments with distinct indices. Throws std::invalid_argument on
+  /// fewer than k distinct indices, mismatched sizes, or out-of-range
+  /// indices. Garbage-in garbage-out on corrupted bytes — integrity is
+  /// the checksum's job (crc32.h), not the decoder's.
+  [[nodiscard]] std::string decode(const std::vector<FragmentRef>& fragments,
+                                   std::size_t value_size) const;
+
+  /// Rebuild the single fragment `missing_index` from any k fragments —
+  /// the repair path: decode to stripes, re-encode one row.
+  [[nodiscard]] std::string regenerate(
+      std::uint32_t missing_index, const std::vector<FragmentRef>& fragments,
+      std::size_t value_size) const;
+
+ private:
+  /// Recover the k data stripes (each frag_size bytes, concatenated) from
+  /// k distinct fragments.
+  [[nodiscard]] std::string stripes_from(
+      const std::vector<FragmentRef>& fragments, std::size_t frag_size) const;
+
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<std::uint8_t> gen_;  // n x k systematic generator, row-major
+};
+
+}  // namespace hts::code

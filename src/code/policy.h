@@ -1,0 +1,42 @@
+// ValuePolicy — the knob that chooses replicated vs coded storage per
+// write (DESIGN.md §Coded values). Defaults to "replicate everything",
+// which is the paper's protocol bit-for-bit (golden-pinned): no fragment
+// message is ever emitted unless a policy with k >= 2 is installed AND the
+// value clears the size threshold. The same struct rides on
+// core::ServerOptions and core::ClientOptions — the client side decides
+// encode-vs-replicate at write time, the server side supplies the GC slack.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace hts::code {
+
+struct ValuePolicy {
+  /// Data-fragment count. 0 (default) or 1 = replicate everything; k >= 2
+  /// enables the coded plane for values that clear `min_value_size`.
+  std::size_t k = 0;
+
+  /// Values smaller than this stay replicated — the small-value fast path.
+  /// Coding a tiny value trades one |v| frame for n fragment frames of
+  /// header-dominated size; the threshold keeps that trade honest.
+  std::size_t min_value_size = 0;
+
+  /// How many superseded fragment sets each server keeps *below* the
+  /// committed tag before the GC watermark reclaims them. The slack covers
+  /// in-flight reads fetching a tag that commits over mid-fetch; 1 retains
+  /// exactly one predecessor set.
+  std::size_t gc_keep = 1;
+
+  [[nodiscard]] bool active() const { return k >= 2; }
+
+  /// Should a write of `value_size` bytes be coded under this policy?
+  /// Per-object policies compose on top: callers that key policies by
+  /// ObjectId pick the policy first, then ask it this question.
+  [[nodiscard]] bool coded_for(std::size_t value_size) const {
+    return active() && value_size >= min_value_size;
+  }
+};
+
+}  // namespace hts::code

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
+
+#include "code/crc32.h"
+#include "code/mds.h"
 
 namespace hts::core {
 
@@ -108,9 +113,40 @@ void ClientSession::reroute(Op& op) {
 void ClientSession::transmit(Op& op, ClientContext& ctx) {
   ++op.attempts;
   probe_.event(obs::EventKind::kClientSend, op.req, op.target, op.attempts);
+  const Topology& topo = router_.topology();
+  const std::size_t ring_n =
+      op.ring < topo.n_rings() ? topo.ring_size(op.ring) : 0;
+  const code::ValuePolicy& pol = opts_.value_policy;
   if (op.is_read) {
+    // A (re)transmission restarts the read protocol from the top: any
+    // half-finished coded fetch is stale (its tag may be GC'd, its server
+    // dead) and must not leak into the fresh attempt.
+    op.fetching = false;
+    op.frag_parts.clear();
     ctx.send_server(op.target, net::make_payload<ClientRead>(
                                    id_, op.req, op.object, epoch_));
+  } else if (pol.coded_for(op.value.size()) && pol.k <= ring_n &&
+             ring_n >= 2 && ring_n <= 255) {
+    // Coded write (D11): encode into ring_n fragments, one per ring
+    // member by local index; only the sticky target's copy initiates.
+    // A retry re-encodes and re-fans-out — servers re-stage (idempotent)
+    // and the initiate copy deduplicates exactly like a retried
+    // ClientWrite. Rings smaller than k take the replicated branch below.
+    code::MdsCodec codec(ring_n, pol.k);
+    std::vector<std::string> frags = codec.encode(op.value.bytes());
+    ++encodes_;
+    for (std::size_t i = 0; i < ring_n; ++i) {
+      const ProcessId global =
+          topo.global_id(op.ring, static_cast<ProcessId>(i));
+      const std::uint32_t crc = code::crc32(frags[i]);
+      ctx.send_server(global,
+                      net::make_payload<FragWrite>(
+                          id_, op.req, static_cast<std::uint8_t>(ring_n),
+                          static_cast<std::uint8_t>(pol.k),
+                          static_cast<std::uint8_t>(i), global == op.target,
+                          op.value.size(), crc, std::move(frags[i]),
+                          op.object, epoch_));
+    }
   } else {
     ctx.send_server(op.target, net::make_payload<ClientWrite>(
                                    id_, op.req, op.value, op.object, epoch_));
@@ -176,6 +212,59 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
       }
       return;
     }
+    case kCodedReadAck: {
+      // A read hit a coded register: the ack names the committed tag and
+      // carries the replier's fragments; collect k distinct ones (here and
+      // via FragFetch from the other ring members) and reconstruct.
+      const auto& m = static_cast<const CodedReadAck&>(msg);
+      auto it = inflight_.find(m.req);
+      if (it == inflight_.end()) return;  // late, op already completed
+      Op& op = it->second;
+      if (!op.is_read) return;
+      if (op.fetching && m.tag < op.frag_tag) {
+        return;  // a stale server's ack; keep fetching the newer tag
+      }
+      if (!op.fetching || m.tag > op.frag_tag) {
+        // First ack, or a retry's server named a fresher committed tag:
+        // (re)start the fetch there. Never downgrades — the read completes
+        // with a tag at least as fresh as any server reported.
+        op.fetching = true;
+        op.frag_tag = m.tag;
+        op.frag_n = m.n;
+        op.frag_k = m.k;
+        op.frag_value_size = m.value_size;
+        op.frag_epoch = m.epoch;
+        op.frag_from = from;
+        op.frag_parts.clear();
+      }
+      accept_parts(op, m.parts);
+      if (try_complete_coded(it, ctx)) return;
+      // Round 2: ask every other ring member for its fragments at the tag.
+      const Topology& topo = router_.topology();
+      if (op.ring >= topo.n_rings()) return;  // view moved; timer recovers
+      for (std::size_t i = 0; i < topo.ring_size(op.ring); ++i) {
+        const ProcessId global =
+            topo.global_id(op.ring, static_cast<ProcessId>(i));
+        if (global == from) continue;
+        ctx.send_server(global,
+                        net::make_payload<FragFetch>(id_, op.req, op.frag_tag,
+                                                     op.object, epoch_));
+      }
+      return;
+    }
+    case kFragFetchAck: {
+      const auto& m = static_cast<const FragFetchAck&>(msg);
+      auto it = inflight_.find(m.req);
+      if (it == inflight_.end()) return;
+      Op& op = it->second;
+      // Only fragments of the tag being fetched count; an empty or
+      // mismatched ack is a miss (GC'd or never stored there) — the
+      // remaining k-of-n acks complete the read, or the timer restarts it.
+      if (!op.fetching || m.tag != op.frag_tag) return;
+      accept_parts(op, m.parts);
+      try_complete_coded(it, ctx);
+      return;
+    }
     default:
       return;  // not addressed to this protocol role
   }
@@ -221,6 +310,71 @@ void ClientSession::on_reply(const net::Payload& msg, ProcessId from,
   inflight_.erase(it);
   dispatch(ctx);  // a freed slot may release queued work
   if (on_complete) on_complete(result);
+}
+
+void ClientSession::accept_parts(Op& op, const std::vector<FragPart>& parts) {
+  for (const FragPart& p : parts) {
+    if (p.index >= op.frag_n) continue;
+    if (op.frag_parts.contains(p.index)) continue;
+    if (code::crc32(p.bytes) != p.checksum) {
+      // Corrupt in storage or transit: never feed it to the decoder — k
+      // *valid* fragments are required, and the CRC is what detects a bad
+      // one before it silently reconstructs garbage.
+      ++frag_corrupt_;
+      continue;
+    }
+    op.frag_parts.emplace(p.index, p.bytes);
+  }
+}
+
+bool ClientSession::try_complete_coded(std::map<RequestId, Op>::iterator it,
+                                       ClientContext& ctx) {
+  Op& op = it->second;
+  if (!op.fetching || op.frag_parts.size() < std::size_t{op.frag_k}) {
+    return false;
+  }
+  std::vector<code::FragmentRef> refs;
+  refs.reserve(op.frag_parts.size());
+  for (const auto& [idx, bytes] : op.frag_parts) {
+    refs.emplace_back(idx, std::string_view(bytes));
+  }
+  std::string bytes;
+  try {
+    code::MdsCodec codec(op.frag_n, op.frag_k);
+    bytes = codec.decode(refs, op.frag_value_size);
+  } catch (const std::invalid_argument&) {
+    return false;  // inconsistent geometry; the retry timer restarts
+  }
+  ++decodes_;
+
+  OpResult result;
+  result.is_read = true;
+  result.object = op.object;
+  const ProcessId from = op.frag_from;
+  if (from == kNoProcess) {
+    result.ring = op.ring;
+  } else if (from < router_.topology().total_servers()) {
+    result.ring = router_.topology().ring_of_server(from);
+  } else {
+    result.ring = kNoRing;
+  }
+  result.epoch = op.frag_epoch;
+  result.req = op.req;
+  result.value = Value(std::move(bytes));
+  result.tag = op.frag_tag;
+  result.invoked_at = op.invoked_at;
+  result.completed_at = ctx.now();
+  result.attempts = op.attempts;
+  result.served_by = from;
+  probe_.event(obs::EventKind::kClientReply, op.req,
+               from == kNoProcess ? 0 : from, op.attempts);
+
+  timer_to_req_.erase(op.timer_token);
+  active_objects_.erase(op.object);
+  inflight_.erase(it);
+  dispatch(ctx);
+  if (on_complete) on_complete(result);
+  return true;
 }
 
 void ClientSession::on_timer(std::uint64_t token, ClientContext& ctx) {

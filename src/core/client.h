@@ -27,9 +27,12 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "code/policy.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "common/value.h"
@@ -87,6 +90,16 @@ struct ClientOptions {
   /// created after a reconfiguration start at the deployment's current
   /// epoch so their first EpochNack is not a spurious refresh.
   Epoch epoch = 0;
+
+  /// Coded value plane (DESIGN.md §Coded values, D11). Inactive by default:
+  /// every write travels whole (ClientWrite) and the wire stays bit-for-bit
+  /// the replicated protocol. With k >= 2, a write whose value clears
+  /// `min_value_size` is MDS-encoded into n fragments (n = the op's ring
+  /// size) and fanned out as FragWrite messages — each server receives and
+  /// stores |v|/k — and a read of a coded register reconstructs from any k
+  /// fragments (CodedReadAck + FragFetch). Rings smaller than k fall back
+  /// to replication per write.
+  code::ValuePolicy value_policy;
 };
 
 /// Completion record handed to the callbacks.
@@ -180,6 +193,12 @@ class ClientSession {
   /// Sticky-target rotations: retries that moved to another server of the
   /// same ring (a retry after a view refresh re-routes instead).
   [[nodiscard]] std::uint64_t rotations() const { return rotations_; }
+  /// Coded plane (D11): values MDS-encoded on write / reconstructed on
+  /// read, and fragments dropped for a failed checksum. All zero unless
+  /// ClientOptions::value_policy is active.
+  [[nodiscard]] std::uint64_t coded_encodes() const { return encodes_; }
+  [[nodiscard]] std::uint64_t coded_decodes() const { return decodes_; }
+  [[nodiscard]] std::uint64_t frag_corrupt() const { return frag_corrupt_; }
 
   /// Attaches this session to a run's observability recorder (wire-silent).
   void attach_obs(obs::ClientProbe probe) { probe_ = probe; }
@@ -205,6 +224,19 @@ class ClientSession {
     std::uint32_t attempts = 0;         // transmissions so far
     ProcessId target = 0;               // next server to contact (global id)
     std::uint64_t timer_token = 0;      // current retry timer
+
+    // Coded-read fetch phase (D11): set by a CodedReadAck naming the
+    // committed tag; fragments accumulate (CRC-verified, by index) until k
+    // distinct ones reconstruct the value. A retry resets all of it and
+    // restarts with a plain ClientRead.
+    bool fetching = false;
+    Tag frag_tag;
+    std::uint8_t frag_n = 0;
+    std::uint8_t frag_k = 0;
+    std::uint64_t frag_value_size = 0;
+    Epoch frag_epoch = 0;
+    ProcessId frag_from = kNoProcess;   // server whose CodedReadAck led here
+    std::map<std::uint8_t, std::string> frag_parts;
   };
 
   /// Moves backlog ops into flight while capacity and object slots allow.
@@ -220,6 +252,15 @@ class ClientSession {
   /// Re-derives `op`'s ring and target from the current view (after a
   /// refresh moved its object, or its ring disappeared).
   void reroute(Op& op);
+
+  /// Folds a reply's fragments into the op's fetch state (CRC-verified,
+  /// distinct indices only).
+  void accept_parts(Op& op, const std::vector<FragPart>& parts);
+
+  /// Completes the coded read if k distinct fragments have arrived.
+  /// Consumes the inflight entry on success.
+  bool try_complete_coded(std::map<RequestId, Op>::iterator it,
+                          ClientContext& ctx);
 
   ClientId id_;
   ClientOptions opts_;
@@ -240,6 +281,9 @@ class ClientSession {
   std::uint64_t rotations_ = 0;
   std::uint64_t epoch_nacks_ = 0;
   std::uint64_t view_refreshes_ = 0;
+  std::uint64_t encodes_ = 0;       // coded writes encoded (D11)
+  std::uint64_t decodes_ = 0;       // coded reads reconstructed
+  std::uint64_t frag_corrupt_ = 0;  // fragments failing their CRC
   obs::ClientProbe probe_;  // detached (all-null) unless a fabric attaches
 
   std::map<RequestId, Op> inflight_;           // issue-ordered

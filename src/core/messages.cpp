@@ -19,9 +19,38 @@ Tag get_tag(Decoder& d) {
   return t;
 }
 
-/// Kinds allowed inside a RingBatch: ring traffic only (messages.h).
+/// Kinds allowed inside a RingBatch: ring traffic only (messages.h). The
+/// coded plane's ring kinds (PreWriteFrag, FragRepair) batch exactly like
+/// their replicated counterparts.
 bool is_ring_kind(std::uint16_t k) {
-  return k == kPreWrite || k == kWriteCommit || k == kSyncState;
+  return k == kPreWrite || k == kWriteCommit || k == kSyncState ||
+         k == kPreWriteFrag || k == kFragRepair;
+}
+
+void put_frag_parts(Encoder& e, const std::vector<FragPart>& parts) {
+  if (parts.size() > 255) {
+    throw std::logic_error("encode_message: more than 255 fragment parts");
+  }
+  e.u8(static_cast<std::uint8_t>(parts.size()));
+  for (const FragPart& p : parts) {
+    e.u8(p.index);
+    e.u32(p.checksum);
+    e.bytes(p.bytes);
+  }
+}
+
+std::vector<FragPart> get_frag_parts(Decoder& d) {
+  const std::uint8_t count = d.u8();
+  std::vector<FragPart> parts;
+  parts.reserve(count);
+  for (std::uint8_t i = 0; i < count; ++i) {
+    FragPart p;
+    p.index = d.u8();
+    p.checksum = d.u32();
+    p.bytes = std::string(d.bytes());
+    parts.push_back(std::move(p));
+  }
+  return parts;
 }
 
 /// Header flags byte (the original protocol's reserved byte).
@@ -127,6 +156,48 @@ std::string MigrateDedup::describe() const {
          epoch_suffix(epoch) + "}";
 }
 
+std::string FragWrite::describe() const {
+  return "FragWrite{c=" + std::to_string(client) + ",r=" + std::to_string(req) +
+         ",frag " + std::to_string(frag_index) + "/(" + std::to_string(n) +
+         "," + std::to_string(k) + "),|f|=" + std::to_string(frag.size()) +
+         (initiate ? ",initiate" : "") + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
+std::string PreWriteFrag::describe() const {
+  return "PreWriteFrag{tag=" + tag.to_string() + ",c=" + std::to_string(client) +
+         ",r=" + std::to_string(req) + ",(" + std::to_string(n) + "," +
+         std::to_string(k) + "),|v|=" + std::to_string(value_size) +
+         object_suffix(object) + epoch_suffix(epoch) + "}";
+}
+
+std::string CodedReadAck::describe() const {
+  return "CodedReadAck{r=" + std::to_string(req) + ",tag=" + tag.to_string() +
+         ",(" + std::to_string(n) + "," + std::to_string(k) + "),|v|=" +
+         std::to_string(value_size) + "," + std::to_string(parts.size()) +
+         " parts" + object_suffix(object) + epoch_suffix(epoch) + "}";
+}
+
+std::string FragFetch::describe() const {
+  return "FragFetch{c=" + std::to_string(client) + ",r=" + std::to_string(req) +
+         ",tag=" + tag.to_string() + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
+std::string FragFetchAck::describe() const {
+  return "FragFetchAck{r=" + std::to_string(req) + ",tag=" + tag.to_string() +
+         "," + std::to_string(parts.size()) + " parts" + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
+std::string FragRepair::describe() const {
+  return "FragRepair{origin=" + std::to_string(origin) + ",tag=" +
+         tag.to_string() + ",missing " + std::to_string(missing_index) + "/(" +
+         std::to_string(n) + "," + std::to_string(k) + ")," +
+         std::to_string(parts.size()) + " parts" + object_suffix(object) +
+         epoch_suffix(epoch) + "}";
+}
+
 std::string RingBatch::describe() const {
   std::string s = "RingBatch{" + std::to_string(parts.size()) + ":";
   for (std::size_t i = 0; i < parts.size() && i < 4; ++i) {
@@ -216,6 +287,71 @@ std::string encode_message(const net::Payload& msg) {
         e.u32(static_cast<std::uint32_t>(w.above.size()));
         for (const RequestId r : w.above) e.u64(r);
       }
+      break;
+    }
+    case kFragWrite: {
+      const auto& m = static_cast<const FragWrite&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      e.u64(m.client);
+      e.u64(m.req);
+      e.u8(m.n);
+      e.u8(m.k);
+      e.u8(m.frag_index);
+      e.u8(m.initiate ? 1 : 0);
+      e.u64(m.value_size);
+      e.u32(m.checksum);
+      e.bytes(m.frag);
+      break;
+    }
+    case kPreWriteFrag: {
+      const auto& m = static_cast<const PreWriteFrag&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      put_tag(e, m.tag);
+      e.u64(m.client);
+      e.u64(m.req);
+      e.u8(m.n);
+      e.u8(m.k);
+      e.u64(m.value_size);
+      break;
+    }
+    case kCodedReadAck: {
+      const auto& m = static_cast<const CodedReadAck&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      e.u64(m.req);
+      put_tag(e, m.tag);
+      e.u8(m.n);
+      e.u8(m.k);
+      e.u64(m.value_size);
+      put_frag_parts(e, m.parts);
+      break;
+    }
+    case kFragFetch: {
+      const auto& m = static_cast<const FragFetch&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      e.u64(m.client);
+      e.u64(m.req);
+      put_tag(e, m.tag);
+      break;
+    }
+    case kFragFetchAck: {
+      const auto& m = static_cast<const FragFetchAck&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      e.u64(m.req);
+      put_tag(e, m.tag);
+      e.u64(m.value_size);
+      put_frag_parts(e, m.parts);
+      break;
+    }
+    case kFragRepair: {
+      const auto& m = static_cast<const FragRepair&>(msg);
+      put_header(e, m.kind(), m.object, m.epoch);
+      e.u32(m.origin);
+      put_tag(e, m.tag);
+      e.u8(m.n);
+      e.u8(m.k);
+      e.u8(m.missing_index);
+      e.u64(m.value_size);
+      put_frag_parts(e, m.parts);
       break;
     }
     case kRingBatch: {
@@ -333,6 +469,72 @@ net::PayloadPtr decode_inner(Decoder& d, bool allow_batch) {
         windows.push_back(std::move(w));
       }
       return net::make_payload<MigrateDedup>(std::move(windows), h.epoch);
+    }
+    case kFragWrite: {
+      HeaderFields h = get_header(d);
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      const std::uint8_t n = d.u8();
+      const std::uint8_t k = d.u8();
+      const std::uint8_t idx = d.u8();
+      const bool init = d.u8() != 0;
+      const std::uint64_t vsize = d.u64();
+      const std::uint32_t crc = d.u32();
+      std::string frag(d.bytes());
+      return net::make_payload<FragWrite>(c, r, n, k, idx, init, vsize, crc,
+                                          std::move(frag), h.object, h.epoch);
+    }
+    case kPreWriteFrag: {
+      HeaderFields h = get_header(d);
+      Tag t = get_tag(d);
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      const std::uint8_t n = d.u8();
+      const std::uint8_t k = d.u8();
+      const std::uint64_t vsize = d.u64();
+      return net::make_payload<PreWriteFrag>(t, c, r, n, k, vsize, h.object,
+                                             h.epoch);
+    }
+    case kCodedReadAck: {
+      HeaderFields h = get_header(d);
+      RequestId r = d.u64();
+      Tag t = get_tag(d);
+      const std::uint8_t n = d.u8();
+      const std::uint8_t k = d.u8();
+      const std::uint64_t vsize = d.u64();
+      auto parts = get_frag_parts(d);
+      return net::make_payload<CodedReadAck>(r, t, n, k, vsize,
+                                             std::move(parts), h.object,
+                                             h.epoch);
+    }
+    case kFragFetch: {
+      HeaderFields h = get_header(d);
+      ClientId c = d.u64();
+      RequestId r = d.u64();
+      Tag t = get_tag(d);
+      return net::make_payload<FragFetch>(c, r, t, h.object, h.epoch);
+    }
+    case kFragFetchAck: {
+      HeaderFields h = get_header(d);
+      RequestId r = d.u64();
+      Tag t = get_tag(d);
+      const std::uint64_t vsize = d.u64();
+      auto parts = get_frag_parts(d);
+      return net::make_payload<FragFetchAck>(r, t, vsize, std::move(parts),
+                                             h.object, h.epoch);
+    }
+    case kFragRepair: {
+      HeaderFields h = get_header(d);
+      const ProcessId origin = d.u32();
+      Tag t = get_tag(d);
+      const std::uint8_t n = d.u8();
+      const std::uint8_t k = d.u8();
+      const std::uint8_t missing = d.u8();
+      const std::uint64_t vsize = d.u64();
+      auto parts = get_frag_parts(d);
+      return net::make_payload<FragRepair>(origin, t, n, k, missing, vsize,
+                                           std::move(parts), h.object,
+                                           h.epoch);
     }
     case kRingBatch: {
       if (!allow_batch) throw DecodeError("decode_message: nested RingBatch");

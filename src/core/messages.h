@@ -51,6 +51,12 @@ enum MsgKind : std::uint16_t {
   kMigrateState = 9,
   kEpochNack = 10,
   kMigrateDedup = 11,
+  kFragWrite = 12,
+  kPreWriteFrag = 13,
+  kCodedReadAck = 14,
+  kFragFetch = 15,
+  kFragFetchAck = 16,
+  kFragRepair = 17,
 };
 
 // Fixed field widths on the wire.
@@ -281,6 +287,199 @@ struct MigrateDedup final : net::Payload {
       s += 2 * kIdWire + kLenWire + w.above.size() * kIdWire;
     }
     return s;
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+// ----------------------------------------------------- coded value plane
+//
+// The erasure-coded storage mode (DESIGN.md §Coded values, D11). None of
+// these kinds is ever emitted under the default ValuePolicy — the
+// replicated wire format stays bit-for-bit golden-pinned — and all of them
+// reuse the flags-byte header, so coded traffic pays the same 0/8/12-byte
+// object/epoch costs as everything else.
+
+/// One fragment riding a coded-plane message: its index in the (n, k)
+/// code, its CRC-32, and its bytes. Wire: u8 index, u32 checksum,
+/// length-prefixed bytes.
+struct FragPart {
+  std::uint8_t index = 0;
+  std::uint32_t checksum = 0;
+  std::string bytes;
+
+  friend bool operator==(const FragPart&, const FragPart&) = default;
+};
+
+/// Wire bytes of a fragment list: u8 part count, then each part.
+[[nodiscard]] inline std::size_t frag_parts_wire(
+    const std::vector<FragPart>& parts) {
+  std::size_t s = 1;
+  for (const FragPart& p : parts) s += 1 + 4 + kLenWire + p.bytes.size();
+  return s;
+}
+
+/// Client → server: one fragment of a coded write. The client encodes the
+/// value into n fragments and sends fragment i to ring member i, so each
+/// server receives |v|/k instead of |v|. Exactly one copy (the sticky
+/// target's) carries `initiate = true` and doubles as the write request;
+/// the others only stage their fragment for the commit to promote.
+struct FragWrite final : net::Payload {
+  FragWrite(ClientId c, RequestId r, std::uint8_t n_, std::uint8_t k_,
+            std::uint8_t idx, bool init, std::uint64_t vsize,
+            std::uint32_t crc, std::string bytes,
+            ObjectId obj = kDefaultObject, Epoch e = 0)
+      : Payload(kFragWrite), client(c), req(r), n(n_), k(k_), frag_index(idx),
+        initiate(init), value_size(vsize), checksum(crc),
+        frag(std::move(bytes)), object(obj), epoch(e) {}
+
+  ClientId client;
+  RequestId req;
+  std::uint8_t n;
+  std::uint8_t k;
+  std::uint8_t frag_index;
+  bool initiate;
+  std::uint64_t value_size;
+  std::uint32_t checksum;
+  std::string frag;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + 2 * kIdWire +
+           4 + 8 + 4 + kLenWire + frag.size();
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Ring phase 1 of a coded write: the metadata-only twin of PreWrite. The
+/// value never circulates — every server already holds its fragment from
+/// the client's FragWrite — so the ring carries only the tag plus the
+/// coding geometry the commit will need. This is what collapses per-server
+/// ring bytes from |v| to O(1) for coded writes.
+struct PreWriteFrag final : net::Payload {
+  PreWriteFrag(Tag t, ClientId c, RequestId r, std::uint8_t n_,
+               std::uint8_t k_, std::uint64_t vsize,
+               ObjectId obj = kDefaultObject, Epoch e = 0)
+      : Payload(kPreWriteFrag), tag(t), client(c), req(r), n(n_), k(k_),
+        value_size(vsize), object(obj), epoch(e) {}
+
+  Tag tag;
+  ClientId client;
+  RequestId req;
+  std::uint8_t n;
+  std::uint8_t k;
+  std::uint64_t value_size;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kTagWire +
+           2 * kIdWire + 2 + 8;
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Server → client: read result for a register whose committed state is
+/// coded. Carries the committed tag, the geometry, and every fragment this
+/// server holds at that tag (usually one; more after repair adoption) —
+/// the client completes the read by collecting k distinct fragments via
+/// FragFetch from ring peers.
+struct CodedReadAck final : net::Payload {
+  CodedReadAck(RequestId r, Tag t, std::uint8_t n_, std::uint8_t k_,
+               std::uint64_t vsize, std::vector<FragPart> p,
+               ObjectId obj = kDefaultObject, Epoch e = 0)
+      : Payload(kCodedReadAck), req(r), tag(t), n(n_), k(k_),
+        value_size(vsize), parts(std::move(p)), object(obj), epoch(e) {}
+
+  RequestId req;
+  Tag tag;
+  std::uint8_t n;
+  std::uint8_t k;
+  std::uint64_t value_size;
+  std::vector<FragPart> parts;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kIdWire +
+           kTagWire + 2 + 8 + frag_parts_wire(parts);
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Client → server: fetch this server's fragments of `object` at exactly
+/// `tag` (the tag a CodedReadAck named). Answered with a FragFetchAck.
+struct FragFetch final : net::Payload {
+  FragFetch(ClientId c, RequestId r, Tag t, ObjectId obj = kDefaultObject,
+            Epoch e = 0)
+      : Payload(kFragFetch), client(c), req(r), tag(t), object(obj),
+        epoch(e) {}
+
+  ClientId client;
+  RequestId req;
+  Tag tag;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + 2 * kIdWire +
+           kTagWire;
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Server → client: the fragments held at the requested tag; empty parts
+/// means "not found" (never stored, or already reclaimed by the GC
+/// watermark — the client restarts the read).
+struct FragFetchAck final : net::Payload {
+  FragFetchAck(RequestId r, Tag t, std::uint64_t vsize,
+               std::vector<FragPart> p, ObjectId obj = kDefaultObject,
+               Epoch e = 0)
+      : Payload(kFragFetchAck), req(r), tag(t), value_size(vsize),
+        parts(std::move(p)), object(obj), epoch(e) {}
+
+  RequestId req;
+  Tag tag;
+  std::uint64_t value_size;
+  std::vector<FragPart> parts;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + kIdWire +
+           kTagWire + 8 + frag_parts_wire(parts);
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Ring repair for coded registers (the RADON repair direction): after a
+/// crash, the absorber circulates one FragRepair per coded register, each
+/// server appending its fragment at the committed tag until k are aboard;
+/// back at the origin, the crashed server's fragment `missing_index` is
+/// regenerated and adopted, restoring the code's failure tolerance without
+/// any server ever materialising the value.
+struct FragRepair final : net::Payload {
+  FragRepair(ProcessId o, Tag t, std::uint8_t n_, std::uint8_t k_,
+             std::uint8_t missing, std::uint64_t vsize,
+             std::vector<FragPart> p, ObjectId obj = kDefaultObject,
+             Epoch e = 0)
+      : Payload(kFragRepair), origin(o), tag(t), n(n_), k(k_),
+        missing_index(missing), value_size(vsize), parts(std::move(p)),
+        object(obj), epoch(e) {}
+
+  ProcessId origin;
+  Tag tag;
+  std::uint8_t n;
+  std::uint8_t k;
+  std::uint8_t missing_index;
+  std::uint64_t value_size;
+  std::vector<FragPart> parts;
+  ObjectId object;
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return kKindWire + object_wire(object) + epoch_wire(epoch) + 4 +
+           kTagWire + 3 + 8 + frag_parts_wire(parts);
   }
   [[nodiscard]] std::string describe() const override;
 };

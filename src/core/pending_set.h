@@ -20,6 +20,13 @@ struct PendingEntry {
   Value value;
   ClientId client = 0;
   RequestId req = 0;
+  /// Coded-plane pre-writes (PreWriteFrag) circulate no value; the entry
+  /// carries the coding geometry instead so the commit can bind the staged
+  /// fragment and crash adoption can re-issue the metadata message.
+  bool coded = false;
+  std::uint8_t cn = 0;
+  std::uint8_t ck = 0;
+  std::uint64_t coded_value_size = 0;
 };
 
 class PendingSet {

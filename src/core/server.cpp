@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
+#include "code/crc32.h"
+#include "code/mds.h"
 #include "common/logging.h"
 
 namespace hts::core {
@@ -124,6 +128,10 @@ void RingServer::on_client_read(ClientId client, RequestId req,
     // pending pre-writes can exist for it, so the read is immediate.
     ++stats_.reads_immediate;
     probe_.event(obs::EventKind::kReadImmediate, client, req);
+    if (obj != nullptr && obj->coded) {
+      send_coded_read_ack(*obj, client, req, ctx);
+      return;
+    }
     ctx.send_client(client, net::make_payload<ClientReadAck>(
                                 req, obj ? obj->value : Value{},
                                 obj ? obj->tag : kInitialTag, object,
@@ -136,6 +144,10 @@ void RingServer::on_client_read(ClientId client, RequestId req,
     // pre-write, so it is safe to return it (the paper always parks).
     ++stats_.reads_immediate;
     probe_.event(obs::EventKind::kReadImmediate, client, req);
+    if (obj->coded) {
+      send_coded_read_ack(*obj, client, req, ctx);
+      return;
+    }
     ctx.send_client(client,
                     net::make_payload<ClientReadAck>(req, obj->value, obj->tag,
                                                      object, view_.epoch));
@@ -145,6 +157,109 @@ void RingServer::on_client_read(ClientId client, RequestId req,
   probe_.event(obs::EventKind::kReadPark, client, req);
   state_of(object).parked.push_back(
       ParkedRead{client, req, threshold});  // line 81
+}
+
+// ----------------------------------------------- coded value plane (D11)
+
+void RingServer::on_frag_write(const FragWrite& m, ServerContext& ctx) {
+  ++stats_.frag_writes_in;
+  if (m.initiate) ++stats_.client_writes_in;  // the coded write request
+  if (code::crc32(m.frag) != m.checksum) {
+    // A corrupt fragment must never enter the store: a reader decoding it
+    // would reconstruct a value nobody wrote. Drop it — the initiate copy
+    // of a dropped fragment simply times out at the client and retries.
+    ++stats_.frag_corrupt;
+    return;
+  }
+  // The commit raced ahead of this fragment (apply_coded promoted nothing
+  // and recorded the tag): bind the fragment to the committed tag now —
+  // staging it would leak, and dropping it would leave this server unable
+  // to serve its share to readers and repair. Must run before the dedup
+  // check below, which would otherwise swallow exactly this case.
+  if (ObjectState& late_obj = state_of(m.object); late_obj.frags) {
+    if (auto late_tag = late_obj.frags->take_late(m.client, m.req)) {
+      late_obj.frags->adopt(
+          *late_tag, code::StoredFragment{m.frag_index, m.n, m.k,
+                                          m.value_size, m.checksum, m.frag});
+      ++stats_.frag_late_binds;
+      if (m.initiate && (view_.map == nullptr || view_.owns(m.object))) {
+        ++stats_.dedup_acks;
+        probe_.event(obs::EventKind::kDedupAck, m.client, m.req);
+        ctx.send_client(m.client, net::make_payload<ClientWriteAck>(
+                                      m.req, m.object, view_.epoch));
+      }
+      return;
+    }
+  }
+  // A retry of a write whose commit already circulated: every server
+  // learned completion via note_completed, so nobody re-stages (staged
+  // fragments of completed writes would never be promoted again — a leak).
+  const bool done = opts_.dedup_retries && request_completed(m.client, m.req);
+  if (done) {
+    if (m.initiate && (view_.map == nullptr || view_.owns(m.object))) {
+      ++stats_.dedup_acks;
+      probe_.event(obs::EventKind::kDedupAck, m.client, m.req);
+      ctx.send_client(m.client, net::make_payload<ClientWriteAck>(
+                                    m.req, m.object, view_.epoch));
+    }
+    return;
+  }
+  if (m.initiate &&
+      gate_client_op(false, m.client, m.req, nullptr, m.object, ctx)) {
+    return;
+  }
+  ObjectState& obj = state_of(m.object);
+  obj.store().stage(m.client, m.req,
+                    code::StoredFragment{m.frag_index, m.n, m.k, m.value_size,
+                                         m.checksum, m.frag});
+  if (!m.initiate) return;
+  LocalWrite w{m.object, m.client, m.req, Value{},
+               true,     m.n,      m.k,   m.value_size};
+  if (solo()) {
+    solo_write(w, ctx);
+    return;
+  }
+  write_queue_.push_back(std::move(w));
+  stats_.write_queue_max =
+      std::max<std::uint64_t>(stats_.write_queue_max, write_queue_.size());
+  probe_.event(obs::EventKind::kWriteEnqueue, m.client, m.req,
+               write_queue_.size());
+}
+
+void RingServer::on_frag_fetch(const FragFetch& m, ServerContext& ctx) {
+  ++stats_.frag_fetches_in;
+  std::vector<FragPart> parts;
+  std::uint64_t vsize = 0;
+  if (const ObjectState* obj = find_state(m.object); obj && obj->frags) {
+    if (const auto* set = obj->frags->at(m.tag)) {
+      for (const code::StoredFragment& f : *set) {
+        parts.push_back(FragPart{f.frag_index, f.checksum, f.bytes});
+        vsize = f.value_size;
+      }
+    }
+  }
+  // Empty parts = not found (never staged here, or GC-reclaimed): the
+  // client counts the miss and completes from the other k-of-n servers.
+  ctx.send_client(m.client,
+                  net::make_payload<FragFetchAck>(m.req, m.tag, vsize,
+                                                  std::move(parts), m.object,
+                                                  view_.epoch));
+}
+
+void RingServer::send_coded_read_ack(const ObjectState& obj, ClientId client,
+                                     RequestId req, ServerContext& ctx) {
+  std::vector<FragPart> parts;
+  if (obj.frags) {
+    if (const auto* set = obj.frags->at(obj.tag)) {
+      for (const code::StoredFragment& f : *set) {
+        parts.push_back(FragPart{f.frag_index, f.checksum, f.bytes});
+      }
+    }
+  }
+  ctx.send_client(client, net::make_payload<CodedReadAck>(
+                              req, obj.tag, obj.cn, obj.ck,
+                              obj.coded_value_size, std::move(parts), obj.id,
+                              view_.epoch));
 }
 
 // ------------------------------------------------------- view changes (D8)
@@ -231,6 +346,10 @@ bool RingServer::object_quiescent(ObjectId object) const {
         return static_cast<const WriteCommit&>(msg).object == object;
       case kSyncState:
         return static_cast<const SyncState&>(msg).object == object;
+      case kPreWriteFrag:
+        return static_cast<const PreWriteFrag&>(msg).object == object;
+      case kFragRepair:
+        return static_cast<const FragRepair&>(msg).object == object;
       default:
         return false;
     }
@@ -282,6 +401,12 @@ void RingServer::on_ring_message(net::PayloadPtr msg, ServerContext& ctx) {
       ++stats_.syncs_in;
       handle_sync(static_cast<const SyncState&>(*msg));
       break;
+    case kPreWriteFrag:
+      handle_pre_write_frag(msg, static_cast<const PreWriteFrag&>(*msg), ctx);
+      break;
+    case kFragRepair:
+      handle_frag_repair(msg, static_cast<const FragRepair&>(*msg));
+      break;
     default:
       log::error([&] {
         return "server " + std::to_string(self_) +
@@ -330,6 +455,11 @@ void RingServer::handle_pre_write(const net::PayloadPtr& msg, const PreWrite& m,
     // Apply now and forward the pre-write so downstream servers can do the
     // same; it must NOT enter the pending set (the commit already passed).
     obj.early_commits.erase(m.tag);
+    // If the original copy still sits in our forward queue, neutralize it:
+    // without this, next_ring_send would move it into the pending set at
+    // pull time — a pending entry whose commit already passed and will
+    // never return, parking every later read forever.
+    obj.queued_tags.erase(m.tag);
     apply(obj, m.tag, m.value);
     note_completed(obj, m.tag, m.client, m.req);
     unpark_up_to(obj, m.tag, ctx);
@@ -429,7 +559,12 @@ void RingServer::handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
   }
 
   auto entry = obj.pending.erase(m.tag);  // line 47
-  if (entry) {
+  if (entry && entry->coded) {
+    // Coded write: the value never travelled — bind the fragment this
+    // server staged from the client's FragWrite to the committing tag.
+    apply_coded(obj, m.tag, entry->client, entry->req, entry->cn, entry->ck,
+                entry->coded_value_size);
+  } else if (entry) {
     apply(obj, m.tag, entry->value);  // lines 43–46, value cached at pre-write
   } else {
     // Commit overtook its pre-write (only possible on a non-FIFO fabric).
@@ -443,6 +578,155 @@ void RingServer::handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
 
 void RingServer::handle_sync(const SyncState& m) {
   apply(state_of(m.object), m.tag, m.value);
+}
+
+void RingServer::handle_pre_write_frag(const net::PayloadPtr& msg,
+                                       const PreWriteFrag& m,
+                                       ServerContext& ctx) {
+  // The coded twin of handle_pre_write: identical circulation, no value —
+  // each server already staged its fragment from the client's FragWrite,
+  // and the commit binds it to this tag (apply_coded).
+  ObjectState& obj = state_of(m.object);
+  if (m.tag.id == self_) {
+    auto it = obj.outstanding.find(m.tag);
+    if (it == obj.outstanding.end()) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    if (it->second.write_phase) {
+      push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
+                                                 it->second.req, m.object,
+                                                 view_.epoch));
+      return;
+    }
+    it->second.write_phase = true;
+    obj.pending.erase(m.tag);
+    apply_coded(obj, m.tag, it->second.client, it->second.req, m.n, m.k,
+                m.value_size);
+    push_urgent(net::make_payload<WriteCommit>(m.tag, it->second.client,
+                                               it->second.req, m.object,
+                                               view_.epoch));
+    return;
+  }
+
+  if (obj.early_commits.contains(m.tag)) {
+    obj.early_commits.erase(m.tag);
+    obj.queued_tags.erase(m.tag);  // see handle_pre_write: defuse queued copy
+    apply_coded(obj, m.tag, m.client, m.req, m.n, m.k, m.value_size);
+    note_completed(obj, m.tag, m.client, m.req);
+    unpark_up_to(obj, m.tag, ctx);
+    sched_.enqueue(ForwardItem{m.tag.id, msg});
+    return;
+  }
+
+  if (already_committed(obj, m.tag)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (obj.queued_tags.contains(m.tag)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+
+  const bool origin_dead = !ring_.is_alive(m.tag.id);
+  if (origin_dead && ring_.absorber(m.tag.id) == self_) {
+    if (obj.adopted.contains(m.tag)) {
+      push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req,
+                                                 m.object, view_.epoch));
+      return;
+    }
+    ++stats_.adoptions;
+    obj.pending.erase(m.tag);
+    apply_coded(obj, m.tag, m.client, m.req, m.n, m.k, m.value_size);
+    obj.adopted[m.tag] = {m.client, m.req};
+    push_urgent(net::make_payload<WriteCommit>(m.tag, m.client, m.req,
+                                               m.object, view_.epoch));
+    return;
+  }
+
+  if (obj.pending.contains(m.tag)) {
+    sched_.enqueue(ForwardItem{m.tag.id, msg});
+    return;
+  }
+
+  sched_.enqueue(ForwardItem{m.tag.id, msg});
+  obj.queued_tags.insert(m.tag);
+  (void)ctx;
+}
+
+void RingServer::handle_frag_repair(const net::PayloadPtr& msg,
+                                    const FragRepair& m) {
+  ObjectState& obj = state_of(m.object);
+  // A repair doubles as the coded register's SyncState: it names the
+  // origin's committed tag and geometry, so a spliced-in successor that
+  // missed the commit adopts the coded state here (same "at least as fresh
+  // as the predecessor" argument as handle_sync).
+  if (m.tag > obj.tag) {
+    obj.tag = m.tag;
+    obj.value = Value{};
+    obj.coded = true;
+    obj.cn = m.n;
+    obj.ck = m.k;
+    obj.coded_value_size = m.value_size;
+  }
+
+  if (m.origin == self_) {
+    // Full loop: the ring contributed its fragments. Regenerate the crashed
+    // server's index so the code's failure tolerance is restored.
+    if (m.parts.size() >= std::size_t{m.k}) {
+      std::vector<code::FragmentRef> refs;
+      refs.reserve(m.parts.size());
+      for (const FragPart& p : m.parts) {
+        refs.emplace_back(p.index, std::string_view(p.bytes));
+      }
+      try {
+        code::MdsCodec codec(m.n, m.k);
+        std::string frag = codec.regenerate(m.missing_index, refs,
+                                            m.value_size);
+        const std::uint32_t crc = code::crc32(frag);
+        obj.store().adopt(m.tag,
+                          code::StoredFragment{m.missing_index, m.n, m.k,
+                                               m.value_size, crc,
+                                               std::move(frag)});
+        ++stats_.frag_repairs;
+      } catch (const std::invalid_argument&) {
+        ++stats_.frag_corrupt;  // inconsistent contributions: abandon
+      }
+    }
+    return;  // absorb — repairs circulate exactly once
+  }
+  if (!ring_.is_alive(m.origin) && ring_.absorber(m.origin) == self_) {
+    return;  // the origin died mid-repair; absorb on its behalf
+  }
+
+  // Transit: contribute our fragments at the tag while fewer than k are
+  // aboard, then forward (fairness-accounted under the origin, like any
+  // ring message).
+  std::vector<FragPart> parts = m.parts;
+  bool contributed = false;
+  if (obj.frags && parts.size() < std::size_t{m.k}) {
+    if (const auto* set = obj.frags->at(m.tag)) {
+      for (const code::StoredFragment& f : *set) {
+        if (parts.size() >= std::size_t{m.k}) break;
+        if (f.frag_index == m.missing_index) continue;
+        const bool dup =
+            std::any_of(parts.begin(), parts.end(), [&](const FragPart& p) {
+              return p.index == f.frag_index;
+            });
+        if (dup) continue;
+        parts.push_back(FragPart{f.frag_index, f.checksum, f.bytes});
+        contributed = true;
+      }
+    }
+  }
+  net::PayloadPtr onward =
+      contributed ? net::make_payload<FragRepair>(m.origin, m.tag, m.n, m.k,
+                                                  m.missing_index,
+                                                  m.value_size,
+                                                  std::move(parts), m.object,
+                                                  m.epoch)
+                  : msg;
+  sched_.enqueue(ForwardItem{m.origin, std::move(onward)});
 }
 
 // ---------------------------------------------------------------- egress
@@ -465,6 +749,10 @@ std::pair<ClientId, RequestId> op_of(const net::Payload& msg) {
     }
     case kWriteCommit: {
       const auto& m = static_cast<const WriteCommit&>(msg);
+      return {m.client, m.req};
+    }
+    case kPreWriteFrag: {
+      const auto& m = static_cast<const PreWriteFrag&>(msg);
       return {m.client, m.req};
     }
     default:
@@ -506,11 +794,33 @@ std::optional<RingSend> RingServer::next_ring_send() {
     ForwardItem item = std::move(*d.forward);
     sched_.count_sent(item.origin);  // line 72
     if (item.msg->kind() == kPreWrite) {
-      // Line 71: a pre-write enters our pending set when we forward it.
+      // Line 71: a pre-write enters our pending set when we forward it —
+      // unless its commit already overtook it while it sat in this queue
+      // (crash re-send timing on a real fabric). Such a tag must apply now
+      // and never enter pending: the commit will not come back to erase the
+      // entry, and a stale pending tag parks every later read forever.
       const auto& pw = static_cast<const PreWrite&>(*item.msg);
       ObjectState& obj = state_of(pw.object);
       if (obj.queued_tags.erase(pw.tag) > 0) {
-        obj.pending.insert(PendingEntry{pw.tag, pw.value, pw.client, pw.req});
+        if (obj.early_commits.erase(pw.tag) > 0) {
+          apply(obj, pw.tag, pw.value);
+        } else {
+          obj.pending.insert(PendingEntry{pw.tag, pw.value, pw.client,
+                                          pw.req});
+        }
+      }
+    } else if (item.msg->kind() == kPreWriteFrag) {
+      // Same rule for the coded twin; the entry carries geometry, no value.
+      const auto& pw = static_cast<const PreWriteFrag&>(*item.msg);
+      ObjectState& obj = state_of(pw.object);
+      if (obj.queued_tags.erase(pw.tag) > 0) {
+        if (obj.early_commits.erase(pw.tag) > 0) {
+          apply_coded(obj, pw.tag, pw.client, pw.req, pw.n, pw.k,
+                      pw.value_size);
+        } else {
+          obj.pending.insert(PendingEntry{pw.tag, Value{}, pw.client, pw.req,
+                                          true, pw.n, pw.k, pw.value_size});
+        }
       }
     }
     ++stats_.forwards;
@@ -563,10 +873,19 @@ RingSend RingServer::initiate_write(LocalWrite w) {
   if (auto hp = obj.pending.max_tag()) ts = std::max(ts, hp->ts);
   const Tag tag{ts + 1, self_};
 
-  obj.pending.insert(PendingEntry{tag, w.value, w.client, w.req});
-  obj.outstanding[tag] = OutstandingWrite{w.client, w.req, w.value, false};
+  obj.pending.insert(PendingEntry{tag, w.value, w.client, w.req, w.coded,
+                                  w.cn, w.ck, w.coded_value_size});
+  obj.outstanding[tag] =
+      OutstandingWrite{w.client, w.req,         w.value, false,
+                       w.coded,  w.cn,  w.ck,   w.coded_value_size};
   sched_.count_sent(self_);  // line 26
   ++stats_.pre_writes_initiated;
+  if (w.coded) {
+    return RingSend{successor_, net::make_payload<PreWriteFrag>(
+                                    tag, w.client, w.req, w.cn, w.ck,
+                                    w.coded_value_size, w.object,
+                                    view_.epoch)};
+  }
   return RingSend{successor_,
                   net::make_payload<PreWrite>(tag, w.value, w.client, w.req,
                                               w.object, view_.epoch)};
@@ -577,7 +896,11 @@ void RingServer::solo_write(const LocalWrite& w, ServerContext& ctx) {
   std::uint64_t ts = obj.tag.ts;
   if (auto hp = obj.pending.max_tag()) ts = std::max(ts, hp->ts);
   const Tag tag{ts + 1, self_};
-  apply(obj, tag, w.value);
+  if (w.coded) {
+    apply_coded(obj, tag, w.client, w.req, w.cn, w.ck, w.coded_value_size);
+  } else {
+    apply(obj, tag, w.value);
+  }
   note_completed(obj, tag, w.client, w.req);
   ctx.send_client(w.client, net::make_payload<ClientWriteAck>(
                                 w.req, w.object, view_.epoch));
@@ -608,14 +931,24 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
     // the initial tag downstream is a no-op, and with one register per key
     // a namespace-wide sweep should not flood the ring with them.
     for (const auto& [id, obj] : objects_) {
-      if (id == kDefaultObject || !obj.tag.is_initial()) {
+      if (obj.coded) {
+        // A coded register syncs through its FragRepair (launched in the
+        // absorber pass below — it carries tag + geometry); a SyncState
+        // with the empty value would install an empty *replicated* state.
+      } else if (id == kDefaultObject || !obj.tag.is_initial()) {
         ++stats_.syncs_sent;
         push_urgent(net::make_payload<SyncState>(obj.tag, obj.value, id,
                                                  view_.epoch));
       }
       for (const auto& e : obj.pending.snapshot()) {
-        push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client,
-                                                e.req, id, view_.epoch));
+        if (e.coded) {
+          push_urgent(net::make_payload<PreWriteFrag>(
+              e.tag, e.client, e.req, e.cn, e.ck, e.coded_value_size, id,
+              view_.epoch));
+        } else {
+          push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client,
+                                                  e.req, id, view_.epoch));
+        }
       }
     }
   }
@@ -628,6 +961,10 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
       if (ow.write_phase) {
         push_urgent(net::make_payload<WriteCommit>(tag, ow.client, ow.req, id,
                                                    view_.epoch));
+      } else if (ow.coded) {
+        push_urgent(net::make_payload<PreWriteFrag>(
+            tag, ow.client, ow.req, ow.cn, ow.ck, ow.coded_value_size, id,
+            view_.epoch));
       } else {
         push_urgent(net::make_payload<PreWrite>(tag, ow.value, ow.client,
                                                 ow.req, id, view_.epoch));
@@ -640,8 +977,35 @@ void RingServer::on_peer_crash(ProcessId crashed, ServerContext& ctx) {
     if (ring_.absorber(crashed) == self_) {
       for (const auto& e : obj.pending.entries_from(crashed)) {
         ++stats_.adoptions;
-        push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client,
-                                                e.req, id, view_.epoch));
+        if (e.coded) {
+          push_urgent(net::make_payload<PreWriteFrag>(
+              e.tag, e.client, e.req, e.cn, e.ck, e.coded_value_size, id,
+              view_.epoch));
+        } else {
+          push_urgent(net::make_payload<PreWrite>(e.tag, e.value, e.client,
+                                                  e.req, id, view_.epoch));
+        }
+      }
+
+      // D11 — coded repair (the RADON direction): the crashed server's
+      // fragment of every coded register is gone. Circulate a FragRepair
+      // seeded with our fragments; each server appends its own until k are
+      // aboard, and back here the missing index is regenerated and
+      // adopted. Doubles as the coded register's splice sync (see
+      // handle_frag_repair). Only worthwhile while >= k servers survive.
+      if (obj.coded && ring_.alive_count() >= std::size_t{obj.ck}) {
+        std::vector<FragPart> parts;
+        if (obj.frags) {
+          if (const auto* set = obj.frags->at(obj.tag)) {
+            for (const code::StoredFragment& f : *set) {
+              parts.push_back(FragPart{f.frag_index, f.checksum, f.bytes});
+            }
+          }
+        }
+        push_urgent(net::make_payload<FragRepair>(
+            self_, obj.tag, obj.cn, obj.ck,
+            static_cast<std::uint8_t>(crashed), obj.coded_value_size,
+            std::move(parts), id, view_.epoch));
       }
     }
   }
@@ -653,13 +1017,23 @@ void RingServer::resolve_everything_solo(ServerContext& ctx) {
   // write completes.
   for (auto& [id, obj] : objects_) {
     for (const auto& e : obj.pending.snapshot()) {
-      apply(obj, e.tag, e.value);
+      if (e.coded) {
+        apply_coded(obj, e.tag, e.client, e.req, e.cn, e.ck,
+                    e.coded_value_size);
+      } else {
+        apply(obj, e.tag, e.value);
+      }
       note_completed(obj, e.tag, e.client, e.req);
     }
     obj.pending.clear();
 
     for (auto& [tag, ow] : obj.outstanding) {
-      apply(obj, tag, ow.value);
+      if (ow.coded) {
+        apply_coded(obj, tag, ow.client, ow.req, ow.cn, ow.ck,
+                    ow.coded_value_size);
+      } else {
+        apply(obj, tag, ow.value);
+      }
       note_completed(obj, tag, ow.client, ow.req);
       ctx.send_client(ow.client, net::make_payload<ClientWriteAck>(
                                      ow.req, id, view_.epoch));
@@ -687,6 +1061,44 @@ void RingServer::apply(ObjectState& obj, const Tag& t, const Value& v) {
   if (t > obj.tag) {
     obj.tag = t;
     obj.value = v;
+    // A replicated value superseding a coded state flips the register back
+    // to replicated mode (one register may alternate under a
+    // size-threshold policy). Old fragment sets stay until the GC
+    // watermark of a later coded commit reclaims them.
+    obj.coded = false;
+  }
+}
+
+void RingServer::apply_coded(ObjectState& obj, const Tag& t, ClientId client,
+                             RequestId req, std::uint8_t n, std::uint8_t k,
+                             std::uint64_t value_size) {
+  if (t > obj.tag) {
+    obj.tag = t;
+    obj.value = Value{};
+    obj.coded = true;
+    obj.cn = n;
+    obj.ck = k;
+    obj.coded_value_size = value_size;
+  }
+  ++stats_.coded_commits;
+  // Promote even when t is superseded: the fragment belongs to tag t
+  // regardless, and an in-flight read of t may still fetch it (the GC
+  // slack below is what bounds how long). A promote with nothing staged
+  // means the FragWrite has not arrived here (the fan-out and the ring
+  // share no ordering, so the commit can win the race — or the fragment
+  // was lost to a crash window): the commit still applies — that is an
+  // availability loss of one fragment, never an atomicity violation.
+  // Remember the tag so a late-arriving fragment binds to it directly
+  // (on_frag_write); repair can also refill it.
+  if (!obj.store().promote(client, req, t)) {
+    ++stats_.frag_missing;
+    obj.store().note_missing(client, req, t);
+  }
+  const std::size_t freed =
+      obj.store().gc_below(obj.tag, opts_.value_policy.gc_keep);
+  if (freed > 0) {
+    ++stats_.gc_runs;
+    stats_.gc_reclaimed_bytes += freed;
   }
 }
 
@@ -729,10 +1141,14 @@ void RingServer::unpark_up_to(ObjectState& obj, const Tag& t,
     if (r.threshold <= t) {
       // D2: reply with the *current* local value — at least as new as the
       // threshold since the unblocking commit has been applied.
-      ctx.send_client(r.client,
-                      net::make_payload<ClientReadAck>(r.req, obj.value,
-                                                       obj.tag, obj.id,
-                                                       view_.epoch));
+      if (obj.coded) {
+        send_coded_read_ack(obj, r.client, r.req, ctx);
+      } else {
+        ctx.send_client(r.client,
+                        net::make_payload<ClientReadAck>(r.req, obj.value,
+                                                         obj.tag, obj.id,
+                                                         view_.epoch));
+      }
     } else {
       keep.push_back(std::move(r));
     }
@@ -767,6 +1183,16 @@ const PendingSet& RingServer::pending(ObjectId object) const {
 std::size_t RingServer::parked_read_count(ObjectId object) const {
   const ObjectState* obj = find_state(object);
   return obj ? obj->parked.size() : 0;
+}
+
+std::size_t RingServer::fragment_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.frags) {
+      total += obj.frags->stored_bytes() + obj.frags->staged_bytes();
+    }
+  }
+  return total;
 }
 
 }  // namespace hts::core

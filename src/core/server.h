@@ -26,12 +26,15 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "code/fragment_store.h"
+#include "code/policy.h"
 #include "common/types.h"
 #include "common/value.h"
 #include "core/fairness.h"
@@ -98,6 +101,13 @@ struct ServerOptions {
   /// window the TCP-stream model used previously.
   std::size_t max_batch = 16;
 
+  /// Coded value plane (DESIGN.md §Coded values, D11). The default policy
+  /// is inactive: no fragment store is ever allocated, no fragment message
+  /// is ever emitted, and the wire stays bit-for-bit the replicated
+  /// protocol (golden-pinned). A server only consults `gc_keep` of this —
+  /// the encode decision is the client's — plus `active()` as a sanity
+  /// gate for serving fragment traffic.
+  code::ValuePolicy value_policy;
 };
 
 /// Counters exposed for tests and ablation benches.
@@ -130,6 +140,17 @@ struct ServerStats {
   std::uint64_t urgent_queue_max = 0;   ///< urgent queue high-watermark
   std::uint64_t forward_queue_max = 0;  ///< fairness queue high-watermark
   std::uint64_t migrate_bytes_in = 0;   ///< MigrateState wire bytes received
+  // Coded value plane (D11). Appended last: obs export rows are
+  // index-aligned with their cluster totals.
+  std::uint64_t frag_writes_in = 0;     ///< FragWrite messages received
+  std::uint64_t frag_fetches_in = 0;    ///< FragFetch messages received
+  std::uint64_t coded_commits = 0;      ///< commits applied in coded mode
+  std::uint64_t frag_missing = 0;       ///< coded commits with nothing staged
+  std::uint64_t frag_corrupt = 0;       ///< fragments dropped on CRC mismatch
+  std::uint64_t frag_repairs = 0;       ///< fragments regenerated via repair
+  std::uint64_t gc_runs = 0;            ///< GC passes that reclaimed bytes
+  std::uint64_t gc_reclaimed_bytes = 0; ///< fragment bytes reclaimed by GC
+  std::uint64_t frag_late_binds = 0;    ///< fragments bound after their commit
 };
 
 class RingServer {
@@ -147,9 +168,21 @@ class RingServer {
                       ObjectId object = kDefaultObject);
 
   /// A ring message from the predecessor (PreWrite / WriteCommit /
-  /// SyncState), or a RingBatch of them — unpacked here, atomically, so
-  /// every fabric gets batch delivery right by construction.
+  /// SyncState / PreWriteFrag / FragRepair), or a RingBatch of them —
+  /// unpacked here, atomically, so every fabric gets batch delivery right
+  /// by construction.
   void on_ring_message(net::PayloadPtr msg, ServerContext& ctx);
+
+  // ---------- coded value plane (DESIGN.md §Coded values, D11) ----------
+
+  /// One fragment of a coded write, delivered directly by the client. Every
+  /// ring server stages its fragment; the copy flagged `initiate` also
+  /// enqueues the write (the coded analogue of on_client_write).
+  void on_frag_write(const FragWrite& m, ServerContext& ctx);
+
+  /// A reader asking for this server's fragments of `tag` (the second
+  /// round-trip of a coded read).
+  void on_frag_fetch(const FragFetch& m, ServerContext& ctx);
 
   /// Perfect-failure-detector notification (lines 85–93 + adoption, D4).
   void on_peer_crash(ProcessId crashed, ServerContext& ctx);
@@ -263,6 +296,14 @@ class RingServer {
   }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const FairScheduler& scheduler() const { return sched_; }
+  /// Fragment bytes currently held (staged + committed) across all
+  /// registers — the obs fragment-bytes gauge and the per-server storage
+  /// share the coded examples print.
+  [[nodiscard]] std::size_t fragment_bytes() const;
+  /// Fragment bytes reclaimed by the GC watermark, cumulative.
+  [[nodiscard]] std::size_t gc_reclaimed_bytes() const {
+    return stats_.gc_reclaimed_bytes;
+  }
 
   /// Attaches this server to a run's observability recorder (wire-silent:
   /// probes only record, they never alter protocol decisions). Detached by
@@ -274,7 +315,11 @@ class RingServer {
     ObjectId object;
     ClientId client;
     RequestId req;
-    Value value;
+    Value value;       // empty for coded writes — the value never travels whole
+    bool coded = false;
+    std::uint8_t cn = 0;
+    std::uint8_t ck = 0;
+    std::uint64_t coded_value_size = 0;
   };
   struct ParkedRead {
     ClientId client;
@@ -286,6 +331,10 @@ class RingServer {
     RequestId req;
     Value value;
     bool write_phase = false;  // own PreWrite completed the loop
+    bool coded = false;        // re-issue PreWriteFrag, not PreWrite (D11)
+    std::uint8_t cn = 0;
+    std::uint8_t ck = 0;
+    std::uint64_t coded_value_size = 0;
   };
   /// A client op held back during a view change (register moving onto this
   /// server); replayed in arrival order at commit_view_change.
@@ -318,8 +367,23 @@ class RingServer {
     // Defensive: commits that arrived before their pre-write (non-FIFO).
     std::unordered_set<Tag> early_commits;
 
+    // Coded value plane (D11): the fragment store is lazy — a register that
+    // only ever sees replicated writes never allocates one. `coded` says
+    // whether the *current committed* (tag, value) is a coded state: then
+    // `value` is empty and readers are answered with CodedReadAck instead.
+    std::unique_ptr<code::FragmentStore> frags;
+    bool coded = false;
+    std::uint8_t cn = 0;
+    std::uint8_t ck = 0;
+    std::uint64_t coded_value_size = 0;
+
     ObjectState(ObjectId object, std::size_t n_servers, const Tag& initial)
         : id(object), tag(initial), commit_watermark(n_servers, 0) {}
+
+    code::FragmentStore& store() {
+      if (!frags) frags = std::make_unique<code::FragmentStore>();
+      return *frags;
+    }
   };
 
   /// D6: per-client completed-write tracking that tolerates out-of-order
@@ -346,6 +410,14 @@ class RingServer {
   void handle_commit(const net::PayloadPtr& msg, const WriteCommit& m,
                      ServerContext& ctx);
   void handle_sync(const SyncState& m);
+  /// Coded pre-write: the metadata-only ring circulation of a FragWrite
+  /// fan-out (D11). Mirrors handle_pre_write with an empty value and coding
+  /// geometry riding the pending entry.
+  void handle_pre_write_frag(const net::PayloadPtr& msg, const PreWriteFrag& m,
+                             ServerContext& ctx);
+  /// Crash repair for coded registers: collects k fragments around the
+  /// ring, regenerates the crashed server's index at the origin (absorber).
+  void handle_frag_repair(const net::PayloadPtr& msg, const FragRepair& m);
 
   /// Lines 21–28: assign a tag and start the pre-write phase. Returns the
   /// transmission (caller is next_ring_send).
@@ -360,7 +432,21 @@ class RingServer {
   [[nodiscard]] const ObjectState* find_state(ObjectId id) const;
 
   /// Applies (tag, value) to the register if newer (lines 33–35/43–45).
+  /// A replicated apply that supersedes a coded state clears the coded
+  /// flag — one register may alternate modes under a size-threshold policy.
   static void apply(ObjectState& obj, const Tag& t, const Value& v);
+
+  /// Coded counterpart of apply(): installs `t` as a coded committed state
+  /// (empty value, geometry recorded), promotes the writer's staged
+  /// fragment under `t`, and runs the GC watermark (D11).
+  void apply_coded(ObjectState& obj, const Tag& t, ClientId client,
+                   RequestId req, std::uint8_t n, std::uint8_t k,
+                   std::uint64_t value_size);
+
+  /// Replies to a read of a coded register: CodedReadAck carrying whatever
+  /// fragments this server holds at the committed tag.
+  void send_coded_read_ack(const ObjectState& obj, ClientId client,
+                           RequestId req, ServerContext& ctx);
 
   /// Records completion of a write for duplicate suppression (watermark) and
   /// client-retry deduplication.

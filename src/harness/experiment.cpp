@@ -168,6 +168,7 @@ SimClusterConfig cluster_config(const ExperimentParams& p) {
   cfg.topology = core::Topology{p.n_rings, p.n_servers};
   cfg.shared_network = p.shared_network;
   cfg.server_options = p.server_options;
+  cfg.value_policy = p.value_policy;
   // Wide enough for the measured pipelining AND for the preload burst to
   // write every register concurrently at t=0 (drivers bound their own
   // in-flight ops at wl.pipeline, so measured clients never use the
@@ -220,6 +221,14 @@ ExperimentResult run_core_experiment(const ExperimentParams& p) {
     }
   }
   ExperimentResult r = run_with(cluster, sim, p, set);
+  r.server_net_bytes = cluster.server_network().total_bytes_sent();
+  r.client_net_bytes = cluster.client_network().total_bytes_sent();
+  r.n_servers = p.n_rings * p.n_servers;
+  for (ProcessId s = 0; s < r.n_servers; ++s) {
+    r.fragment_bytes += cluster.server(s).fragment_bytes();
+    r.coded_commits += cluster.server(s).stats().coded_commits;
+    r.gc_reclaimed_bytes += cluster.server(s).stats().gc_reclaimed_bytes;
+  }
   if (p.recorder != nullptr) {
     cluster.export_metrics();
     const auto& hists = p.recorder->registry().histograms();

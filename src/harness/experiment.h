@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "code/policy.h"
 #include "core/server.h"
 #include "obs/probe.h"
 
@@ -60,6 +61,11 @@ struct ExperimentParams {
 
   core::ServerOptions server_options;
 
+  /// Coded value plane (core protocol only, DESIGN.md §Coded values):
+  /// applied to every server and client of the cluster. Inactive = the
+  /// replicated protocol, bit-for-bit.
+  code::ValuePolicy value_policy;
+
   /// Observability (core protocol only): when set, the cluster attaches
   /// probes, every driver feeds per-bucket completion series
   /// ("workload.write_bytes" / "workload.read_bytes", covering the whole
@@ -86,6 +92,17 @@ struct ExperimentResult {
   /// next_ring_batch() pull records, so this equals the RingTraffic fill
   /// factor ring_messages / transmissions exactly.
   double batch_fill_mean = 0;
+
+  // Wire/storage accounting for the coded-plane benches (core protocol
+  // only; zero for baselines). Network totals cover the whole run
+  // including warmup — ratios between configs are still apples-to-apples
+  // because every config runs the identical schedule.
+  std::uint64_t server_net_bytes = 0;   ///< ring-network bytes, all servers
+  std::uint64_t client_net_bytes = 0;   ///< client-network bytes, all NICs
+  std::uint64_t fragment_bytes = 0;     ///< sum of per-server fragment stores
+  std::uint64_t coded_commits = 0;      ///< cluster-wide coded commits
+  std::uint64_t gc_reclaimed_bytes = 0; ///< cluster-wide GC-reclaimed bytes
+  std::size_t n_servers = 0;            ///< total servers (for per-server /)
 };
 
 /// The paper's algorithm on the simulator.

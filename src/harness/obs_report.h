@@ -54,6 +54,18 @@ inline std::vector<std::pair<const char*, std::uint64_t>> server_stat_rows(
       {"write_queue_max", st.write_queue_max},
       {"urgent_queue_max", st.urgent_queue_max},
       {"forward_queue_max", st.forward_queue_max},
+      // Coded value plane (DESIGN.md §Coded values). New rows append at the
+      // END: export_server_totals sums by index, so reordering would silently
+      // misattribute counters across fabrics and schema versions.
+      {"frag_writes_in", st.frag_writes_in},
+      {"frag_fetches_in", st.frag_fetches_in},
+      {"code.commits", st.coded_commits},
+      {"frag_missing", st.frag_missing},
+      {"frag_corrupt", st.frag_corrupt},
+      {"frag_repairs", st.frag_repairs},
+      {"gc.runs", st.gc_runs},
+      {"gc.reclaimed_bytes", st.gc_reclaimed_bytes},
+      {"frag_late_binds", st.frag_late_binds},
   };
 }
 
@@ -64,6 +76,11 @@ inline std::vector<std::pair<const char*, std::uint64_t>> client_stat_rows(
       {"rotations", c.rotations()},
       {"epoch_nacks", c.epoch_nacks()},
       {"view_refreshes", c.view_refreshes()},
+      // Coded value plane: client-side encode/decode work. Append-only, same
+      // index-alignment contract as server_stat_rows above.
+      {"code.encodes", c.coded_encodes()},
+      {"code.decodes", c.coded_decodes()},
+      {"frag_corrupt", c.frag_corrupt()},
   };
 }
 
@@ -83,6 +100,8 @@ inline void export_server_stats(obs::MetricsRegistry& reg,
       ->set(static_cast<double>(s.urgent_queue_depth()));
   reg.gauge(prefix + ".forward_queue_depth")
       ->set(static_cast<double>(s.scheduler().forward_queue_size()));
+  reg.gauge(prefix + ".fragment_bytes")
+      ->set(static_cast<double>(s.fragment_bytes()));
 }
 
 /// Exports the cluster-wide sums as "server.total.<stat>" so aggregate
@@ -116,17 +135,27 @@ inline void export_client_stats(obs::MetricsRegistry& reg,
 inline void export_client_totals(
     obs::MetricsRegistry& reg,
     const std::vector<const core::ClientSession*>& clients) {
-  std::uint64_t retries = 0, rotations = 0, nacks = 0, refreshes = 0;
+  std::vector<std::pair<const char*, std::uint64_t>> total;
   for (const core::ClientSession* c : clients) {
-    retries += c->retries();
-    rotations += c->rotations();
-    nacks += c->epoch_nacks();
-    refreshes += c->view_refreshes();
+    const auto rows = detail::client_stat_rows(*c);
+    if (total.empty()) {
+      total = rows;
+    } else {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        total[i].second += rows[i].second;
+      }
+    }
   }
-  reg.counter("client.total.retries")->set(retries);
-  reg.counter("client.total.rotations")->set(rotations);
-  reg.counter("client.total.epoch_nacks")->set(nacks);
-  reg.counter("client.total.view_refreshes")->set(refreshes);
+  if (total.empty()) {
+    // No sessions yet: still publish the zeroed totals so the export
+    // satisfies the metrics schema regardless of cluster population.
+    total = {{"retries", 0},      {"rotations", 0},    {"epoch_nacks", 0},
+             {"view_refreshes", 0}, {"code.encodes", 0}, {"code.decodes", 0},
+             {"frag_corrupt", 0}};
+  }
+  for (const auto& [name, v] : total) {
+    reg.counter(std::string("client.total.") + name)->set(v);
+  }
 }
 
 /// Formats the trace spans of a failed lincheck's witness ops: each witness

@@ -54,7 +54,15 @@ struct SimCluster::ServerNode final : core::ServerContext {
       case core::kPreWrite:
       case core::kWriteCommit:
       case core::kSyncState:
+      case core::kPreWriteFrag:
+      case core::kFragRepair:
         server.on_ring_message(std::move(msg), *this);
+        break;
+      case core::kFragWrite:
+        server.on_frag_write(static_cast<const core::FragWrite&>(*msg), *this);
+        break;
+      case core::kFragFetch:
+        server.on_frag_fetch(static_cast<const core::FragFetch&>(*msg), *this);
         break;
       case core::kMigrateState:
         server.on_migrate_state(static_cast<const core::MigrateState&>(*msg));
@@ -231,6 +239,9 @@ void SimCluster::ServerNode::send_client(ClientId client,
 SimCluster::SimCluster(sim::Simulator& sim, SimClusterConfig cfg)
     : sim_(sim), cfg_(cfg), topo_(cfg.resolved_topology()) {
   assert(topo_.valid());
+  // One coding knob for the whole deployment: servers inherit it through the
+  // options every spawn_server call copies; clients pick it up in add_client.
+  cfg_.server_options.value_policy = cfg_.value_policy;
   view_ = core::ClusterView{0, topo_};
   registry_ = std::make_shared<core::ViewRegistry>(view_);
   map_ = std::make_shared<const core::ShardMap>(topo_.n_rings());
@@ -332,6 +343,7 @@ core::ClientSession& SimCluster::add_client(std::size_t machine,
   opts.retry_cap = cfg_.client_retry_cap;
   opts.max_inflight = cfg_.client_max_inflight;
   opts.seed = cfg_.client_seed;
+  opts.value_policy = cfg_.value_policy;
   const ClientId id = static_cast<ClientId>(clients_.size());
   clients_.push_back(
       std::make_unique<LogicalClient>(this, machine, id, opts));

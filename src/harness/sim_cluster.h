@@ -31,6 +31,7 @@
 #include <set>
 #include <vector>
 
+#include "code/policy.h"
 #include "common/types.h"
 #include "core/client.h"
 #include "core/reconfig.h"
@@ -81,6 +82,13 @@ struct SimClusterConfig {
   double client_retry_cap = 8.0;
   std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
+
+  /// Coded value plane (DESIGN.md §Coded values): one knob for the whole
+  /// deployment — applied to every server (fragment store / GC) and every
+  /// client session (encode on write, reconstruct on read). Inactive by
+  /// default: the cluster then emits bit-for-bit the replicated-only wire
+  /// traffic (golden-pinned in tests/code_test.cpp).
+  code::ValuePolicy value_policy;
 
   /// Epoch-versioned views: servers get ownership views and sessions a
   /// registry-backed view provider, enabling add_ring/remove_last_ring.

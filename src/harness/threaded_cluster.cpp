@@ -126,7 +126,15 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
       case core::kPreWrite:
       case core::kWriteCommit:
       case core::kSyncState:
+      case core::kPreWriteFrag:
+      case core::kFragRepair:
         server.on_ring_message(std::move(msg), *this);
+        break;
+      case core::kFragWrite:
+        server.on_frag_write(static_cast<const core::FragWrite&>(*msg), *this);
+        break;
+      case core::kFragFetch:
+        server.on_frag_fetch(static_cast<const core::FragFetch&>(*msg), *this);
         break;
       case core::kMigrateState:
         server.on_migrate_state(static_cast<const core::MigrateState&>(*msg));
@@ -324,6 +332,9 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
       transport_(cfg.detection_delay_s),
       epoch_(clk::steady_now()) {
   assert(topo_.valid());
+  // One coding knob for the whole deployment: servers inherit it through the
+  // options every spawn_server call copies; clients pick it up in add_client.
+  cfg_.server_options.value_policy = cfg_.value_policy;
   // Pre-thread initialization: no node thread exists yet, and the analysis
   // does not check constructors — the guarded members are written bare.
   view_ = core::ClusterView{0, topo_};
@@ -391,6 +402,7 @@ ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
   opts.retry_cap = cfg_.client_retry_cap;
   opts.max_inflight = cfg_.client_max_inflight;
   opts.seed = cfg_.client_seed;
+  opts.value_policy = cfg_.value_policy;
   const ClientId id = static_cast<ClientId>(clients_.size());
   auto host = std::make_unique<ClientHost>(this, id, opts);
   ClientHost* raw = host.get();

@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "code/policy.h"
 #include "common/clock.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
@@ -57,6 +58,11 @@ struct ThreadedClusterConfig {
   std::uint64_t client_seed = 0;
   core::ServerOptions server_options;
   bool record_history = true;  ///< collect a lincheck history of all ops
+
+  /// Coded value plane (DESIGN.md §Coded values): one knob for the whole
+  /// deployment — applied to every server and every client session.
+  /// Inactive by default (replicated-only traffic, golden-pinned).
+  code::ValuePolicy value_policy;
 
   /// Epoch-versioned views (enables add_ring/remove_last_ring); false
   /// restores the PR 4 wiring exactly.

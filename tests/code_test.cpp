@@ -1,0 +1,684 @@
+// Coded value plane tests (DESIGN.md §Coded values, D11): codec algebra
+// (every k-of-n subset reconstructs, repair regenerates any index), fragment
+// store accounting and the GC watermark, wire round-trips of the six coded
+// messages, the inactive-policy golden pin (bit-for-bit replicated traffic),
+// and end-to-end coded write/read/crash-repair on both fabrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "code/crc32.h"
+#include "code/fragment_store.h"
+#include "code/mds.h"
+#include "code/policy.h"
+#include "core/messages.h"
+#include "harness/sim_cluster.h"
+#include "harness/threaded_cluster.h"
+#include "harness/workload.h"
+#include "lincheck/checker.h"
+#include "sim/simulator.h"
+
+namespace hts::code {
+namespace {
+
+std::string pattern_value(std::size_t size, std::uint8_t seed) {
+  std::string v(size, '\0');
+  for (std::size_t i = 0; i < size; ++i) {
+    v[i] = static_cast<char>((seed + i * 131) & 0xFF);
+  }
+  return v;
+}
+
+TEST(MdsCodec, SystematicPrefixIsTheValueItself) {
+  const std::string v = pattern_value(1000, 3);  // not divisible by k
+  for (const auto& [n, k] : {std::pair<std::size_t, std::size_t>{3, 2},
+                            {5, 3}}) {
+    MdsCodec codec(n, k);
+    const auto frags = codec.encode(v);
+    ASSERT_EQ(frags.size(), n);
+    const std::size_t fs = MdsCodec::fragment_size(v.size(), k);
+    std::string data;
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(frags[i].size(), fs);
+      data += frags[i];
+    }
+    EXPECT_EQ(data.substr(0, v.size()), v)
+        << "fragments 0..k-1 must be the plain data stripes";
+  }
+}
+
+TEST(MdsCodec, EveryKOfNSubsetReconstructs) {
+  const std::string v = pattern_value(257, 9);  // odd size: padding path
+  for (const auto& [n, k] : {std::pair<std::size_t, std::size_t>{3, 2},
+                            {5, 2},
+                            {5, 3},
+                            {7, 4}}) {
+    MdsCodec codec(n, k);
+    const auto frags = codec.encode(v);
+    // Enumerate all C(n, k) index subsets via bitmask.
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
+      std::vector<FragmentRef> refs;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) refs.emplace_back(i, frags[i]);
+      }
+      EXPECT_EQ(codec.decode(refs, v.size()), v)
+          << "n=" << n << " k=" << k << " mask=" << mask;
+    }
+  }
+}
+
+TEST(MdsCodec, SingleParityIsXorOfStripes) {
+  const std::string v = pattern_value(512, 5);
+  MdsCodec codec(3, 2);
+  const auto frags = codec.encode(v);
+  ASSERT_EQ(frags.size(), 3u);
+  for (std::size_t i = 0; i < frags[2].size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(frags[2][i]),
+              static_cast<std::uint8_t>(frags[0][i]) ^
+                  static_cast<std::uint8_t>(frags[1][i]));
+  }
+}
+
+TEST(MdsCodec, RegenerateRebuildsAnyIndexFromAnyKOthers) {
+  const std::string v = pattern_value(300, 11);
+  MdsCodec codec(5, 3);
+  const auto frags = codec.encode(v);
+  for (std::uint32_t missing = 0; missing < 5; ++missing) {
+    std::vector<FragmentRef> refs;
+    for (std::uint32_t i = 0; i < 5 && refs.size() < 3; ++i) {
+      if (i != missing) refs.emplace_back(i, frags[i]);
+    }
+    EXPECT_EQ(codec.regenerate(missing, refs, v.size()), frags[missing])
+        << "missing=" << missing;
+  }
+}
+
+TEST(MdsCodec, DecodeRejectsBadInput) {
+  const std::string v = pattern_value(64, 1);
+  MdsCodec codec(4, 2);
+  const auto frags = codec.encode(v);
+  // Too few fragments.
+  EXPECT_THROW((void)codec.decode({{0, frags[0]}}, v.size()),
+               std::invalid_argument);
+  // Duplicate indices count once.
+  EXPECT_THROW((void)codec.decode({{1, frags[1]}, {1, frags[1]}}, v.size()),
+               std::invalid_argument);
+  // Out-of-range index.
+  EXPECT_THROW((void)codec.decode({{0, frags[0]}, {9, frags[1]}}, v.size()),
+               std::invalid_argument);
+}
+
+TEST(Crc32, DetectsSingleByteCorruption) {
+  std::string a = pattern_value(128, 7);
+  const std::uint32_t good = crc32(a);
+  EXPECT_EQ(crc32(a), good) << "crc must be deterministic";
+  for (const std::size_t i : {std::size_t{0}, std::size_t{63},
+                              std::size_t{127}}) {
+    std::string b = a;
+    b[i] = static_cast<char>(b[i] ^ 0x40);
+    EXPECT_NE(crc32(b), good) << "flip at " << i;
+  }
+}
+
+TEST(ValuePolicy, ActivationAndSizeThreshold) {
+  ValuePolicy off;
+  EXPECT_FALSE(off.active());
+  EXPECT_FALSE(off.coded_for(1 << 20));
+  ValuePolicy pol;
+  pol.k = 2;
+  pol.min_value_size = 1024;
+  EXPECT_TRUE(pol.active());
+  EXPECT_FALSE(pol.coded_for(512));
+  EXPECT_TRUE(pol.coded_for(4096));
+}
+
+TEST(FragmentStore, StagePromoteAdoptAccounting) {
+  FragmentStore store;
+  StoredFragment f;
+  f.frag_index = 1;
+  f.n = 3;
+  f.k = 2;
+  f.value_size = 8;
+  f.bytes = "abcd";
+  store.stage(/*client=*/7, /*req=*/1, f);
+  EXPECT_EQ(store.staged_bytes(), 4u);
+  store.stage(7, 1, f);  // retry re-stages, no double count
+  EXPECT_EQ(store.staged_bytes(), 4u);
+  EXPECT_FALSE(store.promote(7, 2, Tag{1, 0})) << "nothing staged for req 2";
+  EXPECT_TRUE(store.promote(7, 1, Tag{1, 0}));
+  EXPECT_EQ(store.staged_bytes(), 0u);
+  EXPECT_EQ(store.stored_bytes(), 4u);
+  ASSERT_NE(store.at(Tag{1, 0}), nullptr);
+  // Repair adoption of a second index at the same tag accumulates; adopting
+  // the same index again replaces.
+  StoredFragment g = f;
+  g.frag_index = 2;
+  store.adopt(Tag{1, 0}, g);
+  EXPECT_EQ(store.stored_bytes(), 8u);
+  store.adopt(Tag{1, 0}, g);
+  EXPECT_EQ(store.stored_bytes(), 8u);
+  EXPECT_EQ(store.at(Tag{1, 0})->size(), 2u);
+}
+
+TEST(FragmentStore, GcWatermarkReclaimBounds) {
+  FragmentStore store;
+  auto put = [&](std::uint64_t ts) {
+    StoredFragment f;
+    f.frag_index = 0;
+    f.bytes = std::string(100, 'x');
+    store.adopt(Tag{ts, 0}, f);
+  };
+  for (std::uint64_t ts = 1; ts <= 6; ++ts) put(ts);
+  EXPECT_EQ(store.tag_count(), 6u);
+  // keep=1: everything below (committed - 1 tag) goes; the committed set
+  // and one predecessor survive.
+  const std::size_t freed = store.gc_below(Tag{6, 0}, /*keep=*/1);
+  EXPECT_EQ(freed, 400u);
+  EXPECT_EQ(store.tag_count(), 2u);
+  EXPECT_EQ(store.reclaimed_bytes(), 400u);
+  EXPECT_EQ(store.stored_bytes(), 200u);
+  // Idempotent at the same watermark.
+  EXPECT_EQ(store.gc_below(Tag{6, 0}, 1), 0u);
+  // keep=0 leaves only the committed set itself.
+  EXPECT_EQ(store.gc_below(Tag{6, 0}, 0), 100u);
+  EXPECT_EQ(store.tag_count(), 1u);
+  ASSERT_NE(store.at(Tag{6, 0}), nullptr);
+}
+
+TEST(FragmentStore, LateBindRecordsConsumeOnceAndGcPrunes) {
+  // A commit that promoted nothing records the tag; the fragment arriving
+  // afterwards takes the record exactly once and adopts at that tag (the
+  // fan-out vs ring race on a real fabric — see RingServer::on_frag_write).
+  FragmentStore store;
+  store.note_missing(/*client=*/7, /*req=*/1, Tag{5, 2});
+  auto tag = store.take_late(7, 1);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_EQ(*tag, (Tag{5, 2}));
+  EXPECT_FALSE(store.take_late(7, 1).has_value());  // consumed
+  EXPECT_FALSE(store.take_late(7, 2).has_value());  // never recorded
+
+  // Records below the GC watermark die with the sets they point at: a
+  // fragment bound there would be garbage on arrival.
+  store.note_missing(7, 3, Tag{1, 0});
+  store.note_missing(7, 4, Tag{9, 0});
+  StoredFragment f;
+  f.bytes = "x";
+  store.adopt(Tag{9, 0}, f);
+  store.gc_below(Tag{9, 0}, /*keep=*/0);
+  EXPECT_FALSE(store.take_late(7, 3).has_value());  // pruned
+  EXPECT_TRUE(store.take_late(7, 4).has_value());   // still live
+}
+
+}  // namespace
+}  // namespace hts::code
+
+namespace hts::core {
+namespace {
+
+template <typename T>
+const T& as(const net::PayloadPtr& p) {
+  return static_cast<const T&>(*p);
+}
+
+TEST(CodedMessages, FragWriteRoundTrip) {
+  FragWrite m(1234, 56, /*n=*/5, /*k=*/2, /*idx=*/3, /*init=*/true,
+              /*vsize=*/4096, /*crc=*/0xDEADBEEF, std::string(2048, 'f'),
+              /*object=*/9, /*epoch=*/2);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kFragWrite);
+  const auto& w = as<FragWrite>(d);
+  EXPECT_EQ(w.client, 1234u);
+  EXPECT_EQ(w.req, 56u);
+  EXPECT_EQ(w.n, 5);
+  EXPECT_EQ(w.k, 2);
+  EXPECT_EQ(w.frag_index, 3);
+  EXPECT_TRUE(w.initiate);
+  EXPECT_EQ(w.value_size, 4096u);
+  EXPECT_EQ(w.checksum, 0xDEADBEEFu);
+  EXPECT_EQ(w.frag, std::string(2048, 'f'));
+  EXPECT_EQ(w.object, 9u);
+  EXPECT_EQ(w.epoch, 2u);
+}
+
+TEST(CodedMessages, PreWriteFragRoundTripAndIsSmall) {
+  PreWriteFrag m(Tag{12, 3}, 900, 15, /*n=*/5, /*k=*/3, /*vsize=*/1u << 20);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  // The whole point: the coded ring phase never carries the value.
+  EXPECT_LT(m.wire_size(), 64u);
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kPreWriteFrag);
+  const auto& pw = as<PreWriteFrag>(d);
+  EXPECT_EQ(pw.tag, (Tag{12, 3}));
+  EXPECT_EQ(pw.client, 900u);
+  EXPECT_EQ(pw.req, 15u);
+  EXPECT_EQ(pw.n, 5);
+  EXPECT_EQ(pw.k, 3);
+  EXPECT_EQ(pw.value_size, 1u << 20);
+}
+
+TEST(CodedMessages, CodedReadAckRoundTrip) {
+  std::vector<FragPart> parts{{2, 0xABCD, "frag-two"},
+                              {4, 0x1234, "frag-four"}};
+  CodedReadAck m(7, Tag{9, 2}, /*n=*/5, /*k=*/2, /*vsize=*/16, parts,
+                 /*object=*/3);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kCodedReadAck);
+  const auto& a = as<CodedReadAck>(d);
+  EXPECT_EQ(a.req, 7u);
+  EXPECT_EQ(a.tag, (Tag{9, 2}));
+  EXPECT_EQ(a.n, 5);
+  EXPECT_EQ(a.k, 2);
+  EXPECT_EQ(a.value_size, 16u);
+  EXPECT_EQ(a.parts, parts);
+  EXPECT_EQ(a.object, 3u);
+}
+
+TEST(CodedMessages, FragFetchRoundTrip) {
+  FragFetch m(42, 7, Tag{5, 1}, /*object=*/2, /*epoch=*/1);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kFragFetch);
+  EXPECT_EQ(as<FragFetch>(d).client, 42u);
+  EXPECT_EQ(as<FragFetch>(d).req, 7u);
+  EXPECT_EQ(as<FragFetch>(d).tag, (Tag{5, 1}));
+  EXPECT_EQ(as<FragFetch>(d).object, 2u);
+  EXPECT_EQ(as<FragFetch>(d).epoch, 1u);
+}
+
+TEST(CodedMessages, FragFetchAckRoundTripIncludingMiss) {
+  FragFetchAck hit(7, Tag{5, 1}, 64, {{0, 0x77, "bytes"}});
+  auto bytes = encode_message(hit);
+  EXPECT_EQ(bytes.size(), hit.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kFragFetchAck);
+  EXPECT_EQ(as<FragFetchAck>(d).parts.size(), 1u);
+  EXPECT_EQ(as<FragFetchAck>(d).value_size, 64u);
+  // Empty parts = "not found / GC'd" — must survive the wire too.
+  FragFetchAck miss(8, Tag{5, 1}, 64, {});
+  auto mb = encode_message(miss);
+  EXPECT_EQ(mb.size(), miss.wire_size());
+  EXPECT_TRUE(as<FragFetchAck>(decode_message(mb)).parts.empty());
+}
+
+TEST(CodedMessages, FragRepairRoundTrip) {
+  std::vector<FragPart> parts{{0, 1, "a"}, {2, 3, "bb"}};
+  FragRepair m(/*origin=*/4, Tag{11, 4}, /*n=*/5, /*k=*/2, /*missing=*/1,
+               /*vsize=*/32, parts, /*object=*/6, /*epoch=*/3);
+  auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  auto d = decode_message(bytes);
+  ASSERT_EQ(d->kind(), kFragRepair);
+  const auto& r = as<FragRepair>(d);
+  EXPECT_EQ(r.origin, 4u);
+  EXPECT_EQ(r.tag, (Tag{11, 4}));
+  EXPECT_EQ(r.n, 5);
+  EXPECT_EQ(r.k, 2);
+  EXPECT_EQ(r.missing_index, 1);
+  EXPECT_EQ(r.value_size, 32u);
+  EXPECT_EQ(r.parts, parts);
+  EXPECT_EQ(r.object, 6u);
+  EXPECT_EQ(r.epoch, 3u);
+}
+
+}  // namespace
+}  // namespace hts::core
+
+namespace hts::harness {
+namespace {
+
+// ------------------------------------------------------------ golden pin
+
+TEST(CodedGolden, InactivePolicyMatchesDefaultWiringExactly) {
+  // The coded plane must be byte-invisible until a value actually codes:
+  // the same workload under (a) no policy and (b) an active policy whose
+  // size threshold no value reaches produces identical wire histories and
+  // final register state. The simulator is deterministic, so any divergence
+  // is coded-plane machinery leaking into the replicated fast path.
+  auto run = [](code::ValuePolicy policy) {
+    sim::Simulator sim;
+    SimClusterConfig cfg;
+    cfg.topology = core::Topology{2, 3};
+    cfg.client_max_inflight = 4;
+    cfg.value_policy = policy;
+    SimCluster cluster(sim, cfg);
+    UniqueValueSource values;
+    std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+    for (ProcessId s = 0; s < 6; ++s) {
+      const auto m = cluster.add_client_machine();
+      cluster.add_client(m, s);
+      const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+      WorkloadConfig wl;
+      wl.write_fraction = 0.5;
+      wl.value_size = 512;
+      wl.stop_at = 0.1;
+      wl.measure_from = 0;
+      wl.measure_until = 0.1;
+      wl.seed = 17 + s;
+      wl.n_objects = 16;
+      wl.pipeline = 4;
+      drivers.push_back(std::make_unique<ClosedLoopDriver>(
+          sim, cluster.port(id), id, wl, values, nullptr));
+    }
+    for (auto& d : drivers) d->start();
+    sim.run_to_quiescence();
+    std::vector<std::string> tags;
+    for (ProcessId p = 0; p < 6; ++p) {
+      for (ObjectId obj = 0; obj < 16; ++obj) {
+        tags.push_back(cluster.server(p).current_tag(obj).to_string());
+      }
+    }
+    std::uint64_t coded = 0, frag_bytes = 0;
+    for (ProcessId p = 0; p < 6; ++p) {
+      coded += cluster.server(p).stats().coded_commits;
+      frag_bytes += cluster.server(p).fragment_bytes();
+    }
+    return std::make_tuple(cluster.server_network().total_messages_sent(),
+                           cluster.server_network().total_bytes_sent(),
+                           cluster.client_network().total_messages_sent(),
+                           cluster.client_network().total_bytes_sent(), tags,
+                           coded, frag_bytes);
+  };
+  code::ValuePolicy inactive;
+  inactive.k = 2;
+  inactive.min_value_size = 1u << 30;  // active, but no value qualifies
+  const auto pinned = run(code::ValuePolicy{});
+  const auto gated = run(inactive);
+  EXPECT_EQ(pinned, gated);
+  EXPECT_EQ(std::get<5>(pinned), 0u) << "no coded commit under no policy";
+  EXPECT_EQ(std::get<6>(pinned), 0u) << "no fragment storage under no policy";
+}
+
+// --------------------------------------------------- coded e2e on the sim
+
+code::ValuePolicy coded_policy(std::size_t k, std::size_t min_size = 1024,
+                               std::size_t gc_keep = 1) {
+  code::ValuePolicy pol;
+  pol.k = k;
+  pol.min_value_size = min_size;
+  pol.gc_keep = gc_keep;
+  return pol;
+}
+
+/// Drives one blocking-ish op through a sim ClientPort.
+struct SimOps {
+  sim::Simulator& sim;
+  ClientPort& port;
+  core::OpResult last;
+  bool done = false;
+
+  SimOps(sim::Simulator& s, ClientPort& p) : sim(s), port(p) {
+    port.set_on_complete([this](const core::OpResult& r) {
+      last = r;
+      done = true;
+    });
+  }
+  core::OpResult write(ObjectId obj, Value v) {
+    done = false;
+    port.begin_write(obj, std::move(v));
+    sim.run_to_quiescence();
+    EXPECT_TRUE(done) << "write did not complete";
+    return last;
+  }
+  core::OpResult read(ObjectId obj) {
+    done = false;
+    port.begin_read(obj);
+    sim.run_to_quiescence();
+    EXPECT_TRUE(done) << "read did not complete";
+    return last;
+  }
+};
+
+TEST(CodedSim, WriteStoresOneFragmentShareTheReadReconstructs) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 5;
+  cfg.value_policy = coded_policy(2);
+  SimCluster cluster(sim, cfg);
+  const auto m = cluster.add_client_machine();
+  auto& session = cluster.add_client(m, 0);
+  SimOps ops(sim, cluster.port(0));
+
+  const Value v = Value::synthetic(42, 4096);
+  ops.write(7, Value(v));
+  // Per-server storage share: exactly one fragment of ceil(|v|/k) bytes —
+  // the k-fold storage (and client-network wire) saving the plane exists for.
+  const std::size_t share = code::MdsCodec::fragment_size(4096, 2);
+  EXPECT_EQ(share, 2048u);
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(cluster.server(p).fragment_bytes(), share) << "server " << p;
+    EXPECT_EQ(cluster.server(p).stats().coded_commits, 1u) << "server " << p;
+    EXPECT_EQ(cluster.server(p).stats().frag_missing, 0u) << "server " << p;
+  }
+  // The read reconstructs the exact bytes from k fragments.
+  const auto r = ops.read(7);
+  EXPECT_EQ(r.value, v);
+  EXPECT_EQ(session.coded_encodes(), 1u);
+  EXPECT_EQ(session.coded_decodes(), 1u);
+  EXPECT_EQ(session.frag_corrupt(), 0u);
+}
+
+TEST(CodedSim, MixedModeRegisterAlternatesReplicatedAndCoded) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 3;
+  cfg.value_policy = coded_policy(2, /*min_size=*/1024);
+  SimCluster cluster(sim, cfg);
+  const auto m = cluster.add_client_machine();
+  cluster.add_client(m, 0);
+  SimOps ops(sim, cluster.port(0));
+
+  const Value big = Value::synthetic(1, 4096);   // codes
+  const Value tiny = Value::synthetic(2, 64);    // below threshold
+  const Value big2 = Value::synthetic(3, 2048);  // codes again
+  ops.write(1, Value(big));
+  EXPECT_EQ(ops.read(1).value, big);
+  ops.write(1, Value(tiny));  // replicated write supersedes the coded state
+  EXPECT_EQ(ops.read(1).value, tiny);
+  ops.write(1, Value(big2));
+  EXPECT_EQ(ops.read(1).value, big2);
+}
+
+TEST(CodedSim, TinyRingFallsBackToReplication) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 1;  // solo ring: k=2 cannot apply
+  cfg.value_policy = coded_policy(2);
+  SimCluster cluster(sim, cfg);
+  const auto m = cluster.add_client_machine();
+  auto& session = cluster.add_client(m, 0);
+  SimOps ops(sim, cluster.port(0));
+  const Value v = Value::synthetic(5, 4096);
+  ops.write(3, Value(v));
+  EXPECT_EQ(ops.read(3).value, v);
+  EXPECT_EQ(session.coded_encodes(), 0u) << "no geometry fits a solo ring";
+  EXPECT_EQ(cluster.server(0).fragment_bytes(), 0u);
+}
+
+TEST(CodedSim, GcWatermarkBoundsStoredFragments) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.value_policy = coded_policy(2, 1024, /*gc_keep=*/1);
+  SimCluster cluster(sim, cfg);
+  const auto m = cluster.add_client_machine();
+  cluster.add_client(m, 0);
+  SimOps ops(sim, cluster.port(0));
+
+  const std::size_t share = code::MdsCodec::fragment_size(4096, 2);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ops.write(2, Value::synthetic(100 + i, 4096));
+  }
+  // Ten committed tags, but the watermark keeps only the committed set
+  // plus gc_keep predecessors: per-server storage is bounded by
+  // (1 + gc_keep) shares no matter how many writes the register saw.
+  std::uint64_t reclaimed = 0;
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_LE(cluster.server(p).fragment_bytes(), 2 * share)
+        << "server " << p;
+    reclaimed += cluster.server(p).stats().gc_reclaimed_bytes;
+    EXPECT_EQ(cluster.server(p).gc_reclaimed_bytes(),
+              cluster.server(p).stats().gc_reclaimed_bytes);
+  }
+  EXPECT_GE(reclaimed, 4u * 8u * share)
+      << "each server must have reclaimed at least 8 superseded shares";
+  EXPECT_EQ(ops.read(2).value, Value::synthetic(109, 4096));
+}
+
+TEST(CodedSim, CrashRepairRegeneratesTheMissingFragments) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 5;
+  cfg.value_policy = coded_policy(2);
+  cfg.client_retry_timeout_s = 0.05;
+  SimCluster cluster(sim, cfg);
+  const auto m = cluster.add_client_machine();
+  cluster.add_client(m, 0);
+  SimOps ops(sim, cluster.port(0));
+
+  const Value a = Value::synthetic(1, 4096);
+  const Value b = Value::synthetic(2, 4096);
+  ops.write(1, Value(a));
+  ops.write(2, Value(b));
+  cluster.crash_server(2);
+  sim.run_to_quiescence();  // detection + splice + FragRepair circulation
+
+  // The crashed server's fragment index was regenerated somewhere in the
+  // surviving ring: every coded register must again tolerate n-k failures,
+  // i.e. the survivors together hold >= k+1 distinct fragments... the
+  // cheap observable proxy: some survivor ran the repair path, and reads
+  // still reconstruct both registers.
+  std::uint64_t repairs = 0;
+  for (const ProcessId p : {0, 1, 3, 4}) {
+    repairs += cluster.server(static_cast<ProcessId>(p)).stats().frag_repairs;
+  }
+  EXPECT_GE(repairs, 2u) << "one regeneration per coded register";
+  EXPECT_EQ(ops.read(1).value, a);
+  EXPECT_EQ(ops.read(2).value, b);
+}
+
+TEST(CodedSim, CodedWorkloadUnderCrashStaysLinearizable) {
+  sim::Simulator sim;
+  SimClusterConfig cfg;
+  cfg.n_servers = 5;
+  cfg.value_policy = coded_policy(2, /*min_size=*/256);
+  cfg.client_retry_timeout_s = 0.05;
+  cfg.client_max_inflight = 4;
+  SimCluster cluster(sim, cfg);
+  lincheck::History history;
+  UniqueValueSource values;
+  std::vector<std::unique_ptr<ClosedLoopDriver>> drivers;
+  for (ProcessId s = 0; s < 5; ++s) {
+    const auto m = cluster.add_client_machine();
+    cluster.add_client(m, s);
+    const ClientId id = static_cast<ClientId>(cluster.client_count() - 1);
+    WorkloadConfig wl;
+    wl.write_fraction = 0.6;
+    wl.value_size = 2048;  // above the threshold: every write codes
+    wl.stop_at = 0.2;
+    wl.measure_from = 0;
+    wl.measure_until = 0.2;
+    wl.seed = 23 + s;
+    wl.n_objects = 8;
+    wl.pipeline = 4;
+    drivers.push_back(std::make_unique<ClosedLoopDriver>(
+        sim, cluster.port(id), id, wl, values, &history));
+  }
+  cluster.schedule_crash(0.05, 1);
+  for (auto& d : drivers) d->start();
+  sim.run_to_quiescence();
+  for (auto& d : drivers) d->finalize();
+
+  ASSERT_GT(history.size(), 50u);
+  auto verdict = lincheck::check_register(history);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  std::uint64_t coded = 0;
+  for (const ProcessId p : {0, 2, 3, 4}) {
+    coded += cluster.server(static_cast<ProcessId>(p)).stats().coded_commits;
+  }
+  EXPECT_GT(coded, 0u) << "the workload must actually exercise the plane";
+}
+
+// ---------------------------------------------- coded e2e on real threads
+
+TEST(CodedThreaded, WriteReadCrashRepairStaysLinearizable) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 5;
+  cfg.client_retry_timeout_s = 0.05;
+  cfg.value_policy = coded_policy(2, /*min_size=*/512);
+  ThreadedCluster cluster(cfg);
+  auto& alice = cluster.add_client(0);
+  auto& bob = cluster.add_client(3);
+  cluster.start();
+
+  for (ObjectId obj = 1; obj <= 4; ++obj) {
+    alice.write(obj, Value::synthetic(obj, 4096));
+  }
+  cluster.crash_server(1);
+  for (ObjectId obj = 1; obj <= 4; ++obj) {
+    alice.write(obj, Value::synthetic(100 + obj, 4096));
+  }
+  for (ObjectId obj = 1; obj <= 4; ++obj) {
+    auto r = bob.read_result(obj);
+    EXPECT_EQ(r.value, Value::synthetic(100 + obj, 4096)) << "object " << obj;
+    EXPECT_LT(r.served_by, 5u);
+  }
+  ASSERT_TRUE(cluster.wait_quiescent(5.0));
+  auto verdict = lincheck::check_register(cluster.history());
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+}
+
+TEST(CodedThreaded, ConcurrentCodedLoadStaysLinearizable) {
+  ThreadedClusterConfig cfg;
+  cfg.n_servers = 4;
+  cfg.client_retry_timeout_s = 0.05;
+  cfg.value_policy = coded_policy(2, /*min_size=*/256);
+  ThreadedCluster cluster(cfg);
+  std::vector<ThreadedCluster::BlockingClient*> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(&cluster.add_client(static_cast<ProcessId>(i)));
+  }
+  cluster.start();
+
+  std::atomic<std::uint64_t> seed{1};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      auto* c = clients[static_cast<std::size_t>(i)];
+      std::uint64_t op = 0;
+      while (!stop.load()) {
+        const ObjectId obj = static_cast<ObjectId>(op % 3);
+        if ((op++ + static_cast<std::uint64_t>(i)) % 2 == 0) {
+          c->write(obj, Value::synthetic(seed.fetch_add(1), 1024));
+        } else {
+          (void)c->read(obj);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  auto verdict = lincheck::check_register(cluster.history());
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+  EXPECT_GT(cluster.history().size(), 30u);
+}
+
+}  // namespace
+}  // namespace hts::harness
