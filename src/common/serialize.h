@@ -43,6 +43,20 @@ class Encoder {
 
   void value(const Value& v) { bytes(v.bytes()); }
 
+  /// Patchable u32 slot (length prefixes written before their body is
+  /// encoded). Same surface as net::FrameWriter, so the message codec can
+  /// be written once, templated over the sink.
+  using Mark = std::size_t;
+  [[nodiscard]] Mark mark_u32() {
+    const Mark m = buf_.size();
+    u32(0);
+    return m;
+  }
+  void patch_u32(Mark m, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_[m + i] = static_cast<char>(v >> (8 * i));
+  }
+  [[nodiscard]] std::size_t bytes_written() const { return buf_.size(); }
+
   [[nodiscard]] const std::string& result() const& { return buf_; }
   [[nodiscard]] std::string result() && { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }

@@ -3,11 +3,14 @@
 #include <memory>
 #include <stdexcept>
 
+#include "net/frame_writer.h"
+
 namespace hts::core {
 
 namespace {
 
-void put_tag(Encoder& e, const Tag& t) {
+template <typename Sink>
+void put_tag(Sink& e, const Tag& t) {
   e.u64(t.ts);
   e.u32(t.id);
 }
@@ -27,7 +30,8 @@ bool is_ring_kind(std::uint16_t k) {
          k == kPreWriteFrag || k == kFragRepair;
 }
 
-void put_frag_parts(Encoder& e, const std::vector<FragPart>& parts) {
+template <typename Sink>
+void put_frag_parts(Sink& e, const std::vector<FragPart>& parts) {
   if (parts.size() > 255) {
     throw std::logic_error("encode_message: more than 255 fragment parts");
   }
@@ -61,7 +65,8 @@ constexpr std::uint8_t kFlagEpoch = 0x2;   // u32 Epoch follows
 /// reserved byte) unless optional fields follow — so default-object epoch-0
 /// frames are byte-identical to the pre-namespace wire format, and PR 4's
 /// "version 1" object frames are exactly flags == kFlagObject.
-void put_header(Encoder& e, std::uint16_t kind, ObjectId object, Epoch epoch) {
+template <typename Sink>
+void put_header(Sink& e, std::uint16_t kind, ObjectId object, Epoch epoch) {
   e.u8(static_cast<std::uint8_t>(kind));
   std::uint8_t flags = 0;
   if (object != kDefaultObject) flags |= kFlagObject;
@@ -208,8 +213,14 @@ std::string RingBatch::describe() const {
   return s + "}";
 }
 
-std::string encode_message(const net::Payload& msg) {
-  Encoder e;
+namespace {
+
+/// The one encode switch, templated over the byte sink (Encoder for the
+/// legacy string path, net::FrameWriter for the scatter-gather transport
+/// path). One instantiation per sink means the two paths cannot diverge —
+/// the *Parity* tests and the hts-lint transport-parity invariant pin it.
+template <typename Sink>
+void encode_into_sink(const net::Payload& msg, Sink& e) {
   switch (msg.kind()) {
     case kClientWrite: {
       const auto& m = static_cast<const ClientWrite&>(msg);
@@ -370,7 +381,15 @@ std::string encode_message(const net::Payload& msg) {
               "encode_message: non-ring message in RingBatch: " +
               part->describe());
         }
-        e.bytes(encode_message(*part));
+        // Length-prefixed part, encoded in place: mark the u32 slot, encode
+        // the part straight into the sink, patch the length. Byte-identical
+        // to the old `e.bytes(encode_message(*part))` but with no per-part
+        // string allocation — this is the batch egress hot path.
+        const auto mark = e.mark_u32();
+        const auto before = e.bytes_written();
+        encode_into_sink(*part, e);
+        e.patch_u32(mark,
+                    static_cast<std::uint32_t>(e.bytes_written() - before));
       }
       break;
     }
@@ -379,7 +398,18 @@ std::string encode_message(const net::Payload& msg) {
       throw std::logic_error("encode_message: unknown kind " +
                              std::to_string(msg.kind()));
   }
+}
+
+}  // namespace
+
+std::string encode_message(const net::Payload& msg) {
+  Encoder e;
+  encode_into_sink(msg, e);
   return std::move(e).result();
+}
+
+void encode_message_into(const net::Payload& msg, net::FrameWriter& writer) {
+  encode_into_sink(msg, writer);
 }
 
 namespace {

@@ -37,6 +37,10 @@
 #include "common/value.h"
 #include "net/payload.h"
 
+namespace hts::net {
+class FrameWriter;  // net/frame_writer.h — scatter-gather encode sink
+}
+
 namespace hts::core {
 
 enum MsgKind : std::uint16_t {
@@ -510,6 +514,14 @@ struct RingBatch final : net::Payload {
 
 /// Serializes any core-protocol message (prepends the kind discriminant).
 std::string encode_message(const net::Payload& msg);
+
+/// Serializes any core-protocol message into a scatter-gather FrameWriter —
+/// the transport egress hot path. Byte-identical to encode_message() by
+/// construction: both entry points instantiate the same sink-templated
+/// encoder (pinned by the *Parity* tests and the hts-lint transport-parity
+/// invariant), but this one reuses the writer's pooled segments instead of
+/// allocating a string per message (and, for RingBatch trains, per part).
+void encode_message_into(const net::Payload& msg, net::FrameWriter& writer);
 
 /// Parses a core-protocol message. Throws DecodeError on malformed input.
 net::PayloadPtr decode_message(std::string_view bytes);

@@ -11,6 +11,8 @@
 
 #include "core/messages.h"
 #include "harness/obs_report.h"
+#include "net/inmem_transport.h"
+#include "net/tcp_transport.h"
 #include "obs/net_stats.h"
 
 namespace hts::harness {
@@ -190,7 +192,7 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
         for (const ProcessId d : c.dests) {
           migrate_bytes.fetch_add(msg->wire_size(),
                                   std::memory_order_relaxed);
-          cluster->transport_.send(net::NodeAddress::server(global),
+          cluster->transport_->send(net::NodeAddress::server(global),
                                    net::NodeAddress::server(d), msg);
         }
         break;
@@ -200,7 +202,7 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
             server.completed_windows(), c.epoch);
         for (const ProcessId d : c.dests) {
           dedup_bytes.fetch_add(msg->wire_size(), std::memory_order_relaxed);
-          cluster->transport_.send(net::NodeAddress::server(global),
+          cluster->transport_->send(net::NodeAddress::server(global),
                                    net::NodeAddress::server(d), msg);
         }
         break;
@@ -231,14 +233,14 @@ struct ThreadedCluster::ServerHost final : core::ServerContext {
       auto wire = std::move(*batch).into_wire();
       ring_transmissions.fetch_add(1, std::memory_order_relaxed);
       ring_bytes.fetch_add(wire->wire_size(), std::memory_order_relaxed);
-      cluster->transport_.send(net::NodeAddress::server(global),
+      cluster->transport_->send(net::NodeAddress::server(global),
                                net::NodeAddress::server(to_global),
                                std::move(wire));
     }
   }
 
   void send_client(ClientId client, net::PayloadPtr msg) override {
-    cluster->transport_.send(net::NodeAddress::server(global),
+    cluster->transport_->send(net::NodeAddress::server(global),
                              net::NodeAddress::client(client), std::move(msg));
   }
 };
@@ -314,11 +316,11 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
 
   // core::ClientContext
   void send_server(ProcessId server, net::PayloadPtr msg) override {
-    cluster->transport_.send(net::NodeAddress::client(client.id()),
+    cluster->transport_->send(net::NodeAddress::client(client.id()),
                              net::NodeAddress::server(server), std::move(msg));
   }
   void arm_timer(double delay_seconds, std::uint64_t token) override {
-    cluster->transport_.arm_timer(net::NodeAddress::client(client.id()),
+    cluster->transport_->arm_timer(net::NodeAddress::client(client.id()),
                                   delay_seconds, token);
   }
   [[nodiscard]] double now() const override { return cluster->elapsed(); }
@@ -326,10 +328,38 @@ struct ThreadedCluster::ClientHost final : core::ClientContext {
 
 // --------------------------------------------------------------- cluster
 
+namespace {
+
+/// Builds the configured fabric. The TCP path wires the core wire codec
+/// into the transport (hts_net cannot depend on hts_core, so the hooks are
+/// injected here) and lists every initial server for the failure-detection
+/// mesh. Servers spawned later by add_ring are reached lazily by traffic.
+std::unique_ptr<net::Transport> make_transport(
+    const ThreadedClusterConfig& cfg, const core::Topology& topo) {
+  if (cfg.transport == ThreadedClusterConfig::TransportKind::kTcp) {
+    net::TcpTransport::Options o;
+    o.detection_delay_s = cfg.detection_delay_s;
+    o.base_port = cfg.tcp_base_port;
+    for (std::size_t g = 0; g < topo.total_servers(); ++g) {
+      o.servers.push_back(static_cast<ProcessId>(g));
+    }
+    o.encode = [](const net::Payload& m, net::FrameWriter& w) {
+      core::encode_message_into(m, w);
+    };
+    o.decode = [](std::string_view bytes) {
+      return core::decode_message(bytes);
+    };
+    return std::make_unique<net::TcpTransport>(std::move(o));
+  }
+  return std::make_unique<net::InMemTransport>(cfg.detection_delay_s);
+}
+
+}  // namespace
+
 ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
     : cfg_(cfg),
       topo_(cfg.resolved_topology()),
-      transport_(cfg.detection_delay_s),
+      transport_(make_transport(cfg_, topo_)),
       epoch_(clk::steady_now()) {
   assert(topo_.valid());
   // One coding knob for the whole deployment: servers inherit it through the
@@ -358,7 +388,7 @@ ThreadedCluster::ThreadedCluster(ThreadedClusterConfig cfg)
   }
 }
 
-ThreadedCluster::~ThreadedCluster() { transport_.stop(); }
+ThreadedCluster::~ThreadedCluster() { transport_->stop(); }
 
 ThreadedCluster::ServerHost& ThreadedCluster::spawn_server(
     RingId ring, ProcessId local, std::size_t ring_size, ProcessId global,
@@ -379,7 +409,7 @@ ThreadedCluster::ServerHost& ThreadedCluster::spawn_server(
          "threaded fabric does not reuse retired global-id slots "
          "(grow-after-shrink); use the sim fabric for that sequence");
   servers_.push_back(std::move(host));
-  transport_.register_node(
+  transport_->register_node(
       net::NodeAddress::server(raw->global),
       [raw](net::NodeAddress from, net::PayloadPtr m) {
         raw->on_message(from, std::move(m));
@@ -412,7 +442,7 @@ ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
         cfg_.recorder->registry().histogram("client.backoff_delay_s",
                                             kBackoffBounds)});
   }
-  transport_.register_node(
+  transport_->register_node(
       net::NodeAddress::client(id),
       [raw](net::NodeAddress from, net::PayloadPtr m) {
         raw->on_message(from, std::move(m));
@@ -425,14 +455,14 @@ ThreadedCluster::BlockingClient& ThreadedCluster::add_client(
   return *handles_.back();
 }
 
-void ThreadedCluster::start() { transport_.start(); }
+void ThreadedCluster::start() { transport_->start(); }
 
 void ThreadedCluster::crash_server(ProcessId p) {
-  transport_.crash(net::NodeAddress::server(p));
+  transport_->crash(net::NodeAddress::server(p));
 }
 
 bool ThreadedCluster::server_up(ProcessId p) const {
-  return transport_.is_up(net::NodeAddress::server(p));
+  return transport_->is_up(net::NodeAddress::server(p));
 }
 
 // ----------------------------------------------------- reconfiguration
@@ -443,7 +473,7 @@ namespace {
 /// nullopt if the server died (its queue was discarded — no reply will
 /// come); the coordinator skips dead servers exactly like the sim fabric.
 std::optional<ThreadedCluster::ProbeReply> await_control(
-    net::InMemTransport& transport, ProcessId global,
+    net::Transport& transport, ProcessId global,
     const std::shared_ptr<ViewControl>& ctl) {
   auto reply = std::make_shared<std::promise<ThreadedCluster::ProbeReply>>();
   ctl->reply = reply;
@@ -538,7 +568,7 @@ Epoch ThreadedCluster::run_migration(
     throw std::logic_error("reconfiguration already in progress");
   }
   const auto up = [this](ProcessId g) {
-    return transport_.is_up(net::NodeAddress::server(g));
+    return transport_->is_up(net::NodeAddress::server(g));
   };
 
   // Freeze: every pre-existing server learns the next view on its own
@@ -548,7 +578,7 @@ Epoch ThreadedCluster::run_migration(
     auto ctl = std::make_shared<ViewControl>(
         ViewControl::Op::kBeginViewChange);
     ctl->view = core::ServerView{next.epoch, servers_[g]->ring, new_map};
-    (void)await_control(transport_, g, ctl);
+    (void)await_control(*transport_, g, ctl);
   }
   for (const ProcessId g : dests) {
     if (!up(g) || servers_[g]->server.view_changing()) continue;
@@ -558,7 +588,7 @@ Epoch ThreadedCluster::run_migration(
     auto ctl = std::make_shared<ViewControl>(
         ViewControl::Op::kBeginViewChange);
     ctl->view = core::ServerView{next.epoch, servers_[g]->ring, new_map};
-    (void)await_control(transport_, g, ctl);
+    (void)await_control(*transport_, g, ctl);
   }
 
   // Publish: NACKed clients refresh straight to the next view and re-route;
@@ -582,7 +612,7 @@ Epoch ThreadedCluster::run_migration(
       auto ctl = std::make_shared<ViewControl>(ViewControl::Op::kProbe);
       ctl->old_map = map_;
       ctl->new_map = new_map;
-      auto r = await_control(transport_, g, ctl);
+      auto r = await_control(*transport_, g, ctl);
       if (!r) continue;  // died mid-probe: its ring peers hold the state
       if (!r->all_quiescent) quiescent = false;
       for (const auto& [obj, tag] : r->moving) {
@@ -610,7 +640,7 @@ Epoch ThreadedCluster::run_migration(
       ctl->object = obj;
       ctl->epoch = next.epoch;
       ctl->dests = std::move(obj_dests);
-      if (await_control(transport_, tag_src.second, ctl)) {
+      if (await_control(*transport_, tag_src.second, ctl)) {
         copied.insert(obj);
         ++migration_stats_.objects_moved;
       } else {
@@ -632,7 +662,7 @@ Epoch ThreadedCluster::run_migration(
       auto ctl = std::make_shared<ViewControl>(ViewControl::Op::kEmitDedup);
       ctl->epoch = next.epoch;
       ctl->dests = std::move(live_dests);
-      if (await_control(transport_, g, ctl)) {
+      if (await_control(*transport_, g, ctl)) {
         dedup_rings_done.insert(ring);
       } else {
         dedup_complete = false;  // try a ring peer next round
@@ -649,7 +679,7 @@ Epoch ThreadedCluster::run_migration(
       ctl->old_map = map_;
       ctl->new_map = new_map;
       ctl->check_migrated.assign(copied.begin(), copied.end());
-      auto r = await_control(transport_, d, ctl);
+      auto r = await_control(*transport_, d, ctl);
       if (!r) continue;
       if (r->dedup_merges < dedup_expected) {
         installed = false;
@@ -674,10 +704,10 @@ Epoch ThreadedCluster::run_migration(
     if (!up(host->global)) continue;
     auto ctl =
         std::make_shared<ViewControl>(ViewControl::Op::kCommitViewChange);
-    (void)await_control(transport_, host->global, ctl);
+    (void)await_control(*transport_, host->global, ctl);
   }
   for (const ProcessId g : retiring) {
-    if (up(g)) transport_.crash(net::NodeAddress::server(g));
+    if (up(g)) transport_->crash(net::NodeAddress::server(g));
   }
 
   // Account migration wire bytes from the per-host atomics.
@@ -713,7 +743,7 @@ std::vector<std::size_t> ThreadedCluster::rings_by_epoch() const {
 // ------------------------------------------------------------- accessors
 
 bool ThreadedCluster::wait_quiescent(double timeout_s) {
-  return transport_.wait_quiescent(timeout_s);
+  return transport_->wait_quiescent(timeout_s);
 }
 
 core::RingServer& ThreadedCluster::server(ProcessId p) {
@@ -770,7 +800,7 @@ void ThreadedCluster::export_metrics() {
 
   // One transport carries everything here; per-node tx counters go under a
   // single "net.host" prefix (labels "s<id>" / "c<id>").
-  obs::export_links(reg, "net.host", transport_);
+  obs::export_links(reg, "net.host", *transport_);
 
   RingTraffic total;
   for (RingId r = 0; r < static_cast<RingId>(topo_.n_rings()); ++r) {
@@ -808,7 +838,7 @@ std::future<core::OpResult> ThreadedCluster::BlockingClient::launch(
   std::future<core::OpResult> fut = promise->get_future();
   // Hop onto the client's own thread to start the operation; the session
   // pipelines or queues it there.
-  host->cluster->transport_.send(
+  host->cluster->transport_->send(
       net::NodeAddress::client(host->client.id()),
       net::NodeAddress::client(host->client.id()),
       net::make_payload<ControlOp>(is_read, object, std::move(v),

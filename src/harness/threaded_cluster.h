@@ -38,7 +38,7 @@
 #include "core/topology.h"
 #include "harness/ring_traffic.h"
 #include "lincheck/history.h"
-#include "net/inmem_transport.h"
+#include "net/transport.h"
 #include "obs/probe.h"
 
 namespace hts::harness {
@@ -50,6 +50,15 @@ struct ThreadedClusterConfig {
   /// Topology::single(n_servers), the pre-sharding single-ring cluster.
   std::optional<core::Topology> topology;
   double detection_delay_s = 0.005;
+  /// Fabric selection: in-process queues (default) or real loopback TCP
+  /// sockets (net::TcpTransport) — same deployment, every node hosted in
+  /// this process, frames golden-pinned to the wire codec. The node-facing
+  /// surface is identical; only the bytes' journey differs.
+  enum class TransportKind { kInMem, kTcp };
+  TransportKind transport = TransportKind::kInMem;
+  /// TCP mode listen-port base; 0 = ephemeral ports (parallel-ctest safe,
+  /// single-process only — which is exactly ThreadedCluster's shape).
+  std::uint16_t tcp_base_port = 0;
   double client_retry_timeout_s = 0.1;
   /// Session pipelining/backoff knobs (core::ClientOptions pass-through).
   std::size_t client_max_inflight = 8;
@@ -222,7 +231,7 @@ class ThreadedCluster {
   std::shared_ptr<core::ViewRegistry> registry_;
   std::shared_ptr<const core::ShardMap> map_;
   core::MigrationStats migration_stats_;
-  net::InMemTransport transport_;
+  std::unique_ptr<net::Transport> transport_;
   clk::SteadyTime epoch_;
   std::vector<std::unique_ptr<ServerHost>> servers_;
   std::vector<std::unique_ptr<ClientHost>> clients_;

@@ -166,6 +166,9 @@ void InMemTransport::run_node(Node& n) {
     if (n.up.load(std::memory_order_acquire)) {
       switch (item.kind) {
         case WorkItem::Kind::kMessage:
+          n.rx_messages.fetch_add(1, std::memory_order_relaxed);
+          n.rx_bytes.fetch_add(item.msg->wire_size(),
+                               std::memory_order_relaxed);
           n.on_message(item.from, std::move(item.msg));
           break;
         case WorkItem::Kind::kCrashNotice:
@@ -238,7 +241,9 @@ std::vector<obs::LinkCounters> InMemTransport::link_counters() const {
     out.push_back(obs::LinkCounters{
         prefix + std::to_string(n->addr.id),
         n->tx_messages.load(std::memory_order_relaxed),
-        n->tx_bytes.load(std::memory_order_relaxed)});
+        n->tx_bytes.load(std::memory_order_relaxed),
+        n->rx_messages.load(std::memory_order_relaxed),
+        n->rx_bytes.load(std::memory_order_relaxed)});
   }
   return out;
 }

@@ -33,21 +33,19 @@
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "net/payload.h"
+#include "net/transport.h"
 #include "obs/net_stats.h"
 
 namespace hts::net {
 
-class InMemTransport : public obs::LinkStatsSource {
+class InMemTransport : public Transport {
  public:
-  /// Delivered message: payload plus sender address.
-  using MessageHandler = std::function<void(NodeAddress from, PayloadPtr)>;
-  /// Perfect-failure-detector notification (crashed server's id).
-  using CrashHandler = std::function<void(ProcessId)>;
-  /// One-shot timer callback (token disambiguates stale timers).
-  using TimerHandler = std::function<void(std::uint64_t token)>;
+  using MessageHandler = Transport::MessageHandler;
+  using CrashHandler = Transport::CrashHandler;
+  using TimerHandler = Transport::TimerHandler;
 
   explicit InMemTransport(double detection_delay_s = 0.01);
-  ~InMemTransport();
+  ~InMemTransport() override;
 
   InMemTransport(const InMemTransport&) = delete;
   InMemTransport& operator=(const InMemTransport&) = delete;
@@ -58,39 +56,40 @@ class InMemTransport : public obs::LinkStatsSource {
   /// servers of a new ring this way; their threads start immediately.
   void register_node(NodeAddress addr, MessageHandler on_message,
                      CrashHandler on_crash = nullptr,
-                     TimerHandler on_timer = nullptr)
+                     TimerHandler on_timer = nullptr) override
       HTS_EXCLUDES(registry_mu_);
 
-  void start() HTS_EXCLUDES(registry_mu_);
-  void stop() HTS_EXCLUDES(registry_mu_);
+  void start() override HTS_EXCLUDES(registry_mu_);
+  void stop() override HTS_EXCLUDES(registry_mu_);
 
   /// Reliable FIFO send. Messages to crashed or unknown nodes are dropped.
-  void send(NodeAddress from, NodeAddress to, PayloadPtr msg)
+  void send(NodeAddress from, NodeAddress to, PayloadPtr msg) override
       HTS_EXCLUDES(registry_mu_);
 
   /// Arms a one-shot timer for `addr` (delivered on its thread).
   void arm_timer(NodeAddress addr, double delay_s, std::uint64_t token)
-      HTS_EXCLUDES(timer_mu_);
+      override HTS_EXCLUDES(timer_mu_);
 
   /// Crashes a server node: its queue is discarded, no further deliveries,
   /// and every surviving node's crash handler fires after detection_delay.
-  void crash(NodeAddress addr) HTS_EXCLUDES(registry_mu_, timer_mu_);
+  void crash(NodeAddress addr) override HTS_EXCLUDES(registry_mu_, timer_mu_);
 
-  [[nodiscard]] bool is_up(NodeAddress addr) const HTS_EXCLUDES(registry_mu_);
+  [[nodiscard]] bool is_up(NodeAddress addr) const override
+      HTS_EXCLUDES(registry_mu_);
 
   /// Blocks until every queue is empty and every node is idle, or until the
   /// timeout expires. Returns true on quiescence. (Timers still pending do
   /// not count as work.)
-  bool wait_quiescent(double timeout_s)
+  bool wait_quiescent(double timeout_s) override
       HTS_EXCLUDES(registry_mu_, timer_mu_);
 
   /// Accounting over everything accepted for delivery: one transmission per
   /// send() call (a RingBatch counts once) charged at its exact wire size —
   /// the same per-batch cost model the simulator's network uses.
-  [[nodiscard]] std::uint64_t total_transmissions() const {
+  [[nodiscard]] std::uint64_t total_transmissions() const override {
     return transmissions_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+  [[nodiscard]] std::uint64_t total_bytes_sent() const override {
     return bytes_sent_.load(std::memory_order_relaxed);
   }
 
@@ -127,10 +126,13 @@ class InMemTransport : public obs::LinkStatsSource {
     std::atomic<bool> up{true};
     std::thread thread;
 
-    // Per-node transmit accounting (obs::LinkStatsSource); relaxed atomics,
-    // bumped on the send path by whichever thread calls send().
+    // Per-node traffic accounting (obs::LinkStatsSource); relaxed atomics.
+    // tx is bumped on the send path by whichever thread calls send(); rx is
+    // bumped by the node's own delivery thread as messages are dispatched.
     std::atomic<std::uint64_t> tx_messages{0};
     std::atomic<std::uint64_t> tx_bytes{0};
+    std::atomic<std::uint64_t> rx_messages{0};
+    std::atomic<std::uint64_t> rx_bytes{0};
   };
 
   void run_node(Node& n);

@@ -1,0 +1,837 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace hts::net {
+
+namespace {
+
+/// Process-wide port registry for ephemeral mode (base_port == 0): each
+/// listener publishes the port the kernel picked. Only meaningful when the
+/// whole deployment shares one process, which is exactly when ephemeral
+/// mode is allowed.
+sync::Mutex g_port_mu;
+std::map<NodeAddress, std::uint16_t>& ephemeral_ports()
+    HTS_REQUIRES(g_port_mu) {
+  static std::map<NodeAddress, std::uint16_t> ports;
+  return ports;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  // The protocol's batches are latency-sensitive trains; never Nagle them.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return sa;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(Options opts) : opts_(std::move(opts)) {
+  if (!opts_.encode || !opts_.decode) {
+    throw std::invalid_argument("TcpTransport: encode/decode hooks required");
+  }
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+std::uint16_t TcpTransport::port_of(NodeAddress addr) const {
+  if (opts_.base_port != 0) {
+    const auto bias =
+        addr.kind == NodeAddress::Kind::kServer ? 0 : kClientPortBias;
+    assert(addr.id < kClientPortBias && "node id too large for port scheme");
+    return static_cast<std::uint16_t>(opts_.base_port + bias + addr.id);
+  }
+  const sync::MutexLock lock(g_port_mu);
+  auto it = ephemeral_ports().find(addr);
+  return it == ephemeral_ports().end() ? 0 : it->second;
+}
+
+void TcpTransport::register_node(NodeAddress addr, MessageHandler on_message,
+                                 CrashHandler on_crash,
+                                 TimerHandler on_timer) {
+  auto node = std::make_unique<Node>();
+  node->addr = addr;
+  node->on_message = std::move(on_message);
+  node->on_crash = std::move(on_crash);
+  node->on_timer = std::move(on_timer);
+
+  // Bind the node's listener immediately (before start()) so peers that
+  // start earlier can already dial us — the mesh retry loop depends on
+  // listeners existing as soon as the hosting process registers its nodes.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa =
+      loopback_addr(opts_.base_port == 0 ? 0 : port_of(addr));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpTransport: bind failed for node port " +
+                             std::to_string(ntohs(sa.sin_port)) + ": " +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+  node->listen_port = ntohs(sa.sin_port);
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpTransport: listen failed");
+  }
+  set_nonblocking(fd);
+  node->listen_fd = fd;
+  if (opts_.base_port == 0) {
+    const sync::MutexLock lock(g_port_mu);
+    ephemeral_ports()[addr] = node->listen_port;
+  }
+
+  Node* raw = node.get();
+  ListenerTag* tag = nullptr;
+  {
+    const sync::WriterLock lock(registry_mu_);
+    assert(!by_addr_.contains(addr));
+    by_addr_[addr] = nodes_.size();
+    nodes_.push_back(std::move(node));
+    listener_tags_.push_back(std::make_unique<ListenerTag>(raw));
+    tag = listener_tags_.back().get();
+  }
+  if (started_.load(std::memory_order_acquire) &&
+      !stopping_.load(std::memory_order_acquire)) {
+    // Live registration (ring spawn during reconfiguration): wire the
+    // listener into the running epoll loop and start the delivery thread.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = tag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, raw->listen_fd, &ev);
+    raw->thread = std::thread([this, raw] { run_node(*raw); });
+  }
+}
+
+void TcpTransport::start() {
+  assert(!started_.load(std::memory_order_acquire));
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    throw std::runtime_error("TcpTransport: epoll/eventfd setup failed");
+  }
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &wake_tag_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+  {
+    const sync::ReaderLock lock(registry_mu_);
+    for (const auto& tag : listener_tags_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = tag.get();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, tag->owner->listen_fd, &ev);
+    }
+  }
+
+  started_.store(true, std::memory_order_release);
+  for (Node* n : snapshot_nodes()) {
+    n->thread = std::thread([this, n] { run_node(*n); });
+  }
+  timer_thread_ = std::thread([this] { run_timer_thread(); });
+  epoll_thread_ = std::thread([this] { run_epoll_thread(); });
+
+  // Failure-detection mesh: every local node eagerly dials every server in
+  // the deployment, so a peer's death breaks at least one connection into
+  // this process even if no data was ever exchanged. Peer processes may
+  // still be starting — retry with a generous deadline.
+  const clk::SteadyTime deadline =
+      clk::steady_now() + clk::seconds_to_duration(15.0);
+  for (Node* n : snapshot_nodes()) {
+    for (const ProcessId p : opts_.servers) {
+      const NodeAddress peer = NodeAddress::server(p);
+      if (peer == n->addr) continue;
+      while (ensure_conn(n->addr, peer) == nullptr) {
+        if (clk::steady_now() >= deadline) {
+          throw std::runtime_error("TcpTransport: mesh dial to server " +
+                                   std::to_string(p) + " timed out");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+  }
+  mesh_formed_.store(true, std::memory_order_release);
+  wake_epoll();  // flush the mesh preambles
+}
+
+void TcpTransport::stop() {
+  if (!started_.load(std::memory_order_acquire) ||
+      stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  wake_epoll();
+  if (epoll_thread_.joinable()) epoll_thread_.join();
+  {
+    const sync::MutexLock lock(timer_mu_);
+    timer_cv_.notify_all();
+  }
+  const std::vector<Node*> nodes = snapshot_nodes();
+  for (Node* n : nodes) {
+    const sync::MutexLock lock(n->mu);
+    n->cv.notify_all();
+  }
+  for (Node* n : nodes) {
+    if (n->thread.joinable()) n->thread.join();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+  if (opts_.base_port == 0) {
+    const sync::MutexLock lock(g_port_mu);
+    for (const Node* n : nodes) ephemeral_ports().erase(n->addr);
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+TcpTransport::Node* TcpTransport::find(NodeAddress addr) {
+  const sync::ReaderLock lock(registry_mu_);
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
+}
+
+const TcpTransport::Node* TcpTransport::find(NodeAddress addr) const {
+  const sync::ReaderLock lock(registry_mu_);
+  auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : nodes_[it->second].get();
+}
+
+std::vector<TcpTransport::Node*> TcpTransport::snapshot_nodes() const {
+  const sync::ReaderLock lock(registry_mu_);
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+void TcpTransport::enqueue(Node& n, WorkItem item) {
+  const sync::MutexLock lock(n.mu);
+  n.queue.push_back(std::move(item));
+  n.cv.notify_one();
+}
+
+void TcpTransport::send(NodeAddress from, NodeAddress to, PayloadPtr msg) {
+  Node* src = find(from);
+  Node* dst = find(to);
+  // a crashed process sends nothing; messages to the dead are lost
+  if (src != nullptr && !src->up.load(std::memory_order_acquire)) return;
+  if (dst != nullptr && !dst->up.load(std::memory_order_acquire)) return;
+  if (dst == nullptr) {
+    // Remote destination: the failure detector's verdict stands in for the
+    // local liveness check.
+    if (to.kind == NodeAddress::Kind::kServer) {
+      const sync::MutexLock lock(timer_mu_);
+      if (crash_detected_.contains(static_cast<ProcessId>(to.id))) return;
+    }
+  }
+
+  if (from == to) {
+    // Self-send: harness control payloads are not wire types; deliver
+    // straight to the local queue (same accounting as InMemTransport).
+    if (dst == nullptr) return;
+    transmissions_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+    if (src != nullptr) {
+      src->tx_messages.fetch_add(1, std::memory_order_relaxed);
+      src->tx_bytes.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+    }
+    enqueue(*dst, WorkItem{WorkItem::Kind::kMessage, from, std::move(msg)});
+    return;
+  }
+
+  Conn* c = ensure_conn(from, to);
+  if (c == nullptr) return;  // unreachable peer: message to the dead, lost
+
+  transmissions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+  if (src != nullptr) {
+    src->tx_messages.fetch_add(1, std::memory_order_relaxed);
+    src->tx_bytes.fetch_add(msg->wire_size(), std::memory_order_relaxed);
+  }
+  if (dst != nullptr) {
+    local_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    const sync::MutexLock lock(c->mu);
+    const FrameWriter::Mark m = c->staged.begin_frame();
+    opts_.encode(*msg, c->staged);
+    c->staged.end_frame(m);
+    c->has_staged = true;
+  }
+  wake_epoll();
+}
+
+TcpTransport::Conn* TcpTransport::ensure_conn(NodeAddress from,
+                                              NodeAddress to) {
+  {
+    const sync::MutexLock lock(conns_mu_);
+    auto it = egress_.find({from, to});
+    if (it != egress_.end()) {
+      return it->second->closed.load(std::memory_order_acquire)
+                 ? nullptr
+                 : it->second;
+    }
+  }
+  return dial(from, to);
+}
+
+TcpTransport::Conn* TcpTransport::dial(NodeAddress from, NodeAddress to) {
+  const std::uint16_t port = port_of(to);
+  if (port == 0) return nullptr;  // unknown peer (ephemeral registry miss)
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  set_nodelay(fd);
+  sockaddr_in sa = loopback_addr(port);
+  // Blocking connect: on loopback this either completes or refuses fast,
+  // and doing it synchronously gives the mesh retry loop (and lazy dials)
+  // an immediate verdict instead of an async SO_ERROR dance.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    // Refused once the mesh has formed means the peer is gone: a break,
+    // detected. During mesh formation a refusal just means the peer has
+    // not bound its listener yet — start()'s retry loop handles it.
+    if (mesh_formed_.load(std::memory_order_acquire) &&
+        to.kind == NodeAddress::Kind::kServer) {
+      schedule_crash_notice(static_cast<ProcessId>(to.id));
+    }
+    return nullptr;
+  }
+  set_nonblocking(fd);
+
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->initiated = true;
+  conn->local = from;
+  conn->remote = to;
+  conn->connected = true;
+  conn->have_preamble = true;
+  {
+    const sync::MutexLock lock(conn->mu);
+    conn->staged.u32(kMagic);
+    conn->staged.u8(static_cast<std::uint8_t>(from.kind));
+    conn->staged.u64(from.id);
+    conn->staged.u8(static_cast<std::uint8_t>(to.kind));
+    conn->staged.u64(to.id);
+    conn->has_staged = true;
+  }
+
+  Conn* raw = nullptr;
+  {
+    const sync::MutexLock lock(conns_mu_);
+    auto it = egress_.find({from, to});
+    if (it != egress_.end()) {
+      // Lost a dial race; keep the established one.
+      ::close(fd);
+      return it->second->closed.load(std::memory_order_acquire) ? nullptr
+                                                                : it->second;
+    }
+    raw = conn.get();
+    conns_.push_back(std::move(conn));
+    egress_[{from, to}] = raw;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = static_cast<EpollTag*>(raw);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  wake_epoll();
+  return raw;
+}
+
+void TcpTransport::wake_epoll() const {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+// ------------------------------------------------------------- epoll thread
+
+void TcpTransport::run_epoll_thread() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int nev = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool woken = false;
+    for (int i = 0; i < nev; ++i) {
+      auto* tag = static_cast<EpollTag*>(events[i].data.ptr);
+      switch (tag->kind) {
+        case EpollTag::Kind::kWake: {
+          std::uint64_t drain = 0;
+          while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+          }
+          woken = true;
+          break;
+        }
+        case EpollTag::Kind::kListener:
+          on_accept(*static_cast<ListenerTag*>(tag));
+          break;
+        case EpollTag::Kind::kConn: {
+          auto& c = *static_cast<Conn*>(tag);
+          if (c.closed.load(std::memory_order_acquire)) break;
+          if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+              (events[i].events & EPOLLIN) == 0) {
+            close_conn(c, /*attribute_break=*/true);
+            break;
+          }
+          if ((events[i].events & EPOLLIN) != 0) on_conn_readable(c);
+          if (!c.closed.load(std::memory_order_acquire) &&
+              (events[i].events & EPOLLOUT) != 0) {
+            on_conn_writable(c);
+          }
+          break;
+        }
+      }
+    }
+    if (woken) {
+      // A sender staged frames on some connection; sweep them all (the
+      // deployment's connection count is tiny: O(nodes²) with n ≤ 8).
+      std::vector<Conn*> sweep;
+      {
+        const sync::MutexLock lock(conns_mu_);
+        sweep.reserve(conns_.size());
+        for (const auto& c : conns_) sweep.push_back(c.get());
+      }
+      for (Conn* c : sweep) {
+        if (!c->closed.load(std::memory_order_acquire)) flush_conn(*c);
+      }
+    }
+  }
+
+  // Graceful teardown: best-effort flush, then a bye frame (len == 0) on
+  // every live connection so peers see a close, not a crash.
+  std::vector<Conn*> sweep;
+  {
+    const sync::MutexLock lock(conns_mu_);
+    for (const auto& c : conns_) sweep.push_back(c.get());
+  }
+  const char bye[4] = {0, 0, 0, 0};
+  for (Conn* c : sweep) {
+    if (c->closed.load(std::memory_order_acquire)) continue;
+    flush_conn(*c);
+    [[maybe_unused]] const ssize_t n =
+        ::send(c->fd, bye, sizeof(bye), MSG_NOSIGNAL);
+    close_conn(*c, /*attribute_break=*/false);
+  }
+  {
+    const sync::ReaderLock lock(registry_mu_);
+    for (const auto& tag : listener_tags_) {
+      if (tag->owner->listen_fd >= 0) {
+        ::close(tag->owner->listen_fd);
+        tag->owner->listen_fd = -1;
+      }
+    }
+  }
+}
+
+void TcpTransport::on_accept(ListenerTag& lt) {
+  for (;;) {
+    const int fd = ::accept4(lt.owner->listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient error: wait for epoll
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->connected = true;  // addresses arrive with the preamble
+    Conn* raw = conn.get();
+    {
+      const sync::MutexLock lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = static_cast<EpollTag*>(raw);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void TcpTransport::on_conn_readable(Conn& c) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+    if (n == 0) {
+      close_conn(c, /*attribute_break=*/true);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(c, /*attribute_break=*/true);
+      return;
+    }
+    std::string_view chunk(buf, static_cast<std::size_t>(n));
+    if (!c.have_preamble) {
+      c.preamble_buf.append(chunk.data(), chunk.size());
+      if (c.preamble_buf.size() < kPreambleBytes) continue;
+      Decoder d(std::string_view(c.preamble_buf).substr(0, kPreambleBytes));
+      if (d.u32() != kMagic) {
+        close_conn(c, /*attribute_break=*/false);
+        return;
+      }
+      NodeAddress src{static_cast<NodeAddress::Kind>(d.u8()), 0};
+      src.id = d.u64();
+      NodeAddress dst{static_cast<NodeAddress::Kind>(d.u8()), 0};
+      dst.id = d.u64();
+      {
+        // Published under conns_mu_: crash() walks connections by address.
+        const sync::MutexLock lock(conns_mu_);
+        c.remote = src;
+        c.local = dst;
+      }
+      c.have_preamble = true;
+      chunk = std::string_view(c.preamble_buf).substr(kPreambleBytes);
+      const bool ok = c.decoder.feed(
+          chunk, [this, &c](std::string_view body) {
+            if (body.empty()) {
+              c.remote_bye = true;
+            } else {
+              deliver_frame(c, body);
+            }
+          });
+      c.preamble_buf.clear();
+      if (!ok) {
+        close_conn(c, /*attribute_break=*/true);
+        return;
+      }
+      continue;
+    }
+    const bool ok =
+        c.decoder.feed(chunk, [this, &c](std::string_view body) {
+          if (body.empty()) {
+            c.remote_bye = true;
+          } else {
+            deliver_frame(c, body);
+          }
+        });
+    if (!ok) {
+      close_conn(c, /*attribute_break=*/true);
+      return;
+    }
+  }
+}
+
+void TcpTransport::deliver_frame(const Conn& c, std::string_view body) {
+  Node* dst = find(c.local);
+  if (dst == nullptr || !dst->up.load(std::memory_order_acquire)) {
+    return;  // messages to the dead (or not-yet-known) are lost
+  }
+  PayloadPtr msg;
+  try {
+    msg = opts_.decode(body);
+  } catch (const std::exception&) {
+    return;  // malformed frame: drop (tests never exercise this path)
+  }
+  dst->rx_messages.fetch_add(1, std::memory_order_relaxed);
+  dst->rx_bytes.fetch_add(body.size(), std::memory_order_relaxed);
+  if (find(c.remote) != nullptr) {
+    local_frames_delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  enqueue(*dst, WorkItem{WorkItem::Kind::kMessage, c.remote, std::move(msg)});
+}
+
+void TcpTransport::on_conn_writable(Conn& c) {
+  if (!c.connected) c.connected = true;  // async connect completed
+  flush_conn(c);
+}
+
+void TcpTransport::flush_conn(Conn& c) {
+  if (!c.connected || c.closed.load(std::memory_order_acquire)) return;
+  for (;;) {
+    if (!c.flushing_nonempty) {
+      {
+        const sync::MutexLock lock(c.mu);
+        if (!c.has_staged) break;
+        std::swap(c.staged, c.flushing);
+        c.has_staged = false;
+      }
+      c.flushing_nonempty = true;
+      c.flush_skip = 0;
+    }
+    // The writers are swapped, never shared: from here the epoll thread
+    // owns `flushing` exclusively and can do the syscall without the lock.
+    const std::vector<iovec>& iov = c.flushing.iov(c.flush_skip);
+    msghdr mh{};
+    mh.msg_iov = const_cast<iovec*>(iov.data());
+    mh.msg_iovlen = std::min<std::size_t>(iov.size(), 1024);
+    const ssize_t n = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!c.want_write) {
+          c.want_write = true;
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.ptr = static_cast<EpollTag*>(&c);
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+        }
+        return;
+      }
+      if (errno == EINTR) continue;
+      close_conn(c, /*attribute_break=*/true);
+      return;
+    }
+    c.flush_skip += static_cast<std::size_t>(n);
+    if (c.flush_skip == c.flushing.size()) {
+      c.flushing.clear();
+      c.flushing_nonempty = false;
+      c.flush_skip = 0;
+    }
+  }
+  if (c.want_write) {
+    c.want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = static_cast<EpollTag*>(&c);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+}
+
+void TcpTransport::close_conn(Conn& c, bool attribute_break) {
+  if (c.closed.exchange(true, std::memory_order_acq_rel)) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  c.connected = false;
+  if (!attribute_break || c.remote_bye ||
+      c.local_down.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire) || !c.have_preamble) {
+    return;
+  }
+  NodeAddress remote;
+  {
+    const sync::MutexLock lock(conns_mu_);
+    remote = c.remote;
+  }
+  if (remote.kind != NodeAddress::Kind::kServer) return;
+  // A break without a bye is a crash — the paper's failure detector.
+  const Node* rn = find(remote);
+  if (rn != nullptr && !rn->up.load(std::memory_order_acquire)) {
+    // Local endpoint already known dead; crash() scheduled the notice.
+    return;
+  }
+  schedule_crash_notice(static_cast<ProcessId>(remote.id));
+}
+
+// ------------------------------------------------ crash / timers / delivery
+
+void TcpTransport::schedule_crash_notice(ProcessId crashed) {
+  const sync::MutexLock lock(timer_mu_);
+  if (!crash_detected_.insert(crashed).second) return;  // already noticed
+  timers_.push_back(PendingTimer{
+      clk::steady_now() + clk::seconds_to_duration(opts_.detection_delay_s),
+      NodeAddress{}, 0, true, crashed});
+  timer_cv_.notify_all();
+}
+
+void TcpTransport::crash(NodeAddress addr) {
+  assert(addr.kind == NodeAddress::Kind::kServer &&
+         "only server crashes are detected by peers");
+  Node* n = find(addr);
+  if (n != nullptr) {
+    // exchange() claims the up→down transition exactly once.
+    if (!n->up.exchange(false, std::memory_order_acq_rel)) return;
+    {
+      const sync::MutexLock lock(n->mu);
+      n->queue.clear();
+      n->cv.notify_all();
+    }
+    // Sever every connection the node touches without a bye: remote
+    // processes see a raw break; shutdown() (not close()) keeps the fd
+    // valid for the epoll thread, which observes EOF and finishes the job.
+    const sync::MutexLock lock(conns_mu_);
+    for (const auto& c : conns_) {
+      if (c->closed.load(std::memory_order_acquire)) continue;
+      if (c->local == addr) {
+        c->local_down.store(true, std::memory_order_release);
+        ::shutdown(c->fd, SHUT_RDWR);
+      }
+    }
+  }
+  schedule_crash_notice(static_cast<ProcessId>(addr.id));
+}
+
+bool TcpTransport::is_up(NodeAddress addr) const {
+  if (const Node* n = find(addr); n != nullptr) {
+    return n->up.load(std::memory_order_acquire);
+  }
+  if (addr.kind == NodeAddress::Kind::kServer) {
+    const sync::MutexLock lock(timer_mu_);
+    return !crash_detected_.contains(static_cast<ProcessId>(addr.id));
+  }
+  return true;
+}
+
+void TcpTransport::arm_timer(NodeAddress addr, double delay_s,
+                             std::uint64_t token) {
+  const sync::MutexLock lock(timer_mu_);
+  timers_.push_back(PendingTimer{
+      clk::steady_now() + clk::seconds_to_duration(delay_s), addr, token,
+      false, kNoProcess});
+  timer_cv_.notify_all();
+}
+
+void TcpTransport::run_node(Node& n) {
+  for (;;) {
+    WorkItem item;
+    {
+      const sync::MutexLock lock(n.mu);
+      while (!stopping_.load(std::memory_order_acquire) && n.queue.empty()) {
+        n.cv.wait(n.mu);
+      }
+      if (stopping_.load(std::memory_order_acquire)) return;
+      item = std::move(n.queue.front());
+      n.queue.pop_front();
+      n.busy = true;
+    }
+    if (n.up.load(std::memory_order_acquire)) {
+      switch (item.kind) {
+        case WorkItem::Kind::kMessage:
+          n.on_message(item.from, std::move(item.msg));
+          break;
+        case WorkItem::Kind::kCrashNotice:
+          if (n.on_crash) n.on_crash(item.crashed);
+          break;
+        case WorkItem::Kind::kTimer:
+          if (n.on_timer) n.on_timer(item.token);
+          break;
+      }
+    }
+    {
+      const sync::MutexLock lock(n.mu);
+      n.busy = false;
+      n.cv.notify_all();  // wait_quiescent watchers
+    }
+  }
+}
+
+void TcpTransport::run_timer_thread() {
+  for (;;) {
+    PendingTimer t;
+    {
+      const sync::MutexLock lock(timer_mu_);
+      for (;;) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (timers_.empty()) {
+          timer_cv_.wait(timer_mu_);
+          continue;
+        }
+        auto next = std::min_element(
+            timers_.begin(), timers_.end(),
+            [](const PendingTimer& a, const PendingTimer& b) {
+              return a.at < b.at;
+            });
+        if (clk::steady_now() < next->at) {
+          const clk::SteadyTime wake = next->at;
+          timer_cv_.wait_until(timer_mu_, wake);
+          continue;
+        }
+        t = *next;
+        timers_.erase(next);
+        break;
+      }
+    }
+    if (t.is_crash_notice) {
+      for (Node* n : snapshot_nodes()) {
+        if (!n->up.load(std::memory_order_acquire)) continue;
+        enqueue(*n, WorkItem{WorkItem::Kind::kCrashNotice, NodeAddress{},
+                             nullptr, t.crashed, 0});
+      }
+    } else if (Node* n = find(t.addr); n != nullptr) {
+      enqueue(*n, WorkItem{WorkItem::Kind::kTimer, NodeAddress{}, nullptr,
+                           kNoProcess, t.token});
+    }
+  }
+}
+
+// --------------------------------------------------------------- accounting
+
+std::vector<obs::LinkCounters> TcpTransport::link_counters() const {
+  std::vector<obs::LinkCounters> out;
+  for (const Node* n : snapshot_nodes()) {
+    const char prefix = n->addr.kind == NodeAddress::Kind::kServer ? 's' : 'c';
+    out.push_back(obs::LinkCounters{
+        prefix + std::to_string(n->addr.id),
+        n->tx_messages.load(std::memory_order_relaxed),
+        n->tx_bytes.load(std::memory_order_relaxed),
+        n->rx_messages.load(std::memory_order_relaxed),
+        n->rx_bytes.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+bool TcpTransport::wait_quiescent(double timeout_s) {
+  const clk::SteadyTime deadline =
+      clk::steady_now() + clk::seconds_to_duration(timeout_s);
+  for (;;) {
+    bool quiet = true;
+    for (Node* n : snapshot_nodes()) {
+      const sync::MutexLock lock(n->mu);
+      if (!n->queue.empty() || n->busy) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) {
+      // Nothing staged for egress anywhere. (The flushing buffers are
+      // epoll-thread-owned; the loopback frame balance below covers bytes
+      // that left a writer but have not been delivered yet.)
+      const sync::MutexLock lock(conns_mu_);
+      for (const auto& c : conns_) {
+        if (c->closed.load(std::memory_order_acquire)) continue;
+        const sync::MutexLock cl(c->mu);
+        if (c->has_staged) {
+          quiet = false;
+          break;
+        }
+      }
+    }
+    if (quiet &&
+        local_frames_sent_.load(std::memory_order_acquire) !=
+            local_frames_delivered_.load(std::memory_order_acquire)) {
+      quiet = false;
+    }
+    if (quiet) {
+      const sync::MutexLock lock(timer_mu_);
+      const bool crash_pending =
+          std::any_of(timers_.begin(), timers_.end(),
+                      [](const PendingTimer& t) { return t.is_crash_notice; });
+      if (!crash_pending) return true;
+    }
+    if (clk::steady_now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace hts::net

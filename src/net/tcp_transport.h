@@ -1,0 +1,300 @@
+// Real socket transport: epoll event loop over loopback/LAN TCP.
+//
+// TcpTransport implements the same node-facing surface as InMemTransport
+// (net::Transport), but every non-self send crosses a real TCP connection as
+// a length-prefixed frame whose body is byte-identical to the wire codec's
+// encode (golden-pinned in tests/tcp_test.cpp). One transport instance hosts
+// the nodes of one OS process; a deployment is one instance per process
+// (harness/proc_cluster.*) or a single instance hosting every node over
+// loopback (ThreadedCluster's tcp mode).
+//
+// Wire protocol (DESIGN.md §Transport, D12):
+//   connection preamble  u32 magic 'HTS1' · u8 src_kind · u64 src_id ·
+//                        u8 dst_kind · u64 dst_id     (initiator → acceptor)
+//   then frames          u32 body_len · body          (body = encode bytes)
+//   bye                  body_len == 0: graceful close, not a failure
+// Connections are directed: the (src → dst) initiator writes data frames,
+// the acceptor only ever writes a bye. A TCP break (EOF/RST) without a bye
+// is a crash of the remote node — the paper's perfect failure detector,
+// honest on a LAN where partitions are out of scope: surviving peers'
+// crash handlers fire after `detection_delay`.
+//
+// Threading: one epoll thread owns every socket's readiness, ingress
+// decoding and egress flushing; one timer thread owns deadlines; each node
+// has a delivery thread running its handlers serialized (same model as
+// InMemTransport). send() encodes into the connection's *staged*
+// FrameWriter under the connection mutex and wakes the epoll thread via
+// eventfd; the epoll thread swaps staged↔flushing and writes the flushing
+// buffer out with one sendmsg (scatter-gather) per readiness — frames
+// accumulated while the socket was busy leave in a single syscall, and the
+// segment pools make the steady state allocation-free.
+//
+// Layering: hts_net cannot depend on hts_core, so the codec is injected
+// (Options::encode / Options::decode); the harness wires the core message
+// codec in. Self-sends (from == to) carry non-wire harness control payloads
+// and bypass the socket path entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "net/frame_writer.h"
+#include "net/payload.h"
+#include "net/transport.h"
+#include "obs/net_stats.h"
+
+namespace hts::net {
+
+class TcpTransport : public Transport {
+ public:
+  struct Options {
+    /// Seconds between a TCP break and the surviving nodes' crash handlers.
+    double detection_delay_s = 0.05;
+    /// Listen-port base: a node's port is base + id (servers) or
+    /// base + kClientPortBias + id (clients). 0 means "ephemeral": each
+    /// listener binds port 0 and publishes its real port in a process-wide
+    /// registry — safe under parallel ctest, valid only when every node of
+    /// the deployment lives in this one process.
+    std::uint16_t base_port = 0;
+    /// Full server set of the deployment. At start() every local node
+    /// eagerly connects to each of these (the failure-detection mesh): a
+    /// peer's death must break at least one connection into this process
+    /// even if no data was ever exchanged.
+    std::vector<ProcessId> servers;
+    /// Message codec, injected by the harness (hts_net cannot see
+    /// hts_core). encode must append exactly the message's wire bytes;
+    /// decode parses one frame body back into a payload.
+    std::function<void(const Payload&, FrameWriter&)> encode;
+    std::function<PayloadPtr(std::string_view)> decode;
+  };
+
+  static constexpr std::uint32_t kMagic = 0x31535448;  // "HTS1" little-endian
+  static constexpr std::uint64_t kClientPortBias = 256;
+  static constexpr std::size_t kPreambleBytes = 4 + 1 + 8 + 1 + 8;
+
+  explicit TcpTransport(Options opts);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // ------------------------------------------------- net::Transport surface
+
+  void register_node(NodeAddress addr, MessageHandler on_message,
+                     CrashHandler on_crash = nullptr,
+                     TimerHandler on_timer = nullptr) override
+      HTS_EXCLUDES(registry_mu_);
+
+  void start() override HTS_EXCLUDES(registry_mu_, conns_mu_);
+  void stop() override HTS_EXCLUDES(registry_mu_, conns_mu_, timer_mu_);
+
+  void send(NodeAddress from, NodeAddress to, PayloadPtr msg) override
+      HTS_EXCLUDES(registry_mu_, conns_mu_);
+
+  void arm_timer(NodeAddress addr, double delay_s, std::uint64_t token)
+      override HTS_EXCLUDES(timer_mu_);
+
+  /// Crashes a *local* server node: its queue is discarded and every
+  /// connection it touches is severed without a bye — remote processes see
+  /// the break, local survivors get the same detection-delay notice.
+  void crash(NodeAddress addr) override HTS_EXCLUDES(registry_mu_, timer_mu_);
+
+  /// Local nodes report their own liveness; remote servers report "not yet
+  /// detected crashed" (the failure detector's view).
+  [[nodiscard]] bool is_up(NodeAddress addr) const override
+      HTS_EXCLUDES(registry_mu_, timer_mu_);
+
+  bool wait_quiescent(double timeout_s) override
+      HTS_EXCLUDES(registry_mu_, conns_mu_, timer_mu_);
+
+  [[nodiscard]] std::uint64_t total_transmissions() const override {
+    return transmissions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-local-node counters ("s<id>"/"c<id>"). tx counts payload wire
+  /// bytes accepted at send(); rx counts frame-body bytes delivered.
+  [[nodiscard]] std::vector<obs::LinkCounters> link_counters() const override;
+
+  /// The port a node listens on under this transport's port scheme. With an
+  /// ephemeral base the process-wide registry answers (local nodes only).
+  [[nodiscard]] std::uint16_t port_of(NodeAddress addr) const;
+
+ private:
+  // ------------------------------------------------------------ node state
+  struct WorkItem {
+    enum class Kind : std::uint8_t { kMessage, kCrashNotice, kTimer } kind;
+    NodeAddress from;
+    PayloadPtr msg;
+    ProcessId crashed = kNoProcess;
+    std::uint64_t token = 0;
+  };
+
+  struct Node {
+    NodeAddress addr;
+    MessageHandler on_message;
+    CrashHandler on_crash;
+    TimerHandler on_timer;
+
+    sync::Mutex mu;
+    sync::CondVar cv;
+    std::deque<WorkItem> queue HTS_GUARDED_BY(mu);
+    bool busy HTS_GUARDED_BY(mu) = false;
+    std::atomic<bool> up{true};
+    std::thread thread;
+
+    int listen_fd = -1;  // owned by the epoll thread after start()
+    std::uint16_t listen_port = 0;
+
+    std::atomic<std::uint64_t> tx_messages{0};
+    std::atomic<std::uint64_t> tx_bytes{0};
+    std::atomic<std::uint64_t> rx_messages{0};
+    std::atomic<std::uint64_t> rx_bytes{0};
+  };
+
+  // ------------------------------------------------------ connection state
+  /// One directed TCP connection. The epoll thread owns fd lifecycle,
+  /// ingress state and the flushing writer; senders own the staged writer
+  /// under `mu`. epoll_event.data.ptr points at the EpollTag base.
+  struct EpollTag {
+    enum class Kind : std::uint8_t { kWake, kListener, kConn } kind;
+    explicit EpollTag(Kind k) : kind(k) {}
+  };
+  struct ListenerTag : EpollTag {
+    explicit ListenerTag(Node* node)
+        : EpollTag(Kind::kListener), owner(node) {}
+    Node* owner;
+  };
+  struct Conn : EpollTag {
+    Conn() : EpollTag(Kind::kConn) {}
+
+    int fd = -1;
+    bool initiated = false;     // we connect()ed (egress side)
+    NodeAddress local, remote;  // acceptor side learns these from preamble
+    // Epoll-thread-owned ingress state (no lock: single owner).
+    bool connected = false;      // connect() completed (initiated conns)
+    bool have_preamble = false;  // acceptor: (src,dst) known
+    bool remote_bye = false;  // saw a len==0 frame: close is graceful
+    // Closed is cross-thread: the epoll thread sets it, senders read it
+    // under conns_mu_ to refuse egress on dead connections.
+    std::atomic<bool> closed{false};
+    std::string preamble_buf;  // acceptor: partial preamble bytes
+    FrameDecoder decoder;
+    // Set by crash() when the local endpoint died — suppresses attributing
+    // the resulting EOF to the (healthy) remote.
+    std::atomic<bool> local_down{false};
+
+    // Egress. Senders append to `staged`; the epoll thread swaps it with
+    // `flushing` (only when flushing is drained) and writes flushing out
+    // without holding `mu` — the writers are never shared, only swapped.
+    sync::Mutex mu;
+    FrameWriter staged HTS_GUARDED_BY(mu);
+    bool has_staged HTS_GUARDED_BY(mu) = false;
+    FrameWriter flushing;            // epoll thread only
+    std::size_t flush_skip = 0;      // epoll thread only
+    bool flushing_nonempty = false;  // epoll thread only
+    bool want_write = false;         // epoll thread only: EPOLLOUT armed
+  };
+
+  // ------------------------------------------------------------- internals
+  void run_node(Node& n);
+  void run_timer_thread() HTS_EXCLUDES(timer_mu_);
+  void run_epoll_thread() HTS_EXCLUDES(registry_mu_, conns_mu_, timer_mu_);
+
+  Node* find(NodeAddress addr) HTS_EXCLUDES(registry_mu_);
+  const Node* find(NodeAddress addr) const HTS_EXCLUDES(registry_mu_);
+  std::vector<Node*> snapshot_nodes() const HTS_EXCLUDES(registry_mu_);
+
+  /// Returns the egress connection from → to, dialing it if absent.
+  /// Returns nullptr when the peer is unreachable (treated as crashed).
+  Conn* ensure_conn(NodeAddress from, NodeAddress to)
+      HTS_EXCLUDES(conns_mu_, registry_mu_);
+  Conn* dial(NodeAddress from, NodeAddress to)
+      HTS_EXCLUDES(conns_mu_, registry_mu_);
+
+  void enqueue(Node& n, WorkItem item) HTS_EXCLUDES(n.mu);
+  void deliver_frame(const Conn& c, std::string_view body)
+      HTS_EXCLUDES(registry_mu_);
+
+  /// Failure detector entry point: one notice per crashed server, delivered
+  /// to every local surviving node after detection_delay.
+  void schedule_crash_notice(ProcessId crashed) HTS_EXCLUDES(timer_mu_);
+
+  // Epoll-thread handlers.
+  void on_accept(ListenerTag& lt);
+  void on_conn_readable(Conn& c) HTS_EXCLUDES(registry_mu_, timer_mu_);
+  void on_conn_writable(Conn& c) HTS_EXCLUDES(conns_mu_);
+  void flush_conn(Conn& c);
+  void close_conn(Conn& c, bool attribute_break)
+      HTS_EXCLUDES(registry_mu_, timer_mu_);
+  void wake_epoll() const;
+
+  Options opts_;
+  std::atomic<bool> started_{false};
+  /// Set once start()'s mesh loop has reached every server: before that,
+  /// a refused dial means a peer is still starting, not crashed.
+  std::atomic<bool> mesh_formed_{false};
+  std::atomic<bool> stopping_{false};
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: senders poke the epoll thread
+  EpollTag wake_tag_{EpollTag::Kind::kWake};
+  std::thread epoll_thread_;
+
+  mutable sync::SharedMutex registry_mu_;
+  std::vector<std::unique_ptr<Node>> nodes_ HTS_GUARDED_BY(registry_mu_);
+  std::map<NodeAddress, std::size_t> by_addr_ HTS_GUARDED_BY(registry_mu_);
+  std::vector<std::unique_ptr<ListenerTag>> listener_tags_
+      HTS_GUARDED_BY(registry_mu_);
+
+  // Connection registry. Conn objects are never destroyed while the
+  // transport runs (closed conns are only marked), so raw pointers handed
+  // out under the lock stay valid.
+  mutable sync::Mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_ HTS_GUARDED_BY(conns_mu_);
+  std::map<std::pair<NodeAddress, NodeAddress>, Conn*> egress_
+      HTS_GUARDED_BY(conns_mu_);
+
+  // Timer machinery (same shape as InMemTransport's).
+  struct PendingTimer {
+    clk::SteadyTime at;
+    NodeAddress addr;
+    std::uint64_t token = 0;
+    bool is_crash_notice = false;
+    ProcessId crashed = kNoProcess;
+  };
+  mutable sync::Mutex timer_mu_;
+  sync::CondVar timer_cv_;
+  std::vector<PendingTimer> timers_ HTS_GUARDED_BY(timer_mu_);
+  /// Crashed servers already noticed (dedups break-detection vs local
+  /// crash(), and multiple broken connections to the same peer).
+  std::set<ProcessId> crash_detected_ HTS_GUARDED_BY(timer_mu_);
+  std::thread timer_thread_;
+
+  std::atomic<std::uint64_t> transmissions_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+
+  // Loopback frame balance for wait_quiescent: frames addressed to local
+  // nodes that were accepted for egress vs frames from local nodes that
+  // were delivered. Equal ⇒ nothing is in flight inside the kernel between
+  // two local endpoints (the only in-flight bytes a single-process
+  // deployment can have).
+  std::atomic<std::uint64_t> local_frames_sent_{0};
+  std::atomic<std::uint64_t> local_frames_delivered_{0};
+};
+
+}  // namespace hts::net

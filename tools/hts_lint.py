@@ -21,6 +21,13 @@ clang-tidy and the -Wthread-safety pass (DESIGN.md D10):
                      pure function of the seed); elsewhere in src/ the raw
                      clock APIs appear only in src/common/clock.h, the
                      repo's single clock authority.
+  transport-parity   the scatter-gather encoder (net::FrameWriter) produces
+                     the same bytes as the legacy string encoder for every
+                     MsgKind: both public entry points in messages.cpp must
+                     delegate to the one encode_into_sink template (parity
+                     by construction), and every enum kind must appear in
+                     the parity exemplar list in tests/transport_test.cpp
+                     (make_payload<Kind> in the FrameCodec suite).
 
 Usage:
   tools/hts_lint.py [--repo-root DIR] [--compile-commands PATH]
@@ -229,11 +236,56 @@ def check_determinism(files: dict[str, str]) -> list[Violation]:
     return out
 
 
+def check_transport_parity(files: dict[str, str]) -> list[Violation]:
+    out: list[Violation] = []
+    header = files.get("src/core/messages.h")
+    impl = files.get("src/core/messages.cpp")
+    test = files.get("tests/transport_test.cpp")
+    if header is None or impl is None or test is None:
+        return [Violation("transport-parity", "src/core/messages.cpp", 0,
+                          "messages.{h,cpp} or tests/transport_test.cpp "
+                          "not found")]
+
+    # (a) Parity by construction: both entry points delegate to the single
+    # encode_into_sink template — a second hand-rolled switch in either one
+    # could drift from the other.
+    if not re.search(r"template\s*<\s*typename\s+Sink\s*>", impl):
+        out.append(Violation(
+            "transport-parity", "src/core/messages.cpp", 0,
+            "encode_into_sink<Sink> template not found — the legacy and "
+            "scatter-gather encoders must share one encode switch"))
+    for fn in ("encode_message", "encode_message_into"):
+        pat = re.compile(
+            rf"\b{fn}\s*\([^)]*\)\s*\{{[^}}]*encode_into_sink\s*\(", re.S)
+        if not pat.search(impl):
+            out.append(Violation(
+                "transport-parity", "src/core/messages.cpp", 0,
+                f"{fn} does not delegate to encode_into_sink — both "
+                "encoders must instantiate the same template"))
+
+    # (b) Every MsgKind is exercised by the byte-parity test: the exemplar
+    # builder in tests/transport_test.cpp must construct each kind.
+    enum = ENUM_RE.search(header)
+    if enum is None:
+        out.append(Violation("transport-parity", "src/core/messages.h", 0,
+                             "MsgKind enum not found"))
+        return out
+    for name in ENUM_ENTRY_RE.findall(enum.group("body")):
+        if not re.search(rf"make_payload<\s*(?:core::)?{name}\s*[<(>]", test):
+            out.append(Violation(
+                "transport-parity", "tests/transport_test.cpp", 0,
+                f"MsgKind k{name}: {name} is never constructed in the "
+                "FrameWriter parity exemplars (one_of_every_kind) — the "
+                "scatter-gather encoder would be unpinned for this kind"))
+    return out
+
+
 CHECKS = {
     "msgkind-coverage": check_msgkind_coverage,
     "raii-locking": check_raii_locking,
     "probe-null-guard": check_probe_null_guard,
     "determinism": check_determinism,
+    "transport-parity": check_transport_parity,
 }
 
 
@@ -297,6 +349,15 @@ def self_test(files: dict[str, str]) -> int:
             "src/core/reconfig.h", "namespace hts::core {",
             "namespace hts::core {\n"
             "inline int bad_rand() { return rand(); }")),
+        # A new kind missing from the FrameWriter parity exemplars.
+        ("transport-parity", patched(
+            "src/core/messages.h", "kFragRepair = 17,",
+            "kFragRepair = 17,\n  kUnpinnedKind = 18,")),
+        # encode_message_into grows its own switch instead of delegating.
+        ("transport-parity", patched(
+            "src/core/messages.cpp",
+            "void encode_message_into(const net::Payload& msg,",
+            "void encode_message_into_detached(const net::Payload& msg,")),
     ]
 
     failures = 0
