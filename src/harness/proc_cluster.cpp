@@ -360,10 +360,9 @@ void ProcCluster::start() {
 }
 
 void ProcCluster::stop() {
-  if (!started_) {
-    // Never started: nothing forked, nothing to reap.
-    return;
-  }
+  // No started_ gate: start() may throw after forking (mesh-dial timeout,
+  // client bind failure), and those children block on the term pipe holding
+  // the port window until killed — reap any pid in children_ regardless.
   for (pid_t& pid : children_) {
     if (pid > 0) ::kill(pid, SIGTERM);
   }

@@ -90,7 +90,7 @@ class FrameWriter {
   /// 4 more bytes it is sealed and the placeholder starts the next one.
   [[nodiscard]] Mark mark_u32() {
     reserve_contiguous(4);
-    const Mark m{segments_in_use_ - 1, used_.back()};
+    const Mark m{segments_in_use_ - 1, used_[segments_in_use_ - 1]};
     u32(0);
     return m;
   }

@@ -442,9 +442,31 @@ void TcpTransport::run_epoll_thread() {
   const char bye[4] = {0, 0, 0, 0};
   for (Conn* c : sweep) {
     if (c->closed.load(std::memory_order_acquire)) continue;
-    flush_conn(*c);
-    [[maybe_unused]] const ssize_t n =
-        ::send(c->fd, bye, sizeof(bye), MSG_NOSIGNAL);
+    // The bye must not interleave with a torn frame: if flush_conn left
+    // bytes behind (EAGAIN), the peer would consume the bye's zeros as the
+    // frame's body and then misread the close as a crash. Retry the flush
+    // briefly; if the socket stays full, close without a bye — a break is
+    // the honest signal for a stream we could not deliver.
+    bool drained = false;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      flush_conn(*c);
+      if (c->closed.load(std::memory_order_acquire)) break;
+      bool pending = c->flushing_nonempty;
+      if (!pending) {
+        const sync::MutexLock lock(c->mu);
+        pending = c->has_staged;
+      }
+      if (!pending) {
+        drained = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (c->closed.load(std::memory_order_acquire)) continue;
+    if (drained) {
+      [[maybe_unused]] const ssize_t n =
+          ::send(c->fd, bye, sizeof(bye), MSG_NOSIGNAL);
+    }
     close_conn(*c, /*attribute_break=*/false);
   }
   {

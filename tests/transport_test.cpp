@@ -394,6 +394,38 @@ TEST(FrameCodec, ClearReturnsSegmentsToPoolAndReusesThem) {
   }
 }
 
+TEST(FrameCodec, MarksPatchCorrectBytesAfterMultiSegmentBatch) {
+  // Regression: mark_u32 once derived its offset from the last *pooled*
+  // segment instead of the segment being written. After a batch grows the
+  // pool to 2+ segments, a cleared writer has fewer segments in use than
+  // pooled, so every mark came back with the stale tail's offset (0):
+  // later frames kept a zero length prefix (which TcpTransport reads as a
+  // graceful bye) and earlier prefixes were silently clobbered.
+  FrameWriter w(/*segment_bytes=*/64);
+  {
+    const auto m = w.begin_frame();
+    w.bytes(std::string(200, 'x'));  // spans 4+ segments of 64 bytes
+    w.end_frame(m);
+  }
+  ASSERT_GE(w.pooled_segments(), 2u);
+  w.clear();
+  // Two small frames in the first segment: the second frame's mark sits
+  // mid-segment, exactly where the stale offset diverges from the real one.
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 2; ++i) {
+    const auto m = w.begin_frame();
+    w.bytes("hello");  // 9-byte body: u32 len + 5 chars
+    w.end_frame(m);
+    bodies.push_back(std::string("\x05\x00\x00\x00", 4) + "hello");
+  }
+  FrameDecoder d;
+  std::vector<std::string> got;
+  ASSERT_TRUE(
+      d.feed(w.to_string(), [&](std::string_view f) { got.emplace_back(f); }));
+  EXPECT_EQ(got, bodies);
+  EXPECT_EQ(d.pending_bytes(), 0u);
+}
+
 TEST(FrameCodec, IovCoversAllBytesAndHonoursSkip) {
   FrameWriter w(/*segment_bytes=*/32);
   const auto m = w.begin_frame();
